@@ -1,0 +1,156 @@
+package hiopt_test
+
+import (
+	"math"
+	"testing"
+
+	"hiopt"
+	"hiopt/internal/netsim"
+)
+
+// tinyProblem returns a reduced design example cheap enough for
+// end-to-end API tests on one core.
+func tinyProblem(pdrMin float64) *hiopt.Problem {
+	pr := hiopt.NewPaperProblem(pdrMin)
+	pr.Duration = 15
+	pr.Runs = 1
+	return pr
+}
+
+func TestNewPaperProblemDefaults(t *testing.T) {
+	pr := hiopt.NewPaperProblem(0.9)
+	if pr.PDRMin != 0.9 {
+		t.Errorf("PDRMin = %v", pr.PDRMin)
+	}
+	if pr.Radio.Name != "TI CC2650" {
+		t.Errorf("radio = %q", pr.Radio.Name)
+	}
+	if pr.Duration != 600 || pr.Runs != 3 {
+		t.Errorf("fidelity = %v s × %d, want the paper's 600 × 3", pr.Duration, pr.Runs)
+	}
+	if pr.RatePPS != 10 || pr.PacketBytes != 100 || pr.NHops != 2 {
+		t.Errorf("application defaults wrong: %+v", pr)
+	}
+	if len(pr.Points()) != 1320 {
+		t.Errorf("design space = %d points, want 1320", len(pr.Points()))
+	}
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	out, err := hiopt.Optimize(tinyProblem(0.5), hiopt.OptimizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best == nil {
+		t.Fatal("no feasible configuration at PDRmin=50%")
+	}
+	if out.Best.Point.Routing != hiopt.Star {
+		t.Errorf("low bound selected %v, want a star", out.Best.Point)
+	}
+	if out.Best.NLTDays < 20 {
+		t.Errorf("lifetime %v days implausibly short for the low-reliability optimum", out.Best.NLTDays)
+	}
+}
+
+// TestAlgorithm1MatchesExhaustiveSearch is the central end-to-end
+// correctness property: on a space small enough to sweep, Algorithm 1
+// must find the same optimum class as brute force (identical simulated
+// metrics for identical points, since both share the seeding scheme).
+func TestAlgorithm1MatchesExhaustiveSearch(t *testing.T) {
+	mk := func() *hiopt.Problem {
+		pr := tinyProblem(0.5)
+		pr.Constraints.MaxNodes = 4 // 96-point space
+		return pr
+	}
+	alg, err := hiopt.Optimize(mk(), hiopt.OptimizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := hiopt.ExhaustiveSearch(mk(), hiopt.ExhaustiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Best == nil || ex.Best == nil {
+		t.Fatalf("missing results: alg=%v ex=%v", alg.Best, ex.Best)
+	}
+	if alg.Best.Point != ex.Best.Point {
+		// Both searches rank by simulated power; identical points give
+		// identical metrics, so any difference must be a tie.
+		if math.Abs(alg.Best.PowerMW-ex.Best.PowerMW) > 1e-9 {
+			t.Fatalf("Algorithm 1 found %v (%v mW), exhaustive %v (%v mW)",
+				alg.Best.Point, alg.Best.PowerMW, ex.Best.Point, ex.Best.PowerMW)
+		}
+	}
+	if alg.Simulations >= ex.Simulations {
+		t.Errorf("Algorithm 1 used %d sims, exhaustive %d — no savings", alg.Simulations, ex.Simulations)
+	}
+}
+
+func TestSimulateAndAveraged(t *testing.T) {
+	cfg := hiopt.DefaultSimConfig([]int{0, 1, 3, 6}, hiopt.TDMA, hiopt.Star, 2)
+	cfg.Duration = 15
+	res, err := hiopt.Simulate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR <= 0 || res.Sent == 0 {
+		t.Fatalf("empty simulation: %+v", res)
+	}
+	avg, err := hiopt.SimulateAveraged(cfg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Sent <= res.Sent {
+		t.Error("averaged run did not accumulate both runs' traffic")
+	}
+}
+
+func TestParetoFrontAPI(t *testing.T) {
+	front, err := hiopt.ParetoFront(tinyProblem(0.5), []float64{0.5, 0.9}, hiopt.OptimizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) != 2 || front[0].Best == nil || front[1].Best == nil {
+		t.Fatalf("front = %+v", front)
+	}
+	if front[1].Best.PowerMW < front[0].Best.PowerMW-1e-9 {
+		t.Error("tighter bound yielded cheaper optimum")
+	}
+}
+
+func TestAnnealAPI(t *testing.T) {
+	out, err := hiopt.Anneal(tinyProblem(0.5), hiopt.AnnealOptions{Steps: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best == nil || !out.Best.Feasible {
+		t.Fatalf("annealer failed: %+v", out.Best)
+	}
+}
+
+func TestLibraryAccessors(t *testing.T) {
+	if lib := hiopt.RadioLibrary(); len(lib) < 3 || lib[0].Name != "TI CC2650" {
+		t.Errorf("RadioLibrary = %v", lib)
+	}
+	locs := hiopt.BodyLocations()
+	if len(locs) != 10 || locs[0].Name != "chest" {
+		t.Errorf("BodyLocations = %v", locs)
+	}
+	ch := hiopt.DefaultChannelParams()
+	if ch.Sigma <= 0 || ch.Exponent < 2 {
+		t.Errorf("channel params implausible: %+v", ch)
+	}
+}
+
+func TestConstantsAreDistinct(t *testing.T) {
+	if hiopt.CSMA == hiopt.TDMA {
+		t.Error("MAC constants collide")
+	}
+	if hiopt.Star == hiopt.Mesh {
+		t.Error("routing constants collide")
+	}
+	// The façade constants must map onto the netsim enums.
+	if hiopt.CSMA != netsim.CSMA || hiopt.Mesh != netsim.Mesh {
+		t.Error("façade constants diverge from netsim")
+	}
+}

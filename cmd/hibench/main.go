@@ -1,0 +1,77 @@
+// Command hibench regenerates the paper's evaluation artifacts — every
+// table, figure, and headline claim, plus the ablation studies of
+// DESIGN.md — and prints paper-versus-measured comparisons.
+//
+// Usage:
+//
+//	hibench                      # all experiments at quick fidelity
+//	hibench -exp f3,r1           # a subset
+//	hibench -paper               # the paper's full 600 s × 3-run setting
+//
+// Experiment identifiers: t1, f1, f3, r1, r2, r3, a1, a2, a3, a4, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hiopt/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (t1,f1,f3,r1,r2,r3,a1..a8,pf,all)")
+		duration = flag.Float64("duration", 60, "simulation horizon in seconds")
+		runs     = flag.Int("runs", 1, "runs to average")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		paper    = flag.Bool("paper", false, "paper fidelity (600 s × 3 runs)")
+		csvPath  = flag.String("csv", "", "write the F3 scatter to this CSV file")
+	)
+	flag.Parse()
+
+	fid := experiments.Fidelity{Duration: *duration, Runs: *runs, Seed: *seed}
+	if *paper {
+		fid = experiments.Paper
+		fid.Seed = *seed
+	}
+	suite := experiments.NewSuite(fid, os.Stdout)
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	run := func(id string, fn func() error) {
+		if !all && !want[id] {
+			return
+		}
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "hibench %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("t1", func() error { suite.Table1(); return nil })
+	run("f1", func() error { suite.Fig1(); return nil })
+	run("f3", func() error { _, err := suite.Fig3(*csvPath); return err })
+	run("r1", func() error { _, err := suite.R1(nil); return err })
+	run("r2", func() error { _, err := suite.R2(nil); return err })
+	run("r3", func() error { _, err := suite.R3(nil, 0); return err })
+	run("a1", func() error { _, err := suite.A1(); return err })
+	run("a2", func() error { _, err := suite.A2(); return err })
+	run("a3", func() error { _, err := suite.A3(); return err })
+	run("a4", func() error { _, err := suite.A4(); return err })
+	run("a5", func() error { _, err := suite.A5(); return err })
+	run("a6", func() error { _, err := suite.A6(); return err })
+	run("a7", func() error { _, err := suite.A7(); return err })
+	run("a8", func() error { _, err := suite.A8(); return err })
+	run("a9", func() error { _, err := suite.A9(); return err })
+	run("a10", func() error { _, err := suite.A10(); return err })
+	run("a11", func() error { _, err := suite.A11(); return err })
+	run("pf", func() error { _, err := suite.PF(nil); return err })
+}

@@ -1,0 +1,110 @@
+// Command hiopt runs the paper's Algorithm 1 — MILP-guided design-space
+// exploration of a Human Intranet — on the §4.1 design example.
+//
+// Usage:
+//
+//	hiopt -pdrmin 0.9                 # optimize for PDR ≥ 90%
+//	hiopt -pdrmin 1.0 -paper          # full-fidelity (600 s × 3 runs)
+//	hiopt -pdrmin 0.5 -pool 4 -v      # capped pool, verbose iterations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hiopt/internal/core"
+	"hiopt/internal/design"
+	"hiopt/internal/report"
+)
+
+func main() {
+	var (
+		pdrMin   = flag.Float64("pdrmin", 0.9, "minimum packet delivery ratio in [0,1]")
+		duration = flag.Float64("duration", 60, "simulation horizon T_sim in seconds")
+		runs     = flag.Int("runs", 1, "simulation runs averaged per evaluation")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		paper    = flag.Bool("paper", false, "use the paper's full fidelity (600 s × 3 runs)")
+		pool     = flag.Int("pool", 0, "MILP solution-pool cap per iteration (0 = unlimited)")
+		noAlpha  = flag.Bool("noalpha", false, "disable the α-bound early termination (ablation)")
+		twoStage = flag.Bool("twostage", false, "screen clearly-infeasible candidates with short simulations")
+		verbose  = flag.Bool("v", false, "print per-iteration progress")
+		lpOut    = flag.String("lp", "", "write the MILP relaxation P̃ in CPLEX LP format to this file and exit")
+	)
+	flag.Parse()
+
+	pr := design.PaperProblem(*pdrMin)
+	pr.Duration = *duration
+	pr.Runs = *runs
+	pr.Seed = *seed
+	if *paper {
+		pr.Duration = 600
+		pr.Runs = 3
+	}
+
+	if *lpOut != "" {
+		f, err := os.Create(*lpOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiopt:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := core.WriteRelaxationLP(pr, f); err != nil {
+			fmt.Fprintln(os.Stderr, "hiopt:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("MILP relaxation written to %s\n", *lpOut)
+		return
+	}
+
+	opts := core.Options{PoolLimit: *pool, DisableAlphaBound: *noAlpha, TwoStage: *twoStage}
+	if *verbose {
+		opts.Progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	t0 := time.Now()
+	out, err := core.NewOptimizer(pr, opts).Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiopt:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(t0)
+
+	fmt.Printf("status:       %s\n", out.Status)
+	fmt.Printf("iterations:   %d\n", len(out.Iterations))
+	fmt.Printf("evaluations:  %d configurations (%d simulator runs)\n", out.Evaluations, out.Simulations)
+	fmt.Printf("MILP effort:  %d B&B nodes, %d LP pivots\n", out.MILPNodes, out.LPIterations)
+	fmt.Printf("α-terminated: %v\n", out.TerminatedByAlpha)
+	fmt.Printf("wall time:    %s\n", elapsed.Round(time.Millisecond))
+	if out.Best == nil {
+		fmt.Println("result:       no feasible configuration")
+		os.Exit(2)
+	}
+	b := out.Best
+	fmt.Printf("\noptimal configuration: %v\n", b.Point)
+	fmt.Printf("  PDR          %s (bound %s)\n", report.Pct(b.PDR), report.Pct(pr.PDRMin))
+	fmt.Printf("  power        %s (analytic estimate %s)\n", report.MW(b.PowerMW), report.MW(b.AnalyticMW))
+	fmt.Printf("  lifetime     %s\n", report.Days(b.NLTDays))
+
+	if *verbose {
+		fmt.Println("\nsearch trace (one row per MILP power class):")
+		var rows [][]string
+		for i, it := range out.Iterations {
+			best := ""
+			if len(it.Candidates) > 0 {
+				c := it.Candidates[0] // sorted by simulated power
+				best = fmt.Sprintf("%v %s", c.Point, report.Pct(c.PDR))
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", i),
+				report.MW(it.PBarStar),
+				fmt.Sprintf("%d", len(it.Candidates)),
+				fmt.Sprintf("%d", it.FeasibleCount),
+				best,
+			})
+		}
+		report.Table(os.Stdout, []string{"iter", "P̄* (analytic)", "pool", "feasible", "cheapest simulated"}, rows)
+	}
+}

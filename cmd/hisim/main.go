@@ -1,0 +1,127 @@
+// Command hisim simulates a single Human Intranet configuration with the
+// discrete-event network simulator and prints the measured metrics —
+// the per-configuration oracle of the DSE flow, exposed directly.
+//
+// Usage:
+//
+//	hisim -locs 0,1,3,6 -routing star -mac csma -tx -10
+//	hisim -locs 0,1,3,5,7 -routing mesh -mac tdma -tx 0 -paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hiopt/internal/body"
+	"hiopt/internal/netsim"
+	"hiopt/internal/phys"
+	"hiopt/internal/report"
+)
+
+func parseLocs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad location %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		locsFlag = flag.String("locs", "0,1,3,6", "comma-separated body-location indices (0=chest ... 9=back)")
+		macFlag  = flag.String("mac", "csma", "MAC protocol: csma or tdma")
+		rtFlag   = flag.String("routing", "star", "routing: star or mesh")
+		txFlag   = flag.Float64("tx", -10, "transmit power in dBm (-20, -10, or 0 for the CC2650)")
+		duration = flag.Float64("duration", 60, "simulation horizon in seconds")
+		runs     = flag.Int("runs", 1, "runs to average")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		paper    = flag.Bool("paper", false, "paper fidelity (600 s × 3 runs)")
+		perNode  = flag.Bool("nodes", false, "print per-node metrics")
+		trace    = flag.String("trace", "", "write a CSV event trace of the (first) run to this file")
+	)
+	flag.Parse()
+
+	locs, err := parseLocs(*locsFlag)
+	fatalIf(err)
+
+	var mk netsim.MACKind
+	switch strings.ToLower(*macFlag) {
+	case "csma":
+		mk = netsim.CSMA
+	case "tdma":
+		mk = netsim.TDMA
+	default:
+		fatalIf(fmt.Errorf("unknown MAC %q", *macFlag))
+	}
+	var rk netsim.RoutingKind
+	switch strings.ToLower(*rtFlag) {
+	case "star":
+		rk = netsim.Star
+	case "mesh":
+		rk = netsim.Mesh
+	default:
+		fatalIf(fmt.Errorf("unknown routing %q", *rtFlag))
+	}
+
+	cfg := netsim.DefaultConfig(locs, mk, rk, 0)
+	mode := cfg.Radio.ModeByOutput(phys.DBm(*txFlag))
+	if mode < 0 {
+		fatalIf(fmt.Errorf("radio %s has no %+g dBm mode", cfg.Radio.Name, *txFlag))
+	}
+	cfg.TxMode = mode
+	cfg.Duration = *duration
+	if *paper {
+		cfg.Duration = 600
+		*runs = 3
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		fatalIf(err)
+		defer f.Close()
+		cfg.Trace = f
+		*runs = 1 // a trace documents a single run
+	}
+
+	t0 := time.Now()
+	res, err := netsim.RunAveraged(cfg, *runs, *seed)
+	fatalIf(err)
+
+	names := body.Names(body.Default())
+	fmt.Printf("configuration: %s\n", cfg.Label())
+	fmt.Printf("simulated:     %.0f s × %d runs in %s\n", cfg.Duration, *runs, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("PDR:           %s\n", report.Pct(res.PDR))
+	fmt.Printf("lifetime:      %s (worst node %s)\n", report.Days(res.NLTDays), report.MW(float64(res.MaxPower)))
+	fmt.Printf("traffic:       %d sent, %d delivered, %d transmissions\n", res.Sent, res.Delivered, res.TxCount)
+	fmt.Printf("medium:        %d clean rx, %d corrupted, %d collisions, %d MAC drops\n",
+		res.RxClean, res.RxCorrupt, res.Collisions, res.MACDrops)
+	if *perNode {
+		var rows [][]string
+		for i, loc := range res.Locations {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", loc), names[loc],
+				report.Pct(res.NodePDR[i]), report.MW(float64(res.NodePower[i])),
+			})
+		}
+		fmt.Println()
+		report.Table(os.Stdout, []string{"loc", "site", "PDR", "power"}, rows)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hisim:", err)
+		os.Exit(1)
+	}
+}

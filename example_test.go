@@ -1,0 +1,54 @@
+package hiopt_test
+
+import (
+	"fmt"
+
+	"hiopt"
+)
+
+// ExampleSimulate runs one discrete-event simulation of a 4-node star on
+// a quiet channel (fading disabled for a deterministic docs example).
+func ExampleSimulate() {
+	cfg := hiopt.DefaultSimConfig([]int{0, 1, 3, 6}, hiopt.TDMA, hiopt.Star, 2)
+	cfg.Duration = 10
+	cfg.Channel.Sigma = 0   // disable fading …
+	cfg.Channel.BlockDB = 0 // … and blockage episodes
+	res, err := hiopt.Simulate(cfg, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PDR %.0f%%, collisions %d\n", res.PDR*100, res.Collisions)
+	// Output: PDR 100%, collisions 0
+}
+
+// ExampleNewPaperProblem shows the design example's scale: the feasible
+// design space and the analytic power model of Eq. (9).
+func ExampleNewPaperProblem() {
+	pr := hiopt.NewPaperProblem(0.9)
+	pts := pr.Points()
+	pr.SortPointsByAnalyticPower(pts)
+	fmt.Printf("%d feasible configurations\n", len(pts))
+	fmt.Printf("cheapest class: %.3f mW (%v, %v)\n",
+		pr.AnalyticPower(pts[0]), pts[0].Routing, pr.Radio.TxModes[pts[0].TxMode].Name)
+	// Output:
+	// 1320 feasible configurations
+	// cheapest class: 1.004 mW (Star, p1)
+}
+
+// ExampleConstraints_Explain demonstrates requirements traceability: why
+// a candidate topology is rejected.
+func ExampleConstraints_Explain() {
+	pr := hiopt.NewPaperProblem(0.9)
+	names := make([]string, 0, 10)
+	for _, l := range hiopt.BodyLocations() {
+		names = append(names, l.Name)
+	}
+	// Chest + both hips + head: no ankle, no wrist.
+	mask := uint16(1<<0 | 1<<1 | 1<<2 | 1<<8)
+	for _, v := range pr.Constraints.Violations(mask, names) {
+		fmt.Println(v.Constraint)
+	}
+	// Output:
+	// at least one node at right-ankle or left-ankle
+	// at least one node at right-wrist or left-wrist
+}

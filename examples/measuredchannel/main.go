@@ -1,0 +1,63 @@
+// Measured channel: replace the synthetic body-channel model with a
+// measured mean path-loss matrix (the shape of the NICTA on-body campaign
+// the paper used) and compare how the same network behaves under both.
+//
+// The embedded example matrix represents a subject standing still with
+// direct line of sight between most sensors — a friendlier channel than
+// the synthetic daily-activity model, so reliability rises.
+//
+//	go run ./examples/measuredchannel
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hiopt"
+)
+
+// exampleCampaign is a 10×10 mean path-loss matrix (dB) in body-location
+// order (0=chest ... 9=back), standing posture. In a real deployment this
+// string is a file recorded by a channel sounder.
+const exampleCampaign = `0,62,62,78,78,68,68,60,63,70
+62,0,60,72,74,58,66,68,72,76
+62,60,0,74,72,66,58,64,72,76
+78,72,74,0,62,70,74,80,82,88
+78,74,72,62,0,74,70,80,82,88
+68,58,66,70,74,0,72,73,74,80
+68,66,58,74,70,72,0,68,74,80
+60,68,64,80,80,73,68,0,62,58
+63,72,72,82,82,74,74,62,0,62
+70,76,76,88,88,80,80,58,62,0`
+
+func main() {
+	matrix, err := hiopt.LoadChannelMatrixCSV(strings.NewReader(exampleCampaign))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	locs := []int{0, 1, 3, 6} // chest, right hip, right ankle, left wrist
+	for _, tx := range []int{0, 1, 2} {
+		cfg := hiopt.DefaultSimConfig(locs, hiopt.TDMA, hiopt.Star, tx)
+		cfg.Duration = 60
+
+		synthetic, err := hiopt.Simulate(cfg, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.ChannelMatrix = matrix
+		measured, err := hiopt.Simulate(cfg, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := cfg.Radio.TxModes[tx]
+		fmt.Printf("%-4s (%+3.0f dBm): synthetic channel PDR %5.1f%%  |  measured matrix PDR %5.1f%%\n",
+			mode.Name, float64(mode.OutputDBm), synthetic.PDR*100, measured.PDR*100)
+	}
+	fmt.Println("\nThe standing-still campaign closes every link with margin, so even")
+	fmt.Println("the -20 dBm mode becomes reliable; the synthetic daily-activity model")
+	fmt.Println("(deep fades, torso shadowing) is what forces the optimizer's")
+	fmt.Println("power/topology escalation. Swap in your own CSV to reproduce the")
+	fmt.Println("study on real data: cfg.ChannelMatrix = yourMatrix.")
+}

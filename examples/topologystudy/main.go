@@ -1,0 +1,61 @@
+// Topology study: drive the WBAN simulator directly (no optimizer) to
+// reproduce the paper's §4.2 observation that a multi-hop mesh buys
+// reliability with energy — sweeping routing, MAC, and transmit power on
+// a fixed four-node placement, plus the five-node mesh of the
+// 100%-reliability solution.
+//
+//	go run ./examples/topologystudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hiopt"
+)
+
+func main() {
+	const duration = 120.0
+	locs := []int{0, 1, 3, 6} // chest, right hip, right ankle, left wrist
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "configuration\tPDR\tlifetime\tworst-node power\tcollisions")
+
+	simulate := func(locations []int, mac, routing string, tx int) {
+		var mk = hiopt.CSMA
+		if mac == "TDMA" {
+			mk = hiopt.TDMA
+		}
+		var rk = hiopt.Star
+		if routing == "Mesh" {
+			rk = hiopt.Mesh
+		}
+		cfg := hiopt.DefaultSimConfig(locations, mk, rk, tx)
+		cfg.Duration = duration
+		res, err := hiopt.SimulateAveraged(cfg, 2, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%.1f%%\t%.1f d\t%.3f mW\t%d\n",
+			cfg.Label(), res.PDR*100, res.NLTDays, float64(res.MaxPower), res.Collisions)
+	}
+
+	for _, routing := range []string{"Star", "Mesh"} {
+		for _, mac := range []string{"CSMA", "TDMA"} {
+			for tx := 0; tx < 3; tx++ {
+				simulate(locs, mac, routing, tx)
+			}
+		}
+	}
+	// The paper's 100%-reliability answer: a fifth node on the upper arm.
+	simulate([]int{0, 1, 3, 5, 7}, "TDMA", "Mesh", 2)
+	w.Flush()
+
+	fmt.Println("\nReadings:")
+	fmt.Println(" - raising Tx power buys PDR cheaply in a star (RX power dominates);")
+	fmt.Println(" - mesh flooding pushes PDR toward 100% but multiplies transmissions,")
+	fmt.Println("   cutting lifetime by ~3x (the paper's star-vs-mesh trade-off);")
+	fmt.Println(" - CSMA loses packets to relay-burst collisions that TDMA avoids.")
+}

@@ -1,0 +1,3 @@
+module hiopt
+
+go 1.22

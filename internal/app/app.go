@@ -1,0 +1,197 @@
+// Package app implements the Human Intranet application layer (§2.1.2):
+// the periodic traffic source (each node generates φ packets per second of
+// L bytes) and the sequence-number bookkeeping from which the paper's
+// packet-delivery-ratio metrics, Eqs. (6) and (7), are computed.
+//
+// Traffic is unicast: each generated packet carries a final destination,
+// cycled round-robin over the other nodes so every ordered pair (i → k)
+// accumulates statistics at the same rate. Sequence numbers are kept per
+// (origin, destination) pair, mirroring the paper's N^(s)_{i→k} /
+// N^(r)_{i→k} counters.
+package app
+
+import (
+	"hiopt/internal/rng"
+	"hiopt/internal/stack"
+)
+
+// Params configure a traffic source.
+type Params struct {
+	// RatePPS is the data throughput φ in packets per second.
+	RatePPS float64
+	// Bytes is the generated packet length L_pkt.
+	Bytes int
+	// JitterFrac adds uniform ±JitterFrac relative jitter to each
+	// generation period, modeling independent node clock drift. Without
+	// it, strictly periodic sources with non-overlapping phases would
+	// never contend on a CSMA channel.
+	JitterFrac float64
+}
+
+// DefaultParams returns the design-example traffic: 100-byte packets every
+// 100 ms with 2% clock jitter.
+func DefaultParams() Params {
+	return Params{RatePPS: 10, Bytes: 100, JitterFrac: 0.02}
+}
+
+// Env is the subset of node context the application layer needs. It is a
+// narrower view than stack.Env so the traffic layer cannot touch the
+// medium directly.
+type Env interface {
+	NodeID() int
+	NumNodes() int
+	Now() float64
+	After(delay float64, fn func()) stack.Canceler
+	RNG(name string) *rng.Stream
+}
+
+// Layer is one node's application instance.
+type Layer struct {
+	env     Env
+	params  Params
+	routing stack.Routing
+	// horizon stops generation at the simulation end time.
+	horizon float64
+
+	// nextDst rotates destinations round-robin.
+	nextDst int
+	// jitter is the clock-drift stream.
+	jitter *rng.Stream
+	// seq holds the next sequence number per destination node index.
+	seq []uint32
+	// SentTo counts unique generated packets per destination (the paper's
+	// N^(s)); RecvFrom counts unique delivered packets per origin (the
+	// paper's N^(r)).
+	SentTo   []uint64
+	RecvFrom []uint64
+	// Latencies records the end-to-end delay of every unique delivery at
+	// this node, in seconds.
+	Latencies []float64
+	// stopped halts generation (set when the node fails).
+	stopped bool
+}
+
+// Stop halts packet generation permanently (failure injection).
+func (l *Layer) Stop() { l.stopped = true }
+
+// New builds an application layer that will hand generated packets to rt.
+func New(env Env, params Params, rt stack.Routing, horizon float64) *Layer {
+	n := env.NumNodes()
+	return &Layer{
+		env:      env,
+		params:   params,
+		routing:  rt,
+		horizon:  horizon,
+		nextDst:  (env.NodeID() + 1) % n,
+		seq:      make([]uint32, n),
+		SentTo:   make([]uint64, n),
+		RecvFrom: make([]uint64, n),
+	}
+}
+
+// Start arms the periodic source with a random initial phase (uniform over
+// one period) so nodes are not artificially synchronized.
+func (l *Layer) Start() {
+	if l.params.RatePPS <= 0 || l.env.NumNodes() < 2 {
+		return
+	}
+	period := 1 / l.params.RatePPS
+	phase := l.env.RNG("app/phase").Uniform(0, period)
+	l.jitter = l.env.RNG("app/jitter")
+	l.env.After(phase, l.generate)
+}
+
+// nextPeriod returns the inter-generation gap with clock jitter applied.
+func (l *Layer) nextPeriod() float64 {
+	period := 1 / l.params.RatePPS
+	if l.params.JitterFrac > 0 {
+		period *= 1 + l.jitter.Uniform(-l.params.JitterFrac, l.params.JitterFrac)
+	}
+	return period
+}
+
+func (l *Layer) generate() {
+	now := l.env.Now()
+	if now > l.horizon || l.stopped {
+		return
+	}
+	me := l.env.NodeID()
+	dst := l.nextDst
+	l.nextDst = (l.nextDst + 1) % l.env.NumNodes()
+	if l.nextDst == me {
+		l.nextDst = (l.nextDst + 1) % l.env.NumNodes()
+	}
+	p := stack.Packet{
+		Origin: me,
+		Dst:    dst,
+		Seq:    l.seq[dst],
+		Bytes:  l.params.Bytes,
+		Born:   now,
+	}
+	l.seq[dst]++
+	l.SentTo[dst]++
+	l.routing.FromApp(p)
+	l.env.After(l.nextPeriod(), l.generate)
+}
+
+// OnDeliver records a unique packet delivery; the routing layer guarantees
+// at-most-once semantics per flow key.
+func (l *Layer) OnDeliver(p stack.Packet) {
+	l.RecvFrom[p.Origin]++
+	l.Latencies = append(l.Latencies, l.env.Now()-p.Born)
+}
+
+// PDR computes this node's packet-delivery ratio, Eq. (6): the mean over
+// origins i ≠ k of N^(r)_{i→k} / N^(s)_{i→k}, where the per-origin send
+// counts are supplied by the other nodes' layers. Pairs with no traffic
+// are skipped.
+func PDR(k int, layers []*Layer) float64 {
+	sum, terms := 0.0, 0
+	for i, li := range layers {
+		if i == k {
+			continue
+		}
+		sent := li.SentTo[k]
+		if sent == 0 {
+			continue
+		}
+		sum += float64(layers[k].RecvFrom[i]) / float64(sent)
+		terms++
+	}
+	if terms == 0 {
+		return 0
+	}
+	return sum / float64(terms)
+}
+
+// NetworkPDR computes the overall network PDR, Eq. (7): the mean of the
+// node PDRs.
+func NetworkPDR(layers []*Layer) float64 {
+	if len(layers) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for k := range layers {
+		sum += PDR(k, layers)
+	}
+	return sum / float64(len(layers))
+}
+
+// TotalSent returns the number of packets this layer generated.
+func (l *Layer) TotalSent() uint64 {
+	var n uint64
+	for _, v := range l.SentTo {
+		n += v
+	}
+	return n
+}
+
+// TotalReceived returns the number of unique packets delivered to this
+// layer.
+func (l *Layer) TotalReceived() uint64 {
+	var n uint64
+	for _, v := range l.RecvFrom {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package app
+
+import (
+	"math"
+	"testing"
+
+	"hiopt/internal/des"
+	"hiopt/internal/rng"
+	"hiopt/internal/stack"
+)
+
+// fakeEnv provides the clock/RNG context for traffic sources.
+type fakeEnv struct {
+	sim *des.Simulator
+	src *rng.Source
+	id  int
+	n   int
+}
+
+func (f *fakeEnv) NodeID() int                 { return f.id }
+func (f *fakeEnv) NumNodes() int               { return f.n }
+func (f *fakeEnv) Now() float64                { return f.sim.Now() }
+func (f *fakeEnv) RNG(name string) *rng.Stream { return f.src.Stream(name) }
+func (f *fakeEnv) After(delay float64, fn func()) stack.Canceler {
+	return f.sim.Schedule(delay, fn)
+}
+
+// sink records packets handed to the routing layer.
+type sink struct{ got []stack.Packet }
+
+func (s *sink) Name() string           { return "sink" }
+func (s *sink) Start()                 {}
+func (s *sink) FromApp(p stack.Packet) { s.got = append(s.got, p) }
+func (s *sink) FromMAC(p stack.Packet) {}
+
+func newLayer(id, n int, params Params, horizon float64) (*Layer, *sink, *des.Simulator) {
+	sim := des.New()
+	env := &fakeEnv{sim: sim, src: rng.NewSource(uint64(id) + 100), id: id, n: n}
+	rt := &sink{}
+	l := New(env, params, rt, horizon)
+	return l, rt, sim
+}
+
+func TestGenerationRate(t *testing.T) {
+	params := Params{RatePPS: 10, Bytes: 100}
+	l, rt, sim := newLayer(0, 4, params, 60)
+	l.Start()
+	sim.Run(60)
+	// 60 s at 10 pps → ~600 packets (one period of phase slack).
+	if n := len(rt.got); n < 595 || n > 601 {
+		t.Errorf("generated %d packets in 60 s at 10 pps", n)
+	}
+	if l.TotalSent() != uint64(len(rt.got)) {
+		t.Errorf("TotalSent = %d, want %d", l.TotalSent(), len(rt.got))
+	}
+}
+
+func TestGenerationStopsAtHorizon(t *testing.T) {
+	params := Params{RatePPS: 10, Bytes: 100}
+	l, rt, sim := newLayer(0, 4, params, 10)
+	l.Start()
+	sim.Run(100)
+	if n := len(rt.got); n > 102 {
+		t.Errorf("generated %d packets, want ~100 (horizon 10 s)", n)
+	}
+}
+
+func TestDestinationsRoundRobinExcludeSelf(t *testing.T) {
+	params := Params{RatePPS: 10, Bytes: 100}
+	l, rt, sim := newLayer(1, 4, params, 30)
+	l.Start()
+	sim.Run(30)
+	counts := make(map[int]int)
+	for _, p := range rt.got {
+		if p.Dst == 1 {
+			t.Fatal("node addressed a packet to itself")
+		}
+		if p.Origin != 1 {
+			t.Fatalf("packet origin %d, want 1", p.Origin)
+		}
+		counts[p.Dst]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("destinations used: %v, want all 3 peers", counts)
+	}
+	// Round-robin: counts differ by at most 1.
+	min, max := 1<<30, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("round-robin imbalance: %v", counts)
+	}
+}
+
+func TestSequenceNumbersPerPairMonotone(t *testing.T) {
+	params := Params{RatePPS: 20, Bytes: 100}
+	l, rt, sim := newLayer(0, 3, params, 20)
+	l.Start()
+	sim.Run(20)
+	next := map[int]uint32{}
+	for _, p := range rt.got {
+		if p.Seq != next[p.Dst] {
+			t.Fatalf("pair (0,%d) seq %d, want %d", p.Dst, p.Seq, next[p.Dst])
+		}
+		next[p.Dst]++
+	}
+}
+
+func TestSentCountersMatchPackets(t *testing.T) {
+	params := Params{RatePPS: 10, Bytes: 100}
+	l, rt, sim := newLayer(0, 4, params, 30)
+	l.Start()
+	sim.Run(30)
+	perDst := map[int]uint64{}
+	for _, p := range rt.got {
+		perDst[p.Dst]++
+	}
+	for dst, n := range perDst {
+		if l.SentTo[dst] != n {
+			t.Errorf("SentTo[%d] = %d, want %d", dst, l.SentTo[dst], n)
+		}
+	}
+}
+
+func TestJitterChangesPeriods(t *testing.T) {
+	params := Params{RatePPS: 10, Bytes: 100, JitterFrac: 0.05}
+	l, rt, sim := newLayer(0, 4, params, 30)
+	l.Start()
+	sim.Run(30)
+	if len(rt.got) < 250 || len(rt.got) > 350 {
+		t.Fatalf("jittered source generated %d packets in 30 s", len(rt.got))
+	}
+}
+
+func TestPDRComputation(t *testing.T) {
+	// Build three layers by hand and inject counters to check Eqs. (6)-(7).
+	var layers []*Layer
+	for i := 0; i < 3; i++ {
+		l, _, _ := newLayer(i, 3, Params{RatePPS: 10, Bytes: 100}, 1)
+		layers = append(layers, l)
+	}
+	// Node 0 sent 100 to node 1; node 1 received 80 of them.
+	layers[0].SentTo[1] = 100
+	layers[1].RecvFrom[0] = 80
+	// Node 2 sent 50 to node 1; all received.
+	layers[2].SentTo[1] = 50
+	layers[1].RecvFrom[2] = 50
+	// PDR_1 = (80/100 + 50/50) / 2 = 0.9.
+	if got := PDR(1, layers); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("PDR(1) = %v, want 0.9", got)
+	}
+	// Nodes 0 and 2 received nothing and nothing was sent to them → their
+	// PDR has no defined terms and reports 0.
+	if PDR(0, layers) != 0 {
+		t.Errorf("PDR(0) = %v, want 0 (no traffic)", PDR(0, layers))
+	}
+	wantNet := (0.9 + 0 + 0) / 3
+	if got := NetworkPDR(layers); math.Abs(got-wantNet) > 1e-12 {
+		t.Errorf("NetworkPDR = %v, want %v", got, wantNet)
+	}
+}
+
+func TestPDRSkipsZeroSentPairs(t *testing.T) {
+	var layers []*Layer
+	for i := 0; i < 3; i++ {
+		l, _, _ := newLayer(i, 3, Params{RatePPS: 10, Bytes: 100}, 1)
+		layers = append(layers, l)
+	}
+	layers[0].SentTo[2] = 10
+	layers[2].RecvFrom[0] = 10
+	// Node 1 never sent to node 2: PDR(2) must average only over node 0.
+	if got := PDR(2, layers); got != 1 {
+		t.Errorf("PDR(2) = %v, want 1 (zero-sent pair skipped)", got)
+	}
+}
+
+func TestOnDeliverCounts(t *testing.T) {
+	l, _, _ := newLayer(1, 3, Params{RatePPS: 10, Bytes: 100}, 1)
+	l.OnDeliver(stack.Packet{Origin: 0, Dst: 1, Seq: 0})
+	l.OnDeliver(stack.Packet{Origin: 2, Dst: 1, Seq: 0})
+	l.OnDeliver(stack.Packet{Origin: 2, Dst: 1, Seq: 1})
+	if l.RecvFrom[0] != 1 || l.RecvFrom[2] != 2 {
+		t.Errorf("RecvFrom = %v", l.RecvFrom)
+	}
+	if l.TotalReceived() != 3 {
+		t.Errorf("TotalReceived = %d, want 3", l.TotalReceived())
+	}
+}
+
+func TestSingleNodeNetworkGeneratesNothing(t *testing.T) {
+	l, rt, sim := newLayer(0, 1, Params{RatePPS: 10, Bytes: 100}, 10)
+	l.Start()
+	sim.Run(10)
+	if len(rt.got) != 0 {
+		t.Error("a 1-node network generated traffic with no valid destination")
+	}
+}
+
+func TestZeroRateGeneratesNothing(t *testing.T) {
+	l, rt, sim := newLayer(0, 4, Params{RatePPS: 0, Bytes: 100}, 10)
+	l.Start()
+	sim.Run(10)
+	if len(rt.got) != 0 {
+		t.Error("zero-rate source generated traffic")
+	}
+}

@@ -1,0 +1,131 @@
+package body
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultHasTenLocationsInPaperOrder(t *testing.T) {
+	locs := Default()
+	if len(locs) != NumLocations || NumLocations != 10 {
+		t.Fatalf("len(Default()) = %d, want 10", len(locs))
+	}
+	wantNames := []string{
+		"chest", "right-hip", "left-hip", "right-ankle", "left-ankle",
+		"right-wrist", "left-wrist", "left-upper-arm", "head", "back",
+	}
+	for i, l := range locs {
+		if l.Index != i {
+			t.Errorf("location %d has Index %d", i, l.Index)
+		}
+		if l.Name != wantNames[i] {
+			t.Errorf("location %d = %q, want %q", i, l.Name, wantNames[i])
+		}
+	}
+}
+
+func TestPaperConstraintIndices(t *testing.T) {
+	// The constraint encoding in §4.1 relies on these exact indices.
+	if Chest != 0 || RightHip != 1 || LeftHip != 2 || RightAnkle != 3 ||
+		LeftAnkle != 4 || RightWrist != 5 || LeftWrist != 6 ||
+		LeftUpperArm != 7 || Head != 8 || BackLoc != 9 {
+		t.Error("paper location indices shifted")
+	}
+}
+
+func TestDistanceSymmetricAndPositive(t *testing.T) {
+	locs := Default()
+	for i := range locs {
+		for j := range locs {
+			d := Distance(locs[i], locs[j])
+			if d != Distance(locs[j], locs[i]) {
+				t.Errorf("distance not symmetric for (%d,%d)", i, j)
+			}
+			if i == j && d != 0 {
+				t.Errorf("self-distance %v for %d", d, i)
+			}
+			if i != j && d <= 0 {
+				t.Errorf("non-positive distance %v for (%d,%d)", d, i, j)
+			}
+		}
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	locs := Default()
+	for i := range locs {
+		for j := range locs {
+			for k := range locs {
+				if Distance(locs[i], locs[k]) > Distance(locs[i], locs[j])+Distance(locs[j], locs[k])+1e-12 {
+					t.Fatalf("triangle inequality violated for (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestDistancesAnatomicallyPlausible(t *testing.T) {
+	locs := Default()
+	// Chest to ankle should be the body-scale path (> 1 m); chest to head
+	// short (< 0.5 m); all distances below full height 1.75 m.
+	if d := Distance(locs[Chest], locs[RightAnkle]); d < 1.0 {
+		t.Errorf("chest-ankle distance %v, want > 1 m", d)
+	}
+	if d := Distance(locs[Chest], locs[Head]); d > 0.5 {
+		t.Errorf("chest-head distance %v, want < 0.5 m", d)
+	}
+	for i := range locs {
+		for j := range locs {
+			if d := Distance(locs[i], locs[j]); d > 1.9 {
+				t.Errorf("distance (%d,%d) = %v exceeds body scale", i, j, d)
+			}
+		}
+	}
+}
+
+func TestShadowedOnlyAcrossTorso(t *testing.T) {
+	locs := Default()
+	for i := range locs {
+		for j := range locs {
+			want := (locs[i].Facing == Front && locs[j].Facing == Back) ||
+				(locs[i].Facing == Back && locs[j].Facing == Front)
+			if got := Shadowed(locs[i], locs[j]); got != want {
+				t.Errorf("Shadowed(%s, %s) = %v, want %v", locs[i].Name, locs[j].Name, got, want)
+			}
+		}
+	}
+	// Spot checks: chest (front) vs back is shadowed; chest vs head is not.
+	if !Shadowed(locs[Chest], locs[BackLoc]) {
+		t.Error("chest-back should be shadowed")
+	}
+	if Shadowed(locs[Chest], locs[Head]) {
+		t.Error("chest-head should not be shadowed")
+	}
+	if Shadowed(locs[BackLoc], locs[BackLoc]) {
+		t.Error("back-back should not be shadowed (same side)")
+	}
+}
+
+func TestBilateralSymmetry(t *testing.T) {
+	locs := Default()
+	pairs := [][2]int{{RightHip, LeftHip}, {RightAnkle, LeftAnkle}, {RightWrist, LeftWrist}}
+	for _, p := range pairs {
+		r, l := locs[p[0]], locs[p[1]]
+		if math.Abs(r.X+l.X) > 1e-12 || r.Y != l.Y || r.Z != l.Z {
+			t.Errorf("%s and %s are not mirror images", r.Name, l.Name)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names(Default())
+	if len(names) != 10 || names[0] != "chest" || names[9] != "back" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestFacingString(t *testing.T) {
+	if Front.String() != "front" || Back.String() != "back" || Side.String() != "side" {
+		t.Error("Facing.String() wrong")
+	}
+}

@@ -1,0 +1,312 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"hiopt/internal/body"
+	"hiopt/internal/rng"
+)
+
+func newModel(t *testing.T, seed uint64) *Model {
+	t.Helper()
+	return New(body.Default(), DefaultParams(), rng.NewSource(seed))
+}
+
+// noBlockParams returns parameters with the blockage component disabled so
+// Gauss–Markov statistics can be tested in isolation.
+func noBlockParams() Params {
+	p := DefaultParams()
+	p.BlockDB = 0
+	return p
+}
+
+func TestMeanMatrixSymmetricZeroDiagonal(t *testing.T) {
+	m := newModel(t, 1)
+	n := m.NumLocations()
+	for i := 0; i < n; i++ {
+		if m.MeanPL(i, i) != 0 {
+			t.Errorf("MeanPL(%d,%d) = %v, want 0", i, i, m.MeanPL(i, i))
+		}
+		for j := 0; j < n; j++ {
+			if m.MeanPL(i, j) != m.MeanPL(j, i) {
+				t.Errorf("mean PL not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMeanPLIncreasesWithDistance(t *testing.T) {
+	m := newModel(t, 1)
+	// chest-head (0.37 m) must be far less lossy than chest-ankle (1.26 m).
+	if m.MeanPL(body.Chest, body.Head) >= m.MeanPL(body.Chest, body.RightAnkle) {
+		t.Errorf("chest-head PL %v >= chest-ankle PL %v",
+			m.MeanPL(body.Chest, body.Head), m.MeanPL(body.Chest, body.RightAnkle))
+	}
+}
+
+func TestMeanPLInOnBodyRange(t *testing.T) {
+	// On-body 2.4 GHz measurements report mean path losses of roughly
+	// 40–95 dB across body-scale separations; the synthetic matrix must
+	// stay in that physically credible window.
+	m := newModel(t, 1)
+	n := m.NumLocations()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pl := float64(m.MeanPL(i, j))
+			if pl < 40 || pl > 110 {
+				t.Errorf("MeanPL(%d,%d) = %v dB outside plausible on-body range", i, j, pl)
+			}
+		}
+	}
+}
+
+func TestNLoSPenaltyApplied(t *testing.T) {
+	// Back (NLoS from chest) must carry the penalty: compare against a
+	// same-distance hypothetical by rebuilding without the penalty.
+	params := DefaultParams()
+	src := rng.NewSource(1)
+	with := New(body.Default(), params, src)
+	params.NLoSPenalty = 0
+	without := New(body.Default(), params, rng.NewSource(1))
+	diff := float64(with.MeanPL(body.Chest, body.BackLoc) - without.MeanPL(body.Chest, body.BackLoc))
+	if math.Abs(diff-float64(DefaultParams().NLoSPenalty)) > 1e-9 {
+		t.Errorf("NLoS penalty = %v, want %v", diff, DefaultParams().NLoSPenalty)
+	}
+	// And a LoS pair must be unaffected.
+	if with.MeanPL(body.Chest, body.Head) != without.MeanPL(body.Chest, body.Head) {
+		t.Error("penalty applied to a LoS pair")
+	}
+}
+
+func TestPathLossReciprocity(t *testing.T) {
+	m := New(body.Default(), noBlockParams(), rng.NewSource(7))
+	for step := 1; step <= 100; step++ {
+		t1 := float64(step) * 0.05
+		a := m.PathLossAt(t1, 0, 5)
+		b := m.PathLossAt(t1, 5, 0)
+		if a != b {
+			t.Fatalf("channel not reciprocal at t=%v: %v != %v", t1, a, b)
+		}
+	}
+}
+
+func TestDeterminismAcrossRebuilds(t *testing.T) {
+	m1 := newModel(t, 42)
+	m2 := newModel(t, 42)
+	for step := 1; step <= 200; step++ {
+		tm := float64(step) * 0.01
+		if m1.PathLossAt(tm, 1, 3) != m2.PathLossAt(tm, 1, 3) {
+			t.Fatalf("same seed produced different fading at step %d", step)
+		}
+	}
+}
+
+func TestSeedChangesFading(t *testing.T) {
+	m1 := newModel(t, 1)
+	m2 := newModel(t, 2)
+	same := 0
+	for step := 1; step <= 50; step++ {
+		tm := float64(step) * 0.01
+		if m1.PathLossAt(tm, 1, 3) == m2.PathLossAt(tm, 1, 3) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Error("different seeds produced identical fading")
+	}
+}
+
+func TestTemporalVariationStationaryMoments(t *testing.T) {
+	// Sampled at intervals >> tau, deviations are nearly independent
+	// N(0, sigma²) draws.
+	p := noBlockParams()
+	m := New(body.Default(), p, rng.NewSource(3))
+	var sum, sumSq float64
+	const nSamp = 4000
+	for s := 1; s <= nSamp; s++ {
+		tm := float64(s) * 10 * p.Tau
+		d := float64(m.PathLossAt(tm, 0, 1) - m.MeanPL(0, 1))
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / nSamp
+	sd := math.Sqrt(sumSq/nSamp - mean*mean)
+	if math.Abs(mean) > 0.5 {
+		t.Errorf("deviation mean = %v, want ~0", mean)
+	}
+	if math.Abs(sd-p.Sigma) > 0.5 {
+		t.Errorf("deviation sd = %v, want ~%v", sd, p.Sigma)
+	}
+}
+
+func TestTemporalCorrelationDecay(t *testing.T) {
+	// Within Δt << tau the deviation barely moves; after Δt >> tau the
+	// autocorrelation should vanish. Estimate lag-1 autocorrelation at
+	// two sampling rates.
+	p := noBlockParams()
+	corr := func(dt float64, seed uint64) float64 {
+		m := New(body.Default(), p, rng.NewSource(seed))
+		const n = 6000
+		prev := 0.0
+		var xs, ys []float64
+		for s := 1; s <= n; s++ {
+			d := float64(m.PathLossAt(float64(s)*dt, 0, 1) - m.MeanPL(0, 1))
+			if s > 1 {
+				xs = append(xs, prev)
+				ys = append(ys, d)
+			}
+			prev = d
+		}
+		var mx, my float64
+		for i := range xs {
+			mx += xs[i]
+			my += ys[i]
+		}
+		mx /= float64(len(xs))
+		my /= float64(len(ys))
+		var num, dx, dy float64
+		for i := range xs {
+			num += (xs[i] - mx) * (ys[i] - my)
+			dx += (xs[i] - mx) * (xs[i] - mx)
+			dy += (ys[i] - my) * (ys[i] - my)
+		}
+		return num / math.Sqrt(dx*dy)
+	}
+	fast := corr(p.Tau/20, 11) // expect ~exp(-1/20) ≈ 0.95
+	slow := corr(p.Tau*8, 12)  // expect ~exp(-8) ≈ 0
+	if fast < 0.85 {
+		t.Errorf("short-lag autocorrelation = %v, want > 0.85", fast)
+	}
+	if math.Abs(slow) > 0.1 {
+		t.Errorf("long-lag autocorrelation = %v, want ~0", slow)
+	}
+}
+
+func TestBlockageAddsConfiguredLoss(t *testing.T) {
+	p := DefaultParams()
+	p.Sigma = 0.0001 // make Gaussian part negligible
+	m := New(body.Default(), p, rng.NewSource(5))
+	blockedSeen, clearSeen := false, false
+	for s := 1; s <= 20000 && !(blockedSeen && clearSeen); s++ {
+		tm := float64(s) * 0.05
+		pl := m.PathLossAt(tm, 0, 1)
+		d := float64(pl - m.MeanPL(0, 1))
+		if m.Blocked(0, 1) {
+			blockedSeen = true
+			if math.Abs(d-float64(p.BlockDB)) > 0.01 {
+				t.Fatalf("blocked deviation = %v, want ~%v", d, p.BlockDB)
+			}
+		} else {
+			clearSeen = true
+			if math.Abs(d) > 0.01 {
+				t.Fatalf("clear deviation = %v, want ~0", d)
+			}
+		}
+	}
+	if !blockedSeen || !clearSeen {
+		t.Errorf("did not observe both states (blocked=%v clear=%v)", blockedSeen, clearSeen)
+	}
+}
+
+func TestBlockageDutyCycle(t *testing.T) {
+	p := DefaultParams()
+	m := New(body.Default(), p, rng.NewSource(9))
+	blocked := 0
+	const n = 40000
+	for s := 1; s <= n; s++ {
+		m.PathLossAt(float64(s)*0.1, 0, 1)
+		if m.Blocked(0, 1) {
+			blocked++
+		}
+	}
+	got := float64(blocked) / n
+	want := p.BlockMean / (p.BlockMean + p.ClearMean)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("blockage duty cycle = %v, want ~%v", got, want)
+	}
+}
+
+func TestBlockageDisabled(t *testing.T) {
+	p := noBlockParams()
+	m := New(body.Default(), p, rng.NewSource(5))
+	for s := 1; s <= 1000; s++ {
+		m.PathLossAt(float64(s)*0.1, 0, 1)
+		if m.Blocked(0, 1) {
+			t.Fatal("blockage occurred with BlockDB = 0")
+		}
+	}
+}
+
+func TestMeanMatrixCopyIsDetached(t *testing.T) {
+	m := newModel(t, 1)
+	mat := m.MeanMatrix()
+	orig := mat[0][1]
+	mat[0][1] = 12345
+	if m.MeanPL(0, 1) != orig {
+		t.Error("MeanMatrix returned aliased storage")
+	}
+}
+
+func TestPairIndexCoversAllPairsUniquely(t *testing.T) {
+	m := newModel(t, 1)
+	seen := make(map[int]bool)
+	n := m.NumLocations()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			k := m.pairIndex(i, j)
+			if k != m.pairIndex(j, i) {
+				t.Fatalf("pairIndex not symmetric for (%d,%d)", i, j)
+			}
+			if seen[k] {
+				t.Fatalf("pairIndex collision at (%d,%d) -> %d", i, j, k)
+			}
+			if k < 0 || k >= n*(n-1)/2 {
+				t.Fatalf("pairIndex out of range: (%d,%d) -> %d", i, j, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestPowerLevelRegimes(t *testing.T) {
+	// The calibration contract behind the reproduction (DESIGN.md §3):
+	// with the CC2650 link budgets, at -20 dBm (budget 77 dB) most links
+	// must be marginal or broken on average; at 0 dBm (97 dB) every mean
+	// link must close with margin.
+	m := newModel(t, 1)
+	n := m.NumLocations()
+	brokenAtM20, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total++
+			if float64(m.MeanPL(i, j)) > 77 {
+				brokenAtM20++
+			}
+		}
+	}
+	if brokenAtM20 < total/4 {
+		t.Errorf("only %d/%d mean links broken at -20 dBm; want the low-power regime to be lossy", brokenAtM20, total)
+	}
+	// Every chest link (the star coordinator's) must close with margin at
+	// 0 dBm, or the design example's star topologies could never work.
+	for j := 1; j < n; j++ {
+		if float64(m.MeanPL(body.Chest, j)) > 97-4 {
+			t.Errorf("chest-%d mean PL %v leaves <4 dB margin at 0 dBm", j, m.MeanPL(body.Chest, j))
+		}
+	}
+	// Extremity-to-extremity long paths may exceed the 0 dBm budget
+	// (e.g. ankle-back through the body) — that is what motivates relaying
+	// — but not the majority of links.
+	over97 := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if float64(m.MeanPL(i, j)) > 97 {
+				over97++
+			}
+		}
+	}
+	if over97 > total/4 {
+		t.Errorf("%d/%d mean links broken even at 0 dBm; high-power regime should close most links", over97, total)
+	}
+}

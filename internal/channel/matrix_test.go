@@ -1,0 +1,101 @@
+package channel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hiopt/internal/phys"
+	"hiopt/internal/rng"
+)
+
+func TestNewFromMatrixSymmetrizes(t *testing.T) {
+	mean := [][]phys.DB{
+		{0, 70, 80},
+		{72, 0, 90},
+		{80, 90, 0},
+	}
+	m, err := NewFromMatrix(mean, noBlockParams(), rng.NewSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MeanPL(0, 1); got != 71 {
+		t.Errorf("MeanPL(0,1) = %v, want symmetrized 71", got)
+	}
+	if m.MeanPL(0, 1) != m.MeanPL(1, 0) {
+		t.Error("matrix channel not reciprocal")
+	}
+	if m.MeanPL(1, 2) != 90 {
+		t.Errorf("MeanPL(1,2) = %v, want 90", m.MeanPL(1, 2))
+	}
+}
+
+func TestNewFromMatrixRejectsRagged(t *testing.T) {
+	if _, err := NewFromMatrix([][]phys.DB{{0, 1}, {1}}, DefaultParams(), rng.NewSource(1)); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := NewFromMatrix(nil, DefaultParams(), rng.NewSource(1)); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestNewFromMatrixFadingStillApplies(t *testing.T) {
+	mean := [][]phys.DB{{0, 75}, {75, 0}}
+	p := noBlockParams()
+	m, err := NewFromMatrix(mean, p, rng.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	for s := 1; s <= 50; s++ {
+		pl := m.PathLossAt(float64(s)*5, 0, 1)
+		if math.Abs(float64(pl-75)) > 0.5 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("temporal variation absent on matrix-backed channel")
+	}
+}
+
+func TestLoadMatrixCSV(t *testing.T) {
+	csvData := "0,70.5,80\n70.5,0,91.25\n80,91.25,0\n"
+	mat, err := LoadMatrixCSV(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mat) != 3 || mat[0][1] != 70.5 || mat[1][2] != 91.25 {
+		t.Errorf("parsed matrix = %v", mat)
+	}
+	// Diagonal may hold junk (often '-' in published tables is replaced
+	// by 0); it is ignored.
+	if mat[0][0] != 0 {
+		t.Errorf("diagonal = %v", mat[0][0])
+	}
+}
+
+func TestLoadMatrixCSVErrors(t *testing.T) {
+	if _, err := LoadMatrixCSV(strings.NewReader("0,1\n2\n")); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+	if _, err := LoadMatrixCSV(strings.NewReader("0,abc\nxyz,0\n")); err == nil {
+		t.Error("non-numeric off-diagonal accepted")
+	}
+}
+
+func TestRoundTripMeanMatrix(t *testing.T) {
+	// Export the synthetic matrix and rebuild a channel from it: means
+	// must agree exactly.
+	orig := newModel(t, 1)
+	rebuilt, err := NewFromMatrix(orig.MeanMatrix(), DefaultParams(), rng.NewSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < orig.NumLocations(); i++ {
+		for j := 0; j < orig.NumLocations(); j++ {
+			if orig.MeanPL(i, j) != rebuilt.MeanPL(i, j) {
+				t.Fatalf("mean PL diverged at (%d,%d)", i, j)
+			}
+		}
+	}
+}

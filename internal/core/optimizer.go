@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hiopt/internal/design"
+	"hiopt/internal/linexpr"
+	"hiopt/internal/milp"
+	"hiopt/internal/netsim"
+)
+
+// Status is the outcome class of an optimization run.
+type Status int
+
+const (
+	// Optimal means a feasible configuration was found and proven
+	// minimal-power under the α bound / exhaustion criterion.
+	Optimal Status = iota
+	// Infeasible means no configuration satisfies the constraints and the
+	// reliability bound.
+	Infeasible
+)
+
+func (s Status) String() string {
+	if s == Optimal {
+		return "optimal"
+	}
+	return "infeasible"
+}
+
+// Candidate is one simulated design point with its measured metrics.
+type Candidate struct {
+	Point design.Point
+	// AnalyticMW is the Eq. (9) estimate P̄ the MILP optimized.
+	AnalyticMW float64
+	// PDR and PowerMW are the simulated metrics (averaged over runs).
+	PDR     float64
+	PowerMW float64
+	// NLTDays is the simulated network lifetime.
+	NLTDays float64
+	// Feasible reports PDR >= PDRMin − FeasTol.
+	Feasible bool
+}
+
+// Iteration records one RunMILP → RunSim round for reporting.
+type Iteration struct {
+	// PBarStar is the MILP optimum P̄* of the round.
+	PBarStar float64
+	// Candidates are the pool members with simulation results.
+	Candidates []Candidate
+	// FeasibleCount is how many met the reliability bound.
+	FeasibleCount int
+}
+
+// Outcome is the result of an Algorithm 1 run.
+type Outcome struct {
+	Status Status
+	// Best is the selected configuration (nil when infeasible).
+	Best *Candidate
+	// Iterations traces the search.
+	Iterations []Iteration
+	// Evaluations counts distinct configurations simulated; Simulations
+	// counts individual simulator runs (Evaluations × Runs, minus cache
+	// hits).
+	Evaluations int
+	Simulations int
+	// ScreenedOut counts candidates rejected by the two-stage screening
+	// pass without a full-fidelity evaluation (0 unless TwoStage).
+	ScreenedOut int
+	// SimulatedSeconds totals the simulated time across all runs — the
+	// fidelity-independent cost metric (a screening run contributes
+	// Duration/5, a full evaluation Duration × Runs).
+	SimulatedSeconds float64
+	// MILPNodes and LPIterations aggregate solver effort.
+	MILPNodes    int
+	LPIterations int
+	// TerminatedByAlpha reports whether the α bound (line 5 of
+	// Algorithm 1) stopped the search before MILP exhaustion.
+	TerminatedByAlpha bool
+}
+
+// Options tune Algorithm 1.
+type Options struct {
+	// PoolLimit caps the MILP solution pool per iteration (0 =
+	// unlimited, the paper's behaviour).
+	PoolLimit int
+	// DisableAlphaBound turns off the line-5 early termination (used by
+	// the ablation study; the algorithm then runs until MILP exhaustion).
+	DisableAlphaBound bool
+	// FeasTol relaxes the reliability check to PDR >= PDRMin − FeasTol,
+	// reflecting the ±ε estimation error of finite simulations (the
+	// paper sizes T_sim to keep the estimate within a tolerance ε of the
+	// true probability; the default here is 0.1%, which at the paper's
+	// T_sim = 600 s × 3 runs is several standard errors of the PDR
+	// estimator).
+	FeasTol float64
+	// CutEpsilonMW is the strictness margin of the Update step's
+	// P̄ > P̄* cut. It must sit well above the MILP integrality
+	// tolerance (else near-integral LP points can cheat the cut) and
+	// well below the smallest separation between distinct power classes
+	// (~15 µW for the CC2650 Tx modes); the default is 0.1 µW.
+	CutEpsilonMW float64
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// TwoStage enables a cheap screening pass before the full-fidelity
+	// evaluation of each candidate: a single run at Duration/5 first,
+	// and only candidates within ScreenMargin of the reliability bound
+	// (or above it) receive the full T_sim × Runs treatment. This
+	// implements the paper's observation that T_sim only needs to bound
+	// the PDR estimation error relative to the decision being made:
+	// clearly infeasible candidates don't need tight estimates.
+	TwoStage bool
+	// ScreenMargin is the rejection band of the screening pass (default
+	// 0.05 — roughly 3σ of the short run's PDR estimator).
+	ScreenMargin float64
+	// Progress, when non-nil, receives a line per iteration.
+	Progress func(format string, args ...interface{})
+}
+
+func (o Options) withDefaults() Options {
+	if o.FeasTol == 0 {
+		o.FeasTol = 0.001
+	}
+	if o.CutEpsilonMW == 0 {
+		o.CutEpsilonMW = 1e-4
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ScreenMargin == 0 {
+		o.ScreenMargin = 0.05
+	}
+	return o
+}
+
+// Optimizer runs Algorithm 1 over a design problem.
+type Optimizer struct {
+	Problem *design.Problem
+	Options Options
+
+	// cache holds full-fidelity simulation results by point key so a
+	// configuration is never simulated twice within one optimizer's
+	// lifetime (including across a ParetoFront sweep). screenCache holds
+	// the cheap screening results separately — a point screened out at
+	// one bound may need a full evaluation at a looser bound.
+	cache       map[uint32]*netsim.Result
+	screenCache map[uint32]*netsim.Result
+	mu          sync.Mutex
+}
+
+// NewOptimizer builds an optimizer with the given options.
+func NewOptimizer(pr *design.Problem, opts Options) *Optimizer {
+	return &Optimizer{
+		Problem:     pr,
+		Options:     opts.withDefaults(),
+		cache:       make(map[uint32]*netsim.Result),
+		screenCache: make(map[uint32]*netsim.Result),
+	}
+}
+
+// screenSeedOffset keeps screening runs on random streams disjoint from
+// the full evaluations'.
+const screenSeedOffset = 7777
+
+// screen runs (or recalls) the cheap screening simulation of a point.
+func (o *Optimizer) screen(p design.Point) (*netsim.Result, bool, error) {
+	o.mu.Lock()
+	if r, ok := o.screenCache[p.Key()]; ok {
+		o.mu.Unlock()
+		return r, true, nil
+	}
+	o.mu.Unlock()
+	cfg := o.Problem.Config(p)
+	cfg.Duration /= 5
+	r, err := netsim.RunAveraged(cfg, 1, o.Problem.Seed+screenSeedOffset)
+	if err != nil {
+		return nil, false, err
+	}
+	o.mu.Lock()
+	o.screenCache[p.Key()] = r
+	o.mu.Unlock()
+	return r, false, nil
+}
+
+// alpha is the paper's α(S*, PDR_min) = P̄/P̄_lb correction, where P̄_lb
+// is "the minimum power that a node must consume for the specified PDR
+// bound". The analytic estimate P̄* assumes every packet is delivered;
+// packet loss can reduce consumption, but not arbitrarily: a node's own
+// transmissions happen regardless of delivery, while receptions (and, in
+// a mesh, relay transmissions) scale at worst with the delivered fraction
+// PDR_min. α therefore divides only the loss-sensitive share of the
+// current best solution's power, keeping the line-5 termination bound
+// conservative.
+func (o *Optimizer) alpha(best design.Point) float64 {
+	pdr := o.Problem.PDRMin
+	if pdr <= 0 {
+		return 1
+	}
+	if pdr > 1 {
+		pdr = 1
+	}
+	pr := o.Problem
+	tx := float64(pr.Radio.TxModes[best.TxMode].ConsumptionMW)
+	rx := float64(pr.Radio.RxConsumptionMW)
+	n := float64(best.N())
+	scale := pr.RatePPS * pr.Tpkt()
+	var lb float64
+	if best.Routing == netsim.Star {
+		// Own transmission always happens; the 2(N−1) receptions scale
+		// with delivery.
+		lb = float64(pr.BaselineMW) + scale*(tx+pdr*2*(n-1)*rx)
+	} else {
+		// The origin transmission always happens; relay transmissions
+		// and all receptions scale with delivery.
+		nre := float64(design.NreTx(best.N(), pr.NHops))
+		lb = float64(pr.BaselineMW) + scale*(tx+pdr*((nre-1)*tx+nre*(n-1)*rx))
+	}
+	pbar := pr.AnalyticPower(best)
+	if lb <= 0 || pbar <= lb {
+		return 1
+	}
+	return pbar / lb
+}
+
+// Run executes Algorithm 1 and returns the outcome.
+func (o *Optimizer) Run() (*Outcome, error) {
+	mm, err := buildMILP(o.Problem)
+	if err != nil {
+		return nil, err
+	}
+	work := mm.model.Compile()
+	out := &Outcome{Status: Infeasible}
+	pMin := math.Inf(1) // P̄_min: best simulated power of a feasible config
+	progress := o.Options.Progress
+	if progress == nil {
+		progress = func(string, ...interface{}) {}
+	}
+
+	for iter := 0; ; iter++ {
+		pool, agg, err := milp.SolvePool(work, milp.Options{}, o.Options.PoolLimit, 1e-6)
+		if err != nil {
+			return nil, err
+		}
+		out.MILPNodes += agg.Nodes
+		out.LPIterations += agg.LPIterations
+
+		if agg.Status != milp.Optimal || len(pool) == 0 {
+			// Line 4/5: no further candidates. Either infeasible overall
+			// or the incumbent is the proven optimum.
+			progress("iter %d: MILP exhausted (%s)", iter, agg.Status)
+			break
+		}
+		pStar := agg.Objective
+		if !o.Options.DisableAlphaBound && out.Best != nil && pStar/o.alpha(out.Best.Point) > pMin {
+			// Line 5: even after the α correction, every remaining
+			// candidate must simulate above the incumbent.
+			progress("iter %d: α-bound termination (P̄*=%.4g, P̄min=%.4g)", iter, pStar, pMin)
+			out.TerminatedByAlpha = true
+			break
+		}
+
+		// Decode and defensively verify the pool.
+		points := make([]design.Point, len(pool))
+		for i, ps := range pool {
+			if err := milp.CheckFeasible(work, ps.X, 1e-6); err != nil {
+				return nil, fmt.Errorf("core: MILP returned infeasible pool member: %v", err)
+			}
+			if err := mm.checkExactness(o.Problem, ps.X); err != nil {
+				return nil, err
+			}
+			points[i] = mm.decode(ps.X)
+		}
+
+		// Line 7: RunSim over the candidate set (parallel, cached).
+		results, stats, err := o.simulateAll(points)
+		if err != nil {
+			return nil, err
+		}
+		out.Evaluations += len(points)
+		out.Simulations += stats.runs
+		out.ScreenedOut += stats.screenedOut
+		out.SimulatedSeconds += stats.seconds
+
+		it := Iteration{PBarStar: pStar}
+		for i, p := range points {
+			cand := Candidate{
+				Point:      p,
+				AnalyticMW: o.Problem.AnalyticPower(p),
+				PDR:        results[i].PDR,
+				PowerMW:    float64(results[i].MaxPower),
+				NLTDays:    results[i].NLTDays,
+			}
+			cand.Feasible = cand.PDR >= o.Problem.PDRMin-o.Options.FeasTol
+			it.Candidates = append(it.Candidates, cand)
+			if cand.Feasible {
+				it.FeasibleCount++
+			}
+		}
+		// Line 8/9/10: Sort feasible candidates by simulated power and
+		// update the incumbent.
+		sort.SliceStable(it.Candidates, func(a, b int) bool {
+			return it.Candidates[a].PowerMW < it.Candidates[b].PowerMW
+		})
+		for i := range it.Candidates {
+			c := it.Candidates[i]
+			if c.Feasible && c.PowerMW < pMin {
+				pMin = c.PowerMW
+				best := c
+				out.Best = &best
+				out.Status = Optimal
+			}
+		}
+		out.Iterations = append(out.Iterations, it)
+		progress("iter %d: P̄*=%.4g mW, pool=%d, feasible=%d, P̄min=%.4g",
+			iter, pStar, len(pool), it.FeasibleCount, pMin)
+
+		// Line 11: Update(P̃, P̄ > P̄*) — prune the explored power class.
+		work.AddExprRow(fmt.Sprintf("prune_%d", iter), mm.objective, linexpr.GE, pStar+o.Options.CutEpsilonMW)
+	}
+	return out, nil
+}
+
+// simStats aggregates the cost of one simulateAll batch.
+type simStats struct {
+	// runs counts fresh simulator runs (screen runs included).
+	runs int
+	// screenedOut counts candidates the screening pass rejected.
+	screenedOut int
+	// seconds totals fresh simulated time.
+	seconds float64
+}
+
+// simulateAll evaluates a candidate set concurrently, consulting the
+// cross-iteration cache and (optionally) the two-stage screening pass. It
+// returns per-point results and the batch's fresh-simulation cost.
+func (o *Optimizer) simulateAll(points []design.Point) ([]*netsim.Result, simStats, error) {
+	results := make([]*netsim.Result, len(points))
+	// jobs maps each distinct uncached key to the point indices wanting
+	// it, so within-batch duplicates are simulated once.
+	jobs := make(map[uint32][]int)
+	o.mu.Lock()
+	for i, p := range points {
+		if r, ok := o.cache[p.Key()]; ok {
+			results[i] = r
+		} else {
+			jobs[p.Key()] = append(jobs[p.Key()], i)
+		}
+	}
+	o.mu.Unlock()
+
+	var stats simStats
+	var statsMu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	sem := make(chan struct{}, o.Options.Workers)
+	fullRuns := maxInt(1, o.Problem.Runs)
+	for _, idxs := range jobs {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p := points[idxs[0]]
+			fail := func(err error) {
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+			if o.Options.TwoStage {
+				sr, cached, err := o.screen(p)
+				if err != nil {
+					fail(err)
+					return
+				}
+				statsMu.Lock()
+				if !cached {
+					stats.runs++
+					stats.seconds += o.Problem.Duration / 5
+				}
+				statsMu.Unlock()
+				if sr.PDR < o.Problem.PDRMin-o.Options.ScreenMargin {
+					// Clearly infeasible: the cheap estimate is final.
+					statsMu.Lock()
+					stats.screenedOut++
+					statsMu.Unlock()
+					for _, i := range idxs {
+						results[i] = sr
+					}
+					return
+				}
+			}
+			r, err := o.Problem.Evaluate(p)
+			if err != nil {
+				fail(err)
+				return
+			}
+			o.mu.Lock()
+			o.cache[p.Key()] = r
+			o.mu.Unlock()
+			statsMu.Lock()
+			stats.runs += fullRuns
+			stats.seconds += o.Problem.Duration * float64(fullRuns)
+			statsMu.Unlock()
+			for _, i := range idxs {
+				results[i] = r
+			}
+		}(idxs)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, stats, err
+	default:
+	}
+	return results, stats, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ParetoPoint is one point of the reliability–lifetime trade-off front.
+type ParetoPoint struct {
+	// PDRMin is the reliability bound this point was optimized for.
+	PDRMin float64
+	// Best is the optimal configuration (nil when the bound is
+	// infeasible).
+	Best *Candidate
+	// Outcome carries the full search record.
+	Outcome *Outcome
+}
+
+// ParetoFront runs Algorithm 1 across a sweep of reliability bounds and
+// returns the resulting lifetime-versus-reliability trade-off curve (the
+// arrows of the paper's Fig. 3). All runs share one simulation cache —
+// a configuration's simulated metrics do not depend on PDRMin — so the
+// sweep costs far less than independent optimizations.
+//
+// The problem's PDRMin field is overwritten during the sweep and left at
+// the last bound.
+func ParetoFront(pr *design.Problem, bounds []float64, opts Options) ([]ParetoPoint, error) {
+	if len(bounds) == 0 {
+		bounds = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}
+	}
+	o := NewOptimizer(pr, opts)
+	var front []ParetoPoint
+	for _, b := range bounds {
+		pr.PDRMin = b
+		out, err := o.Run()
+		if err != nil {
+			return nil, err
+		}
+		front = append(front, ParetoPoint{PDRMin: b, Best: out.Best, Outcome: out})
+	}
+	return front, nil
+}
+
+// WriteRelaxationLP renders the MILP relaxation P̃ of a problem in CPLEX
+// LP file format, for cross-checking against external solvers.
+func WriteRelaxationLP(pr *design.Problem, w io.Writer) error {
+	mm, err := buildMILP(pr)
+	if err != nil {
+		return err
+	}
+	return mm.model.Compile().WriteLP(w)
+}
+
+// FirstPool returns the decoded MILP solution pool of Algorithm 1's first
+// iteration — the cheapest power class of the relaxed problem P̃ — without
+// running any simulations. It is useful for inspecting what the candidate
+// generator proposes and for benchmarking the MILP oracle in isolation.
+func FirstPool(pr *design.Problem) ([]design.Point, error) {
+	mm, err := buildMILP(pr)
+	if err != nil {
+		return nil, err
+	}
+	pool, agg, err := milp.SolvePool(mm.model.Compile(), milp.Options{}, 0, 1e-6)
+	if err != nil {
+		return nil, err
+	}
+	if agg.Status != milp.Optimal {
+		return nil, nil
+	}
+	points := make([]design.Point, len(pool))
+	for i, ps := range pool {
+		points[i] = mm.decode(ps.X)
+	}
+	return points, nil
+}

@@ -1,0 +1,136 @@
+// Package des is the discrete-event simulation kernel underneath the
+// Human Intranet network simulator — the OMNeT++ substitute in this
+// reproduction. It provides a simulation clock, an event calendar with
+// deterministic FIFO ordering among simultaneous events, and cancellable
+// event handles (needed by MAC backoff timers and TDMA schedules).
+package des
+
+import "container/heap"
+
+// Event is a scheduled callback. Handles returned by Schedule/At can be
+// cancelled; cancellation is lazy (the entry is skipped when popped).
+type Event struct {
+	t         float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time returns the simulation time the event fires at.
+func (e *Event) Time() float64 { return e.t }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the clock and the event calendar.
+type Simulator struct {
+	now       float64
+	seq       uint64
+	queue     eventHeap
+	processed uint64
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulation time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled entries not yet reaped).
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Schedule enqueues fn to run after the given non-negative delay and
+// returns a cancellable handle.
+func (s *Simulator) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 {
+		panic("des: negative delay")
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At enqueues fn to run at absolute time t, which must not be in the past.
+func (s *Simulator) At(t float64, fn func()) *Event {
+	if t < s.now {
+		panic("des: scheduling into the past")
+	}
+	e := &Event{t: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Step executes the next pending event, skipping cancelled ones. It
+// returns false when the calendar is empty.
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.t
+		s.processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the calendar is exhausted or the next event
+// lies strictly beyond horizon; the clock is then advanced to horizon.
+func (s *Simulator) Run(horizon float64) {
+	for s.queue.Len() > 0 {
+		// Peek; respect cancellation without firing.
+		e := s.queue[0]
+		if e.t > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.t
+		s.processed++
+		e.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}

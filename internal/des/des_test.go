@@ -1,0 +1,219 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hiopt/internal/rng"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.Run(10)
+	if !sort.Float64sAreSorted(fired) {
+		t.Errorf("events fired out of order: %v", fired)
+	}
+	if len(fired) != 5 {
+		t.Errorf("fired %d events, want 5", len(fired))
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	s := New()
+	var at float64
+	s.Schedule(2.5, func() { at = s.Now() })
+	s.Run(10)
+	if at != 2.5 {
+		t.Errorf("Now() during event = %v, want 2.5", at)
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now() after Run = %v, want horizon 10", s.Now())
+	}
+}
+
+func TestHorizonStopsExecution(t *testing.T) {
+	s := New()
+	ran := false
+	s.Schedule(5, func() { ran = true })
+	s.Run(4)
+	if ran {
+		t.Error("event beyond horizon fired")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+	s.Run(6)
+	if !ran {
+		t.Error("event not fired after extending horizon")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.Schedule(1, func() { ran = true })
+	e.Cancel()
+	s.Run(2)
+	if ran {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	s := New()
+	ran := false
+	late := s.Schedule(2, func() { ran = true })
+	s.Schedule(1, func() { late.Cancel() })
+	s.Run(3)
+	if ran {
+		t.Error("event cancelled by an earlier event still fired")
+	}
+}
+
+func TestEventSchedulesEvent(t *testing.T) {
+	s := New()
+	var times []float64
+	var tick func()
+	tick = func() {
+		times = append(times, s.Now())
+		if len(times) < 5 {
+			s.Schedule(1, tick)
+		}
+	}
+	s.Schedule(1, tick)
+	s.Run(100)
+	want := []float64{1, 2, 3, 4, 5}
+	if len(times) != len(want) {
+		t.Fatalf("ticks = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	count := 0
+	s.Schedule(1, func() { count++ })
+	s.Schedule(2, func() { count++ })
+	if !s.Step() || count != 1 {
+		t.Fatalf("first Step: count = %d", count)
+	}
+	if !s.Step() || count != 2 {
+		t.Fatalf("second Step: count = %d", count)
+	}
+	if s.Step() {
+		t.Error("Step on empty calendar returned true")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At() into the past should panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	s.Run(10)
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.Schedule(float64(i), func() {})
+	}
+	e := s.Schedule(3.5, func() {})
+	e.Cancel()
+	s.Run(100)
+	if s.Processed() != 7 {
+		t.Errorf("Processed = %d, want 7 (cancelled event must not count)", s.Processed())
+	}
+}
+
+// TestRandomScheduleOrderProperty: for random delays and random
+// cancellations, fired events are exactly the non-cancelled ones, in
+// nondecreasing time order.
+func TestRandomScheduleOrderProperty(t *testing.T) {
+	g := rng.NewSource(99).Stream("des")
+	f := func(seed uint16) bool {
+		s := New()
+		n := 30
+		type rec struct {
+			t         float64
+			cancelled bool
+		}
+		recs := make([]rec, n)
+		var fired []float64
+		events := make([]*Event, n)
+		for i := 0; i < n; i++ {
+			d := g.Float64() * 100
+			recs[i].t = d
+			i := i
+			events[i] = s.Schedule(d, func() { fired = append(fired, recs[i].t) })
+		}
+		nCancel := g.Intn(n)
+		for c := 0; c < nCancel; c++ {
+			i := g.Intn(n)
+			events[i].Cancel()
+			recs[i].cancelled = true
+		}
+		s.Run(1000)
+		var want []float64
+		for _, r := range recs {
+			if !r.cancelled {
+				want = append(want, r.t)
+			}
+		}
+		sort.Float64s(want)
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

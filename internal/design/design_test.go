@@ -1,0 +1,242 @@
+package design
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"hiopt/internal/body"
+	"hiopt/internal/netsim"
+)
+
+func TestPaperConstraintsBasics(t *testing.T) {
+	c := PaperConstraints()
+	cases := []struct {
+		mask uint16
+		ok   bool
+		why  string
+	}{
+		{1<<0 | 1<<1 | 1<<3 | 1<<5, true, "minimal valid: chest+hip+ankle+wrist"},
+		{1<<1 | 1<<3 | 1<<5 | 1<<8, false, "missing chest"},
+		{1<<0 | 1<<3 | 1<<5 | 1<<8, false, "missing hip"},
+		{1<<0 | 1<<1 | 1<<5 | 1<<8, false, "missing ankle"},
+		{1<<0 | 1<<1 | 1<<3 | 1<<8, false, "missing wrist"},
+		{1<<0 | 1<<1 | 1<<2 | 1<<3 | 1<<4 | 1<<5 | 1<<6, false, "7 nodes > max 6"},
+		{1<<0 | 1<<1 | 1<<3 | 1<<5 | 1<<7 | 1<<8, true, "6 nodes with extras"},
+		{1<<0 | 1<<1 | 1<<3, false, "3 nodes < min 4"},
+	}
+	for _, tc := range cases {
+		if got := c.Satisfied(tc.mask); got != tc.ok {
+			t.Errorf("%s: Satisfied(%b) = %v, want %v", tc.why, tc.mask, got, tc.ok)
+		}
+	}
+}
+
+func TestImplicationConstraint(t *testing.T) {
+	c := PaperConstraints()
+	// "If the head (8) is used, the back (9) must be used."
+	c.Implications = [][2]int{{body.BackLoc, body.Head}}
+	withHeadOnly := uint16(1<<0 | 1<<1 | 1<<3 | 1<<5 | 1<<8)
+	if c.Satisfied(withHeadOnly) {
+		t.Error("implication violated mask accepted")
+	}
+	withBoth := withHeadOnly | 1<<9
+	if !c.Satisfied(withBoth) {
+		t.Error("implication-satisfying mask rejected")
+	}
+}
+
+func TestTopologyCount(t *testing.T) {
+	// Combinatorial cross-check: chest fixed; each of 3 pairs contributes
+	// 1 or 2 nodes; extras from {7,8,9}; N <= 6.
+	// k = #pairs at size 2, e = #extras, constraint k+e <= 2:
+	//  k=0 (2³=8 pair choices): e∈{0,1,2} → 8·(1+3+3) = 56
+	//  k=1 (3·2²=12):           e∈{0,1}   → 12·(1+3)  = 48
+	//  k=2 (3·2=6):             e=0       → 6
+	// total 110.
+	tops := PaperConstraints().Topologies()
+	if len(tops) != 110 {
+		t.Fatalf("len(Topologies()) = %d, want 110", len(tops))
+	}
+	seen := map[uint16]bool{}
+	for _, m := range tops {
+		if seen[m] {
+			t.Fatalf("duplicate topology %b", m)
+		}
+		seen[m] = true
+		if !PaperConstraints().Satisfied(m) {
+			t.Fatalf("enumerated topology %b violates constraints", m)
+		}
+	}
+}
+
+func TestPointsCountAndUniqueness(t *testing.T) {
+	pr := PaperProblem(0.9)
+	pts := pr.Points()
+	// 110 topologies × 3 Tx levels × 2 MACs × 2 routings = 1320.
+	if len(pts) != 1320 {
+		t.Fatalf("len(Points()) = %d, want 1320", len(pts))
+	}
+	keys := map[uint32]bool{}
+	for _, p := range pts {
+		if keys[p.Key()] {
+			t.Fatalf("duplicate point key for %v", p)
+		}
+		keys[p.Key()] = true
+	}
+}
+
+func TestPointAccessors(t *testing.T) {
+	p := Point{Topology: 1<<0 | 1<<3 | 1<<6, TxMode: 1, MAC: netsim.TDMA, Routing: netsim.Mesh}
+	if p.N() != 3 {
+		t.Errorf("N = %d, want 3", p.N())
+	}
+	locs := p.Locations()
+	want := []int{0, 3, 6}
+	if len(locs) != 3 || locs[0] != want[0] || locs[1] != want[1] || locs[2] != want[2] {
+		t.Errorf("Locations = %v, want %v", locs, want)
+	}
+	if !p.Uses(3) || p.Uses(2) {
+		t.Error("Uses() wrong")
+	}
+}
+
+func TestNreTxMatchesPaperFormula(t *testing.T) {
+	// For NHops = 2 the paper states NreTx = N² − 4N + 5.
+	for n := 3; n <= 8; n++ {
+		want := n*n - 4*n + 5
+		if got := NreTx(n, 2); got != want {
+			t.Errorf("NreTx(%d, 2) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNreTxOtherHopBounds(t *testing.T) {
+	// One hop: origin + (N-2) first-generation relays.
+	for n := 3; n <= 8; n++ {
+		if got := NreTx(n, 1); got != 1+(n-2) {
+			t.Errorf("NreTx(%d, 1) = %d, want %d", n, got, 1+(n-2))
+		}
+	}
+	// Three hops adds (N-2)(N-3)(N-4) third-generation copies.
+	if got := NreTx(6, 3); got != 1+4+4*3+4*3*2 {
+		t.Errorf("NreTx(6, 3) = %d, want 41", got)
+	}
+	// Tiny networks exhaust relays before the bound.
+	if got := NreTx(2, 5); got != 1 {
+		t.Errorf("NreTx(2, 5) = %d, want 1 (no eligible relays)", got)
+	}
+}
+
+func TestAnalyticPowerHandValues(t *testing.T) {
+	pr := PaperProblem(0.9)
+	// φ·Tpkt = 10 × 800/1024000 = 0.0078125.
+	// Star, N=4, −10 dBm (11.56 mW): 0.1 + 0.0078125·(11.56 + 2·3·17.7)
+	star := Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<6, TxMode: 1, Routing: netsim.Star}
+	want := 0.1 + 0.0078125*(11.56+2*3*17.7)
+	if got := pr.AnalyticPower(star); math.Abs(got-want) > 1e-12 {
+		t.Errorf("star analytic = %v, want %v", got, want)
+	}
+	// Mesh, N=4, 0 dBm: NreTx = 5, 0.1 + 0.0078125·5·(18.3 + 3·17.7).
+	mesh := Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<6, TxMode: 2, Routing: netsim.Mesh}
+	wantMesh := 0.1 + 0.0078125*5*(18.3+3*17.7)
+	if got := pr.AnalyticPower(mesh); math.Abs(got-wantMesh) > 1e-12 {
+		t.Errorf("mesh analytic = %v, want %v", got, wantMesh)
+	}
+}
+
+func TestAnalyticPowerMonotonicities(t *testing.T) {
+	pr := PaperProblem(0.9)
+	base := Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<6, TxMode: 0, Routing: netsim.Star}
+	// Higher Tx mode → more power.
+	for tx := 1; tx < 3; tx++ {
+		hi := base
+		hi.TxMode = tx
+		lo := base
+		lo.TxMode = tx - 1
+		if pr.AnalyticPower(hi) <= pr.AnalyticPower(lo) {
+			t.Errorf("analytic power not increasing in tx mode at %d", tx)
+		}
+	}
+	// Mesh costs more than star at equal settings.
+	mesh := base
+	mesh.Routing = netsim.Mesh
+	if pr.AnalyticPower(mesh) <= pr.AnalyticPower(base) {
+		t.Error("mesh analytic power should exceed star")
+	}
+	// More nodes → more power.
+	bigger := base
+	bigger.Topology |= 1 << 8
+	if pr.AnalyticPower(bigger) <= pr.AnalyticPower(base) {
+		t.Error("adding a node should raise analytic power")
+	}
+}
+
+func TestAnalyticNLTDaysConsistent(t *testing.T) {
+	pr := PaperProblem(0.9)
+	p := Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<6, TxMode: 1, Routing: netsim.Star}
+	days := pr.AnalyticNLTDays(p)
+	// 2430 J / 1.02 mW ≈ 2.38e6 s ≈ 27.6 days.
+	if days < 20 || days > 35 {
+		t.Errorf("analytic NLT = %v days, want ~27", days)
+	}
+}
+
+func TestConfigMapping(t *testing.T) {
+	pr := PaperProblem(0.9)
+	pr.Duration = 42
+	pr.Runs = 2
+	p := Point{Topology: 1<<0 | 1<<2 | 1<<4 | 1<<5, TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Mesh}
+	cfg := pr.Config(p)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("mapped config invalid: %v", err)
+	}
+	if len(cfg.Locations) != 4 || cfg.Locations[0] != 0 || cfg.Locations[3] != 5 {
+		t.Errorf("locations = %v", cfg.Locations)
+	}
+	if cfg.TxMode != 2 || cfg.MAC != netsim.TDMA || cfg.Routing != netsim.Mesh {
+		t.Error("protocol selections not mapped")
+	}
+	if cfg.Duration != 42 {
+		t.Errorf("duration = %v, want 42", cfg.Duration)
+	}
+}
+
+func TestEvaluateRunsSimulation(t *testing.T) {
+	pr := PaperProblem(0.9)
+	pr.Duration = 10
+	pr.Runs = 1
+	p := Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<5, TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Star}
+	res, err := pr.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.PDR <= 0 {
+		t.Errorf("evaluation produced no traffic: %+v", res)
+	}
+}
+
+func TestSortPointsByAnalyticPower(t *testing.T) {
+	pr := PaperProblem(0.9)
+	pts := pr.Points()
+	pr.SortPointsByAnalyticPower(pts)
+	for i := 1; i < len(pts); i++ {
+		if pr.AnalyticPower(pts[i]) < pr.AnalyticPower(pts[i-1])-1e-12 {
+			t.Fatalf("points not sorted at %d", i)
+		}
+	}
+	// The cheapest class must be the minimal-N star at the lowest power.
+	first := pts[0]
+	if first.Routing != netsim.Star || first.TxMode != 0 || first.N() != 4 {
+		t.Errorf("cheapest point = %v, want 4-node star at lowest Tx", first)
+	}
+}
+
+func TestTopologiesRespectMaskWidth(t *testing.T) {
+	tops := PaperConstraints().Topologies()
+	for _, m := range tops {
+		if bits.OnesCount16(m>>uint(body.NumLocations)) != 0 {
+			t.Fatalf("topology %b uses locations beyond M", m)
+		}
+	}
+}

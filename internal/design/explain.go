@@ -1,0 +1,82 @@
+package design
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CheckResult is one constraint's verdict on a topology.
+type CheckResult struct {
+	// Constraint describes the requirement in words.
+	Constraint string
+	// Satisfied reports whether the topology meets it.
+	Satisfied bool
+}
+
+// Explain evaluates every topological constraint against a topology mask
+// and reports a human-readable verdict per requirement — the
+// requirements-traceability view of the platform-based design flow (each
+// rT row of the mapping problem maps back to an application requirement,
+// e.g. "a node on the chest for respiration-rate monitoring").
+func (c Constraints) Explain(mask uint16, names []string) []CheckResult {
+	name := func(i int) string {
+		if names != nil && i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("location %d", i)
+	}
+	var out []CheckResult
+	for _, f := range c.Fixed {
+		out = append(out, CheckResult{
+			Constraint: fmt.Sprintf("node required at %s", name(f)),
+			Satisfied:  mask&(1<<uint(f)) != 0,
+		})
+	}
+	for _, grp := range c.AtLeastOneOf {
+		label := ""
+		ok := false
+		for gi, i := range grp {
+			if gi > 0 {
+				label += " or "
+			}
+			label += name(i)
+			if mask&(1<<uint(i)) != 0 {
+				ok = true
+			}
+		}
+		out = append(out, CheckResult{
+			Constraint: "at least one node at " + label,
+			Satisfied:  ok,
+		})
+	}
+	for _, im := range c.Implications {
+		needed := mask&(1<<uint(im[1])) != 0
+		out = append(out, CheckResult{
+			Constraint: fmt.Sprintf("%s requires %s", name(im[1]), name(im[0])),
+			Satisfied:  !needed || mask&(1<<uint(im[0])) != 0,
+		})
+	}
+	n := bits.OnesCount16(mask)
+	out = append(out,
+		CheckResult{
+			Constraint: fmt.Sprintf("at least %d nodes", c.MinNodes),
+			Satisfied:  n >= c.MinNodes,
+		},
+		CheckResult{
+			Constraint: fmt.Sprintf("at most %d nodes", c.MaxNodes),
+			Satisfied:  n <= c.MaxNodes,
+		})
+	return out
+}
+
+// Violations returns only the failed checks of Explain; an empty slice
+// means the topology is feasible (equivalent to Satisfied(mask) == true).
+func (c Constraints) Violations(mask uint16, names []string) []CheckResult {
+	var out []CheckResult
+	for _, r := range c.Explain(mask, names) {
+		if !r.Satisfied {
+			out = append(out, r)
+		}
+	}
+	return out
+}

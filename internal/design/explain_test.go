@@ -1,0 +1,71 @@
+package design
+
+import (
+	"strings"
+	"testing"
+
+	"hiopt/internal/body"
+)
+
+func TestExplainAgreesWithSatisfied(t *testing.T) {
+	c := PaperConstraints()
+	c.Implications = [][2]int{{body.BackLoc, body.Head}}
+	names := body.Names(body.Default())
+	for mask := uint16(0); mask < 1<<10; mask++ {
+		viol := c.Violations(mask, names)
+		if (len(viol) == 0) != c.Satisfied(mask) {
+			t.Fatalf("mask %b: Explain says %d violations, Satisfied says %v",
+				mask, len(viol), c.Satisfied(mask))
+		}
+	}
+}
+
+func TestExplainMessages(t *testing.T) {
+	c := PaperConstraints()
+	names := body.Names(body.Default())
+	// Missing wrist.
+	mask := uint16(1<<0 | 1<<1 | 1<<3 | 1<<8)
+	viol := c.Violations(mask, names)
+	if len(viol) != 1 {
+		t.Fatalf("violations = %+v, want exactly the wrist rule", viol)
+	}
+	if !strings.Contains(viol[0].Constraint, "right-wrist or left-wrist") {
+		t.Errorf("message = %q", viol[0].Constraint)
+	}
+}
+
+func TestExplainChecksCount(t *testing.T) {
+	c := PaperConstraints()
+	res := c.Explain(0, nil)
+	// 1 fixed + 3 groups + 0 implications + 2 cardinality rules.
+	if len(res) != 6 {
+		t.Fatalf("Explain produced %d checks, want 6", len(res))
+	}
+	// With no names the fallback labels appear.
+	if !strings.Contains(res[0].Constraint, "location 0") {
+		t.Errorf("fallback label missing: %q", res[0].Constraint)
+	}
+}
+
+func TestExplainImplicationOnlyWhenTriggered(t *testing.T) {
+	c := PaperConstraints()
+	c.Implications = [][2]int{{body.BackLoc, body.Head}}
+	base := uint16(1<<0 | 1<<1 | 1<<3 | 1<<5)
+	// Head absent: implication vacuously satisfied.
+	for _, r := range c.Explain(base, nil) {
+		if strings.Contains(r.Constraint, "requires") && !r.Satisfied {
+			t.Error("implication flagged without its trigger")
+		}
+	}
+	// Head present without back: violated.
+	viol := c.Violations(base|1<<body.Head, nil)
+	found := false
+	for _, r := range viol {
+		if strings.Contains(r.Constraint, "requires") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("triggered implication not reported")
+	}
+}

@@ -1,0 +1,67 @@
+package design
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hiopt/internal/netsim"
+)
+
+// TestPointKeyInjectiveProperty: distinct design points map to distinct
+// cache keys.
+func TestPointKeyInjectiveProperty(t *testing.T) {
+	f := func(t1, t2 uint16, tx1, tx2 uint8, m1, m2, r1, r2 bool) bool {
+		mk := func(topo uint16, tx uint8, mTDMA, rMesh bool) Point {
+			p := Point{Topology: topo & 0x3FF, TxMode: int(tx % 3)}
+			if mTDMA {
+				p.MAC = netsim.TDMA
+			}
+			if rMesh {
+				p.Routing = netsim.Mesh
+			}
+			return p
+		}
+		a := mk(t1, tx1, m1, r1)
+		b := mk(t2, tx2, m2, r2)
+		if a == b {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLocationsRoundTripProperty: Locations() lists exactly the bits of
+// the topology mask, and N() equals its length.
+func TestLocationsRoundTripProperty(t *testing.T) {
+	f := func(mask uint16) bool {
+		p := Point{Topology: mask}
+		locs := p.Locations()
+		if len(locs) != p.N() {
+			return false
+		}
+		var back uint16
+		for _, l := range locs {
+			back |= 1 << uint(l)
+		}
+		return back == mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNreTxMonotoneProperty: the flooding transmission count never
+// decreases with network size or hop budget.
+func TestNreTxMonotoneProperty(t *testing.T) {
+	f := func(nRaw, hRaw uint8) bool {
+		n := 2 + int(nRaw%8)
+		h := 1 + int(hRaw%4)
+		return NreTx(n+1, h) >= NreTx(n, h) && NreTx(n, h+1) >= NreTx(n, h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package exhaustive
+
+import (
+	"testing"
+
+	"hiopt/internal/design"
+)
+
+// smallProblem restricts to 4-node topologies at low fidelity so the full
+// sweep stays cheap on one core (96 configurations).
+func smallProblem(pdrMin float64) *design.Problem {
+	pr := design.PaperProblem(pdrMin)
+	pr.Duration = 15
+	pr.Runs = 1
+	pr.Constraints.MaxNodes = 4
+	return pr
+}
+
+func TestSearchCoversWholeSpace(t *testing.T) {
+	pr := smallProblem(0.5)
+	res, err := Search(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(pr.Points())
+	if res.Evaluations != want || len(res.All) != want {
+		t.Fatalf("evaluated %d/%d configs", res.Evaluations, want)
+	}
+	if res.Simulations != want*pr.Runs {
+		t.Errorf("Simulations = %d, want %d", res.Simulations, want*pr.Runs)
+	}
+	keys := map[uint32]bool{}
+	for _, e := range res.All {
+		if keys[e.Point.Key()] {
+			t.Fatalf("duplicate evaluation of %v", e.Point)
+		}
+		keys[e.Point.Key()] = true
+	}
+}
+
+func TestSearchResultsSortedByPower(t *testing.T) {
+	res, err := Search(smallProblem(0.5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.All); i++ {
+		if res.All[i].PowerMW < res.All[i-1].PowerMW {
+			t.Fatalf("entries not sorted at %d", i)
+		}
+	}
+}
+
+func TestBestIsMinimumPowerFeasible(t *testing.T) {
+	pr := smallProblem(0.5)
+	res, err := Search(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no feasible configuration found at PDRmin=50%")
+	}
+	if !res.Best.Feasible {
+		t.Fatal("Best is marked infeasible")
+	}
+	for _, e := range res.All {
+		if e.Feasible && e.PowerMW < res.Best.PowerMW {
+			t.Fatalf("entry %v beats Best", e.Point)
+		}
+	}
+}
+
+func TestInfeasibleBoundYieldsNoBest(t *testing.T) {
+	pr := smallProblem(1.5) // PDR can never exceed 1
+	pr.Duration = 10
+	res, err := Search(pr, Options{FeasTol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil {
+		t.Errorf("Best = %+v for an unsatisfiable bound", res.Best)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	pr := smallProblem(0.5)
+	calls := 0
+	last := 0
+	_, err := Search(pr, Options{Progress: func(done, total int) {
+		calls++
+		if total != len(pr.Points()) {
+			t.Errorf("total = %d", total)
+		}
+		last = done
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(pr.Points()) || last != len(pr.Points()) {
+		t.Errorf("progress calls = %d, last done = %d", calls, last)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, err := Search(smallProblem(0.5), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(smallProblem(0.5), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Point != b.Best.Point || a.Best.PowerMW != b.Best.PowerMW {
+		t.Errorf("worker count changed the result: %+v vs %+v", a.Best, b.Best)
+	}
+}

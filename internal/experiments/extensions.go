@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hiopt/internal/body"
+	"hiopt/internal/core"
+	"hiopt/internal/design"
+	"hiopt/internal/mac"
+	"hiopt/internal/netsim"
+	"hiopt/internal/radio"
+	"hiopt/internal/report"
+)
+
+// This file holds the extension studies beyond the paper's evaluation:
+// component-library exploration (A5), end-to-end latency (A6), failure
+// robustness (A7), idle-listening energy (A8), and the Pareto front (PF).
+// They exercise the optional features DESIGN.md lists as extensions.
+
+// A5Row is one radio's optimization result.
+type A5Row struct {
+	Radio   string
+	Best    *core.Candidate
+	PDR     float64
+	NLTDays float64
+}
+
+// A5 re-runs Algorithm 1 at PDRmin=90% for each radio in the component
+// library — the platform-based-design promise of the paper's framework:
+// swap a library component, re-map the system.
+func (s *Suite) A5() ([]A5Row, error) {
+	fmt.Fprintln(s.W, "A5 — extension: component library sweep (PDRmin=90%)")
+	var rows []A5Row
+	var tbl [][]string
+	for _, spec := range radio.Library() {
+		pr := s.problem(0.9)
+		pr.Radio = spec
+		out, err := core.NewOptimizer(pr, core.Options{}).Run()
+		if err != nil {
+			return nil, err
+		}
+		row := A5Row{Radio: spec.Name, Best: out.Best}
+		if out.Best != nil {
+			row.PDR = out.Best.PDR
+			row.NLTDays = out.Best.NLTDays
+			tbl = append(tbl, []string{spec.Name, pointLabel(out.Best.Point),
+				report.Pct(row.PDR), report.Days(row.NLTDays)})
+		} else {
+			tbl = append(tbl, []string{spec.Name, "infeasible", "", ""})
+		}
+		rows = append(rows, row)
+	}
+	report.Table(s.W, []string{"radio", "optimal configuration", "PDR", "NLT"}, tbl)
+	return rows, nil
+}
+
+// A6Row is one configuration's latency profile.
+type A6Row struct {
+	Label       string
+	MeanLatency float64
+	P95Latency  float64
+	MaxLatency  float64
+	PDR         float64
+}
+
+// A6 measures end-to-end delivery latency across the protocol corners —
+// the metric the paper defers to future work but that a deployment (e.g.
+// closed-loop actuation) needs alongside PDR and lifetime.
+func (s *Suite) A6() ([]A6Row, error) {
+	fmt.Fprintln(s.W, "A6 — extension: end-to-end latency across protocol corners")
+	corners := []design.Point{
+		{Topology: 0b1001011, TxMode: 2, MAC: netsim.CSMA, Routing: netsim.Star},
+		{Topology: 0b1001011, TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Star},
+		{Topology: 0b1001011, TxMode: 2, MAC: netsim.CSMA, Routing: netsim.Mesh},
+		{Topology: 0b1001011, TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Mesh},
+	}
+	var rows []A6Row
+	var tbl [][]string
+	for _, p := range corners {
+		pr := s.problem(0.9)
+		res, err := pr.Evaluate(p)
+		if err != nil {
+			return nil, err
+		}
+		row := A6Row{Label: pointLabel(p), MeanLatency: res.MeanLatency,
+			P95Latency: res.P95Latency, MaxLatency: res.MaxLatency, PDR: res.PDR}
+		rows = append(rows, row)
+		tbl = append(tbl, []string{row.Label,
+			fmt.Sprintf("%.2f ms", row.MeanLatency*1000),
+			fmt.Sprintf("%.2f ms", row.P95Latency*1000),
+			fmt.Sprintf("%.2f ms", row.MaxLatency*1000),
+			report.Pct(row.PDR)})
+	}
+	report.Table(s.W, []string{"configuration", "mean", "p95", "max", "PDR"}, tbl)
+	return rows, nil
+}
+
+// A7Row is one failure scenario.
+type A7Row struct {
+	Label      string
+	HealthyPDR float64
+	FailedPDR  float64
+}
+
+// A7 injects a mid-run node failure into a star and a mesh of the same
+// placement: the star collapses with its coordinator while the mesh
+// degrades gracefully — the robustness argument behind the paper's mesh
+// option.
+func (s *Suite) A7() ([]A7Row, error) {
+	fmt.Fprintln(s.W, "A7 — extension: failure robustness (node dies at T/4)")
+	type scenario struct {
+		label   string
+		routing netsim.RoutingKind
+		fail    int
+	}
+	scenarios := []scenario{
+		{"star, coordinator (chest) fails", netsim.Star, body.Chest},
+		{"star, leaf (wrist) fails", netsim.Star, body.LeftWrist},
+		{"mesh, relay (chest) fails", netsim.Mesh, body.Chest},
+		{"mesh, relay (wrist) fails", netsim.Mesh, body.LeftWrist},
+	}
+	var rows []A7Row
+	var tbl [][]string
+	for _, sc := range scenarios {
+		pr := s.problem(0.9)
+		p := design.Point{Topology: 0b11001011, TxMode: 2, MAC: netsim.TDMA, Routing: sc.routing}
+		cfg := pr.Config(p)
+		healthy, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Failures = []netsim.NodeFailure{{Location: sc.fail, At: cfg.Duration / 4}}
+		failed, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := A7Row{Label: sc.label, HealthyPDR: healthy.PDR, FailedPDR: failed.PDR}
+		rows = append(rows, row)
+		tbl = append(tbl, []string{sc.label, report.Pct(row.HealthyPDR), report.Pct(row.FailedPDR),
+			report.Pct(row.HealthyPDR - row.FailedPDR)})
+	}
+	report.Table(s.W, []string{"scenario", "healthy PDR", "after failure", "loss"}, tbl)
+	return rows, nil
+}
+
+// A8Result compares duty-cycled and always-listening radios.
+type A8Result struct {
+	DutyCycledNLTDays float64
+	IdleListenNLTDays float64
+}
+
+// A8 quantifies the paper's implicit duty-cycling assumption: with the
+// receive chain always on (no wake-up receiver), lifetime falls from
+// weeks to under two days regardless of any other design choice.
+func (s *Suite) A8() (*A8Result, error) {
+	fmt.Fprintln(s.W, "A8 — extension: duty-cycled vs always-on receiver")
+	pr := s.problem(0.9)
+	p := design.Point{Topology: 0b1001011, TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Star}
+	cfg := pr.Config(p)
+	duty, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg.IdleListening = true
+	idle, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &A8Result{DutyCycledNLTDays: duty.NLTDays, IdleListenNLTDays: idle.NLTDays}
+	report.Table(s.W, []string{"receiver model", "worst-node power", "lifetime"}, [][]string{
+		{"duty-cycled (paper's assumption)", report.MW(float64(duty.MaxPower)), report.Days(duty.NLTDays)},
+		{"always listening", report.MW(float64(idle.MaxPower)), report.Days(idle.NLTDays)},
+	})
+	return res, nil
+}
+
+// A9Result compares single-stage and two-stage candidate evaluation.
+type A9Result struct {
+	SingleSeconds, TwoStageSeconds float64
+	ScreenedOut                    int
+	SameClass                      bool
+}
+
+// A9 measures the two-stage screening extension at PDRmin=90%: clearly
+// infeasible candidates are rejected on a 5×-cheaper simulation, cutting
+// total simulated time without moving the optimum.
+func (s *Suite) A9() (*A9Result, error) {
+	fmt.Fprintln(s.W, "A9 — extension: two-stage candidate screening (PDRmin=90%)")
+	single, err := core.NewOptimizer(s.problem(0.9), core.Options{}).Run()
+	if err != nil {
+		return nil, err
+	}
+	two, err := core.NewOptimizer(s.problem(0.9), core.Options{TwoStage: true}).Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &A9Result{
+		SingleSeconds:   single.SimulatedSeconds,
+		TwoStageSeconds: two.SimulatedSeconds,
+		ScreenedOut:     two.ScreenedOut,
+	}
+	if single.Best != nil && two.Best != nil {
+		res.SameClass = single.Best.AnalyticMW == two.Best.AnalyticMW
+	}
+	report.Table(s.W, []string{"variant", "simulated seconds", "screened out"}, [][]string{
+		{"single-stage (Algorithm 1)", report.F(res.SingleSeconds, 0), "-"},
+		{"two-stage screening", report.F(res.TwoStageSeconds, 0), fmt.Sprintf("%d", res.ScreenedOut)},
+	})
+	fmt.Fprintf(s.W, "  same optimum class: %v; simulated-time saving: %s\n",
+		res.SameClass, report.Pct(1-res.TwoStageSeconds/res.SingleSeconds))
+	return res, nil
+}
+
+// A10Row is one CSMA access mode's outcome.
+type A10Row struct {
+	Mode       string
+	PDR        float64
+	Collisions uint64
+}
+
+// A10 compares the CSMA access modes of χ_MAC's AM field on a
+// relay-heavy mesh: after a flood burst, 1-persistent waiters all seize
+// the idle edge together and collide, while the non-persistent random
+// backoff (the design example's choice) decorrelates them.
+func (s *Suite) A10() ([]A10Row, error) {
+	fmt.Fprintln(s.W, "A10 — extension: CSMA access modes ([0 1 3 5 7] Mesh CSMA 0dBm)")
+	modes := []struct {
+		label string
+		am    mac.AccessMode
+	}{
+		{"non-persistent", mac.NonPersistent},
+		{"1-persistent", mac.OnePersistent},
+		{"p-persistent (p=0.5)", mac.PPersistent},
+	}
+	var rows []A10Row
+	var tbl [][]string
+	for _, m := range modes {
+		pr := s.problem(0.9)
+		p := design.Point{Topology: 0b10101011, TxMode: 2, MAC: netsim.CSMA, Routing: netsim.Mesh}
+		cfg := pr.Config(p)
+		cfg.CSMAParams.AccessMode = m.am
+		res, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := A10Row{Mode: m.label, PDR: res.PDR, Collisions: res.Collisions}
+		rows = append(rows, row)
+		tbl = append(tbl, []string{m.label, report.Pct(row.PDR), fmt.Sprintf("%d", row.Collisions)})
+	}
+	report.Table(s.W, []string{"access mode", "PDR", "collisions"}, tbl)
+	return rows, nil
+}
+
+// A11Row is one MAC buffer capacity's outcome.
+type A11Row struct {
+	BufferCap int
+	PDR       float64
+	Drops     uint64
+}
+
+// A11 sweeps the MAC transmit-buffer size B_MAC of χ_MAC on a TDMA mesh
+// whose slot schedule is deliberately throttled (2.5 ms slots): small
+// buffers overflow under relay bursts, large ones absorb them.
+func (s *Suite) A11() ([]A11Row, error) {
+	fmt.Fprintln(s.W, "A11 — extension: MAC buffer size B_MAC ([0 1 3 5 7] Mesh TDMA 0dBm, 2.5 ms slots)")
+	var rows []A11Row
+	var tbl [][]string
+	for _, cap := range []int{2, 4, 8, 16, 64} {
+		pr := s.problem(0.9)
+		pr.SlotSeconds = 0.0025
+		p := design.Point{Topology: 0b10101011, TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Mesh}
+		cfg := pr.Config(p)
+		cfg.TDMABuffer = cap
+		res, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := A11Row{BufferCap: cap, PDR: res.PDR, Drops: res.MACDrops}
+		rows = append(rows, row)
+		tbl = append(tbl, []string{fmt.Sprintf("%d", cap), report.Pct(row.PDR), fmt.Sprintf("%d", row.Drops)})
+	}
+	report.Table(s.W, []string{"B_MAC", "PDR", "MAC drops"}, tbl)
+	return rows, nil
+}
+
+// PF prints the reliability–lifetime Pareto front computed by sweeping
+// Algorithm 1 across reliability bounds with a shared simulation cache.
+func (s *Suite) PF(bounds []float64) ([]core.ParetoPoint, error) {
+	fmt.Fprintln(s.W, "PF — extension: reliability–lifetime Pareto front (shared-cache sweep)")
+	front, err := core.ParetoFront(s.problem(0.5), bounds, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var tbl [][]string
+	for _, pt := range front {
+		if pt.Best == nil {
+			tbl = append(tbl, []string{report.Pct(pt.PDRMin), "infeasible", "", ""})
+			continue
+		}
+		tbl = append(tbl, []string{report.Pct(pt.PDRMin), pointLabel(pt.Best.Point),
+			report.Pct(pt.Best.PDR), report.Days(pt.Best.NLTDays)})
+	}
+	report.Table(s.W, []string{"PDRmin", "configuration", "PDR", "NLT"}, tbl)
+	return front, nil
+}

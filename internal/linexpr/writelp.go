@@ -1,0 +1,109 @@
+package linexpr
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteLP renders the compiled problem in CPLEX LP file format, so the
+// MILP instances this reproduction builds (the relaxed problem P̃ with
+// its linearized Eq. 9 objective and any accumulated cuts) can be fed to
+// an external solver for cross-checking.
+//
+// The output covers the Minimize/Subject To/Bounds/Binaries/Generals
+// sections; the objective constant, which the LP format cannot express,
+// is emitted as a comment.
+func (c *Compiled) WriteLP(w io.Writer) error {
+	name := func(j int) string {
+		n := c.Names[j]
+		if n == "" {
+			return fmt.Sprintf("x%d", j)
+		}
+		// LP format forbids several punctuation characters in names.
+		return strings.NewReplacer("+", "_", "-", "_", "*", "_", " ", "_").Replace(n)
+	}
+	var b strings.Builder
+	if c.ObjConst != 0 {
+		fmt.Fprintf(&b, "\\ objective constant: %+g (add to reported optimum)\n", c.ObjConst)
+	}
+	if c.Negated {
+		b.WriteString("\\ original problem was a maximization; this is its negation\n")
+	}
+	b.WriteString("Minimize\n obj:")
+	wroteObj := false
+	for j, coef := range c.Obj {
+		if coef == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %+g %s", coef, name(j))
+		wroteObj = true
+	}
+	if !wroteObj {
+		b.WriteString(" 0 " + name(0))
+	}
+	b.WriteString("\nSubject To\n")
+	for i, row := range c.Rows {
+		label := row.Name
+		if label == "" {
+			label = fmt.Sprintf("c%d", i)
+		}
+		fmt.Fprintf(&b, " %s:", strings.NewReplacer(" ", "_", ":", "_").Replace(label))
+		wrote := false
+		for j, coef := range row.Coefs {
+			if coef == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, " %+g %s", coef, name(j))
+			wrote = true
+		}
+		if !wrote {
+			fmt.Fprintf(&b, " 0 %s", name(0))
+		}
+		op := "<="
+		switch row.Sense {
+		case GE:
+			op = ">="
+		case EQ:
+			op = "="
+		}
+		fmt.Fprintf(&b, " %s %g\n", op, row.RHS)
+	}
+	b.WriteString("Bounds\n")
+	for j := 0; j < c.NumVars; j++ {
+		lo, hi := c.Lo[j], c.Hi[j]
+		switch {
+		case c.Integer[j] && lo == 0 && hi == 1:
+			// Binaries need no bounds section entry.
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			fmt.Fprintf(&b, " %s free\n", name(j))
+		case math.IsInf(hi, 1):
+			fmt.Fprintf(&b, " %g <= %s\n", lo, name(j))
+		case math.IsInf(lo, -1):
+			fmt.Fprintf(&b, " -inf <= %s <= %g\n", name(j), hi)
+		default:
+			fmt.Fprintf(&b, " %g <= %s <= %g\n", lo, name(j), hi)
+		}
+	}
+	var binaries, generals []string
+	for j := 0; j < c.NumVars; j++ {
+		if !c.Integer[j] {
+			continue
+		}
+		if c.Lo[j] == 0 && c.Hi[j] == 1 {
+			binaries = append(binaries, name(j))
+		} else {
+			generals = append(generals, name(j))
+		}
+	}
+	if len(binaries) > 0 {
+		b.WriteString("Binaries\n " + strings.Join(binaries, " ") + "\n")
+	}
+	if len(generals) > 0 {
+		b.WriteString("Generals\n " + strings.Join(generals, " ") + "\n")
+	}
+	b.WriteString("End\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,93 @@
+package linexpr
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteLPStructure(t *testing.T) {
+	m := NewModel()
+	n0 := m.Binary("n0")
+	x := m.NewVar("x", Continuous, 0, 5)
+	y := m.NewVar("y", Integer, 0, 7)
+	free := m.NewVar("f", Continuous, math.Inf(-1), math.Inf(1))
+	m.Add("cap", TermOf(n0, 2).PlusTerm(x, 1), LE, 4)
+	m.Add("need", TermOf(y, 1).PlusTerm(free, 1), GE, 2)
+	m.Add("pin", TermOf(x, 3), EQ, 3)
+	m.SetObjective(TermOf(n0, 1).PlusTerm(x, 0.5).PlusConst(7), false)
+
+	var b bytes.Buffer
+	if err := m.Compile().WriteLP(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Minimize",
+		"objective constant: +7",
+		"+1 n0 +0.5 x",
+		"Subject To",
+		"cap: +2 n0 +1 x <= 4",
+		"need: +1 y +1 f >= 2",
+		"pin: +3 x = 3",
+		"Bounds",
+		"0 <= x <= 5",
+		"f free",
+		"Binaries\n n0",
+		"Generals\n y",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPMaximizationNote(t *testing.T) {
+	m := NewModel()
+	x := m.Binary("x")
+	m.SetObjective(TermOf(x, 3), true)
+	var b bytes.Buffer
+	if err := m.Compile().WriteLP(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "negation") {
+		t.Error("maximization note missing")
+	}
+	if !strings.Contains(out, "-3 x") {
+		t.Errorf("negated objective missing:\n%s", out)
+	}
+}
+
+func TestWriteLPSanitizesNames(t *testing.T) {
+	m := NewModel()
+	m.NewVar("a b-c", Continuous, 0, 1)
+	m.SetObjective(TermOf(0, 1), false)
+	m.Add("row one", TermOf(0, 1), LE, 1)
+	var b bytes.Buffer
+	if err := m.Compile().WriteLP(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "a b-c") {
+		t.Errorf("unsanitized name leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "a_b_c") || !strings.Contains(out, "row_one:") {
+		t.Errorf("sanitized names missing:\n%s", out)
+	}
+}
+
+func TestWriteLPEmptyObjective(t *testing.T) {
+	m := NewModel()
+	m.Binary("only")
+	m.Add("r", TermOf(0, 1), LE, 1)
+	var b bytes.Buffer
+	if err := m.Compile().WriteLP(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "obj: 0 only") {
+		t.Errorf("empty objective not handled:\n%s", b.String())
+	}
+}

@@ -1,0 +1,94 @@
+package mac
+
+import (
+	"testing"
+)
+
+func TestOnePersistentSeizesChannelOnIdle(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	p := DefaultCSMAParams()
+	p.AccessMode = OnePersistent
+	c := NewCSMA(env, p)
+	c.Start()
+	env.busy = true
+	c.Enqueue(pkt(1))
+	// Channel frees at t = 2 ms; a 1-persistent node must transmit within
+	// one sense period + turnaround of that.
+	env.sim.Schedule(0.002, func() { env.busy = false })
+	env.sim.Run(1)
+	if len(env.transmitted) != 1 {
+		t.Fatal("1-persistent node never transmitted")
+	}
+	if got := env.txTimes[0]; got < 0.002 || got > 0.002+2.5*p.SenseDelay {
+		t.Errorf("transmitted at %v, want within ~2 sense periods of channel idle (t=2ms)", got)
+	}
+}
+
+func TestNonPersistentWaitsBackoffAfterIdle(t *testing.T) {
+	// A non-persistent node that sensed busy retries only after its
+	// random backoff — typically later than a 1-persistent one.
+	env := newFakeEnv(0, 4)
+	p := DefaultCSMAParams()
+	p.BackoffMin = 0.004
+	p.BackoffMax = 0.005
+	c := NewCSMA(env, p)
+	c.Start()
+	env.busy = true
+	c.Enqueue(pkt(1))
+	env.sim.Schedule(0.0005, func() { env.busy = false })
+	env.sim.Run(1)
+	if len(env.transmitted) != 1 {
+		t.Fatal("non-persistent node never transmitted")
+	}
+	if got := env.txTimes[0]; got < 0.004 {
+		t.Errorf("transmitted at %v, before the backoff window opened", got)
+	}
+}
+
+func TestPPersistentDefersProbabilistically(t *testing.T) {
+	// With p = 0 the node defers forever on an idle channel (degenerate
+	// but diagnostic); with p = 1 it behaves like 1-persistent.
+	env := newFakeEnv(0, 4)
+	p := DefaultCSMAParams()
+	p.AccessMode = PPersistent
+	p.PersistP = 0
+	c := NewCSMA(env, p)
+	c.Start()
+	c.Enqueue(pkt(1))
+	env.sim.Run(0.05)
+	if len(env.transmitted) != 0 {
+		t.Error("p=0 node transmitted")
+	}
+
+	env2 := newFakeEnv(0, 4)
+	p.PersistP = 1
+	c2 := NewCSMA(env2, p)
+	c2.Start()
+	c2.Enqueue(pkt(1))
+	env2.sim.Run(0.05)
+	if len(env2.transmitted) != 1 {
+		t.Error("p=1 node did not transmit")
+	}
+}
+
+func TestPPersistentEventuallyTransmits(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	p := DefaultCSMAParams()
+	p.AccessMode = PPersistent
+	p.PersistP = 0.3
+	c := NewCSMA(env, p)
+	c.Start()
+	c.Enqueue(pkt(1))
+	env.sim.Run(1)
+	if len(env.transmitted) != 1 {
+		t.Error("p-persistent node starved on an idle channel")
+	}
+}
+
+func TestAccessModeStrings(t *testing.T) {
+	if NonPersistent.String() != "non-persistent" ||
+		OnePersistent.String() != "1-persistent" ||
+		PPersistent.String() != "p-persistent" {
+		t.Error("AccessMode strings wrong")
+	}
+}

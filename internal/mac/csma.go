@@ -1,0 +1,180 @@
+// Package mac implements the Human Intranet MAC-layer library: the two
+// medium-access protocols the paper's component library offers (§2.1.2) —
+// non-persistent CSMA (Castalia's TunableMAC configuration used in the
+// design example) and round-robin TDMA with fixed slots.
+package mac
+
+import (
+	"hiopt/internal/rng"
+	"hiopt/internal/stack"
+)
+
+// AccessMode is the paper's AM field of χ_MAC: how a CSMA node behaves
+// when the carrier is sensed busy.
+type AccessMode int
+
+const (
+	// NonPersistent backs off for a random time and re-senses (the
+	// design example's TunableMAC configuration).
+	NonPersistent AccessMode = iota
+	// OnePersistent keeps sensing and transmits as soon as the channel
+	// frees — minimal delay, maximal collision risk among waiters.
+	OnePersistent
+	// PPersistent transmits with probability P when the channel is
+	// sensed idle, otherwise defers one sense period.
+	PPersistent
+)
+
+func (a AccessMode) String() string {
+	switch a {
+	case NonPersistent:
+		return "non-persistent"
+	case OnePersistent:
+		return "1-persistent"
+	case PPersistent:
+		return "p-persistent"
+	default:
+		return "unknown"
+	}
+}
+
+// CSMAParams tune the carrier-sense protocol.
+type CSMAParams struct {
+	// BufferCap is the MAC transmit-buffer size B_MAC in packets.
+	BufferCap int
+	// AccessMode selects the busy-channel behaviour (the paper's AM).
+	AccessMode AccessMode
+	// PersistP is the transmit probability of the p-persistent mode.
+	PersistP float64
+	// BackoffMin and BackoffMax bound the uniform random backoff drawn
+	// when the medium is sensed busy (non-persistent access mode).
+	BackoffMin, BackoffMax float64
+	// IFS is the inter-frame spacing between a completed transmission and
+	// the next channel-access attempt.
+	IFS float64
+	// SenseDelay is the time between a clear-channel assessment and
+	// energy appearing on the air (PHY turnaround; Castalia's
+	// phyDelayForValidCS). Two nodes whose assessments fall within this
+	// window of each other collide — the protocol's vulnerable period.
+	SenseDelay float64
+}
+
+// DefaultCSMAParams mirror Castalia's TunableMAC defaults scaled to the
+// ~0.8 ms packet airtime of the design example: non-persistent access.
+func DefaultCSMAParams() CSMAParams {
+	return CSMAParams{
+		BufferCap:  16,
+		AccessMode: NonPersistent,
+		PersistP:   0.5,
+		BackoffMin: 0.0002,
+		BackoffMax: 0.005,
+		IFS:        0.0001,
+		SenseDelay: 0.0002,
+	}
+}
+
+// CSMA is a non-persistent carrier-sense MAC: before transmitting it
+// senses the medium; if busy it backs off for a uniform random time and
+// re-senses (it does not persistently wait for the channel edge).
+type CSMA struct {
+	env     stack.Env
+	params  CSMAParams
+	queue   []stack.Packet
+	pending bool
+	timer   stack.Canceler
+	g       *rng.Stream
+	drops   uint64
+}
+
+// NewCSMA binds a CSMA instance to a node environment.
+func NewCSMA(env stack.Env, params CSMAParams) *CSMA {
+	return &CSMA{env: env, params: params}
+}
+
+// Name implements stack.MAC.
+func (c *CSMA) Name() string { return "csma" }
+
+// Start implements stack.MAC.
+func (c *CSMA) Start() {
+	c.g = c.env.RNG("mac/csma")
+}
+
+// QueueLen implements stack.MAC.
+func (c *CSMA) QueueLen() int { return len(c.queue) }
+
+// Drops returns the number of packets rejected due to buffer overflow.
+func (c *CSMA) Drops() uint64 { return c.drops }
+
+// Enqueue implements stack.MAC.
+func (c *CSMA) Enqueue(p stack.Packet) bool {
+	if len(c.queue) >= c.params.BufferCap {
+		c.drops++
+		return false
+	}
+	c.queue = append(c.queue, p)
+	if !c.pending && !c.env.Transmitting() {
+		c.schedule(0)
+	}
+	return true
+}
+
+func (c *CSMA) schedule(delay float64) {
+	c.pending = true
+	c.timer = c.env.After(delay, c.attempt)
+}
+
+// attempt senses the carrier and reacts per the configured access mode:
+// either commits to a transmission after the PHY turnaround, or defers.
+func (c *CSMA) attempt() {
+	c.pending = false
+	if len(c.queue) == 0 || c.env.Transmitting() {
+		return
+	}
+	if c.env.CarrierBusy() {
+		switch c.params.AccessMode {
+		case OnePersistent:
+			// Keep sensing at the PHY turnaround granularity and seize
+			// the channel at the first idle assessment.
+			c.schedule(c.params.SenseDelay)
+		default: // NonPersistent and PPersistent both defer randomly
+			c.schedule(c.g.Uniform(c.params.BackoffMin, c.params.BackoffMax))
+		}
+		return
+	}
+	if c.params.AccessMode == PPersistent && c.g.Float64() >= c.params.PersistP {
+		// Idle but the coin says defer one sense period.
+		c.schedule(c.params.SenseDelay)
+		return
+	}
+	// Channel assessed clear: commit. The SenseDelay between assessment
+	// and transmission is the vulnerable window during which another
+	// node's assessment also reads clear.
+	c.pending = true
+	c.timer = c.env.After(c.params.SenseDelay, c.commit)
+}
+
+func (c *CSMA) commit() {
+	c.pending = false
+	if len(c.queue) == 0 || c.env.Transmitting() {
+		return
+	}
+	c.env.Transmit(c.queue[0])
+}
+
+// OnTxDone implements stack.MAC: pops the sent packet and arms the next
+// attempt after the inter-frame space.
+func (c *CSMA) OnTxDone() {
+	if len(c.queue) > 0 {
+		copy(c.queue, c.queue[1:])
+		c.queue = c.queue[:len(c.queue)-1]
+	}
+	if len(c.queue) > 0 && !c.pending {
+		c.schedule(c.params.IFS)
+	}
+}
+
+// OnReceive implements stack.MAC; CSMA has no link-layer handshake, so
+// clean receptions go straight up.
+func (c *CSMA) OnReceive(p stack.Packet) {
+	c.env.PassUp(p)
+}

@@ -1,0 +1,78 @@
+package mac
+
+import (
+	"hiopt/internal/des"
+	"hiopt/internal/rng"
+	"hiopt/internal/stack"
+)
+
+// fakeEnv is a scripted node environment for exercising MAC protocols in
+// isolation: it answers carrier-sense queries from a settable flag and
+// records transmissions.
+type fakeEnv struct {
+	sim   *des.Simulator
+	src   *rng.Source
+	id    int
+	n     int
+	busy  bool
+	onAir bool
+	slot  float64
+
+	transmitted []stack.Packet
+	txTimes     []float64
+	passedUp    []stack.Packet
+}
+
+func newFakeEnv(id, n int) *fakeEnv {
+	return &fakeEnv{
+		sim:  des.New(),
+		src:  rng.NewSource(7),
+		id:   id,
+		n:    n,
+		slot: 0.001,
+	}
+}
+
+func (f *fakeEnv) NodeID() int   { return f.id }
+func (f *fakeEnv) NumNodes() int { return f.n }
+func (f *fakeEnv) Now() float64  { return f.sim.Now() }
+
+func (f *fakeEnv) After(delay float64, fn func()) stack.Canceler {
+	return f.sim.Schedule(delay, fn)
+}
+
+func (f *fakeEnv) RNG(name string) *rng.Stream { return f.src.Stream(name) }
+
+func (f *fakeEnv) CarrierBusy() bool  { return f.busy }
+func (f *fakeEnv) Transmitting() bool { return f.onAir }
+
+func (f *fakeEnv) Transmit(p stack.Packet) {
+	f.onAir = true
+	f.transmitted = append(f.transmitted, p)
+	f.txTimes = append(f.txTimes, f.sim.Now())
+}
+
+// finishTx emulates the medium completing the current transmission.
+func (f *fakeEnv) finishTx(m stack.MAC) {
+	f.onAir = false
+	m.OnTxDone()
+}
+
+func (f *fakeEnv) Airtime() float64     { return 0.00078125 }
+func (f *fakeEnv) SlotSeconds() float64 { return f.slot }
+
+func (f *fakeEnv) NextOwnedSlot(t float64) float64 {
+	s := f.slot
+	k := int((t + s - 1e-12) / s)
+	for k%f.n != f.id {
+		k++
+	}
+	return float64(k) * s
+}
+
+func (f *fakeEnv) PassUp(p stack.Packet)        { f.passedUp = append(f.passedUp, p) }
+func (f *fakeEnv) SendDown(p stack.Packet) bool { return true }
+func (f *fakeEnv) Deliver(p stack.Packet)       {}
+func (f *fakeEnv) IsCoordinator() bool          { return false }
+
+var _ stack.Env = (*fakeEnv)(nil)

@@ -1,0 +1,230 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"hiopt/internal/stack"
+)
+
+func pkt(seq uint32) stack.Packet {
+	return stack.Packet{Origin: 0, Dst: 1, Seq: seq, Bytes: 100}
+}
+
+func TestCSMATransmitsWhenIdle(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	c := NewCSMA(env, DefaultCSMAParams())
+	c.Start()
+	c.Enqueue(pkt(1))
+	env.sim.Run(1)
+	if len(env.transmitted) != 1 {
+		t.Fatalf("transmitted %d packets, want 1", len(env.transmitted))
+	}
+	// The transmission must happen after the sense delay, not instantly.
+	if env.txTimes[0] < DefaultCSMAParams().SenseDelay {
+		t.Errorf("transmitted at %v, before the sense delay elapsed", env.txTimes[0])
+	}
+}
+
+func TestCSMABacksOffWhenBusy(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	p := DefaultCSMAParams()
+	c := NewCSMA(env, p)
+	c.Start()
+	env.busy = true
+	c.Enqueue(pkt(1))
+	env.sim.Run(0.003) // a few backoff rounds, channel still busy
+	if len(env.transmitted) != 0 {
+		t.Fatal("transmitted while the carrier was busy")
+	}
+	env.busy = false
+	env.sim.Run(1)
+	if len(env.transmitted) != 1 {
+		t.Fatalf("transmitted %d packets after channel cleared, want 1", len(env.transmitted))
+	}
+	if env.txTimes[0] < p.BackoffMin {
+		t.Errorf("transmission at %v did not wait out a backoff", env.txTimes[0])
+	}
+}
+
+func TestCSMAQueueDrainsInOrder(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	c := NewCSMA(env, DefaultCSMAParams())
+	c.Start()
+	for s := uint32(1); s <= 3; s++ {
+		c.Enqueue(pkt(s))
+	}
+	for i := 0; i < 3; i++ {
+		env.sim.Run(float64(i+1) * 0.1)
+		if len(env.transmitted) != i+1 {
+			t.Fatalf("after round %d: %d transmissions", i, len(env.transmitted))
+		}
+		env.finishTx(c)
+	}
+	for i, p := range env.transmitted {
+		if p.Seq != uint32(i+1) {
+			t.Errorf("transmission %d has seq %d, want FIFO order", i, p.Seq)
+		}
+	}
+}
+
+func TestCSMABufferOverflowDrops(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	p := DefaultCSMAParams()
+	p.BufferCap = 2
+	c := NewCSMA(env, p)
+	c.Start()
+	if !c.Enqueue(pkt(1)) || !c.Enqueue(pkt(2)) {
+		t.Fatal("first two packets should be accepted")
+	}
+	if c.Enqueue(pkt(3)) {
+		t.Error("third packet should be dropped (cap 2)")
+	}
+	if c.Drops() != 1 {
+		t.Errorf("Drops = %d, want 1", c.Drops())
+	}
+	if c.QueueLen() != 2 {
+		t.Errorf("QueueLen = %d, want 2", c.QueueLen())
+	}
+}
+
+func TestCSMADoesNotTransmitWhileOnAir(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	c := NewCSMA(env, DefaultCSMAParams())
+	c.Start()
+	c.Enqueue(pkt(1))
+	env.sim.Run(0.01)
+	if len(env.transmitted) != 1 {
+		t.Fatal("expected first transmission")
+	}
+	// Still on air (finishTx not called): enqueue more and run.
+	c.Enqueue(pkt(2))
+	env.sim.Run(0.1)
+	if len(env.transmitted) != 1 {
+		t.Fatal("MAC transmitted while radio was busy sending")
+	}
+	env.finishTx(c)
+	env.sim.Run(0.2)
+	if len(env.transmitted) != 2 {
+		t.Fatal("queued packet not sent after OnTxDone")
+	}
+}
+
+func TestCSMAOnReceivePassesUp(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	c := NewCSMA(env, DefaultCSMAParams())
+	c.Start()
+	c.OnReceive(pkt(9))
+	if len(env.passedUp) != 1 || env.passedUp[0].Seq != 9 {
+		t.Errorf("passedUp = %v", env.passedUp)
+	}
+}
+
+func TestTDMATransmitsOnlyInOwnedSlots(t *testing.T) {
+	env := newFakeEnv(2, 4) // node 2 of 4: owns slots 2, 6, 10, ...
+	m := NewTDMA(env, DefaultTDMAParams())
+	m.Start()
+	for s := uint32(1); s <= 3; s++ {
+		m.Enqueue(pkt(s))
+	}
+	for i := 0; i < 3; i++ {
+		env.sim.Run(float64(i+1) * 0.01)
+		if len(env.transmitted) != i+1 {
+			t.Fatalf("after window %d: %d transmissions", i, len(env.transmitted))
+		}
+		env.finishTx(m)
+	}
+	for _, at := range env.txTimes {
+		slot := int(math.Round(at / env.slot))
+		if math.Abs(at-float64(slot)*env.slot) > 1e-9 {
+			t.Errorf("transmission at %v is not on a slot boundary", at)
+		}
+		if slot%4 != 2 {
+			t.Errorf("transmission in slot %d, which node 2 does not own", slot)
+		}
+	}
+}
+
+func TestTDMASlotSpacing(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	m := NewTDMA(env, DefaultTDMAParams())
+	m.Start()
+	m.Enqueue(pkt(1))
+	m.Enqueue(pkt(2))
+	env.sim.Run(0.0005)
+	if len(env.transmitted) != 1 {
+		t.Fatalf("first packet not sent in slot 0 region: %v", env.txTimes)
+	}
+	env.finishTx(m)
+	env.sim.Run(0.01)
+	if len(env.transmitted) != 2 {
+		t.Fatalf("second packet not sent")
+	}
+	gap := env.txTimes[1] - env.txTimes[0]
+	// Next owned slot is a full frame later (N slots).
+	if math.Abs(gap-4*env.slot) > 1e-9 {
+		t.Errorf("slot gap = %v, want one frame (%v)", gap, 4*env.slot)
+	}
+}
+
+func TestTDMABufferOverflow(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	m := NewTDMA(env, TDMAParams{BufferCap: 1})
+	m.Start()
+	if !m.Enqueue(pkt(1)) {
+		t.Fatal("first packet rejected")
+	}
+	if m.Enqueue(pkt(2)) {
+		t.Error("second packet should overflow cap 1")
+	}
+	if m.Drops() != 1 {
+		t.Errorf("Drops = %d, want 1", m.Drops())
+	}
+}
+
+func TestTDMAIdleSchedulesNoEvents(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	m := NewTDMA(env, DefaultTDMAParams())
+	m.Start()
+	env.sim.Run(10)
+	if env.sim.Processed() != 0 {
+		t.Errorf("idle TDMA processed %d events, want 0 (event-frugal design)", env.sim.Processed())
+	}
+}
+
+func TestTDMAOnReceivePassesUp(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	m := NewTDMA(env, DefaultTDMAParams())
+	m.Start()
+	m.OnReceive(pkt(4))
+	if len(env.passedUp) != 1 || env.passedUp[0].Seq != 4 {
+		t.Errorf("passedUp = %v", env.passedUp)
+	}
+}
+
+func TestNames(t *testing.T) {
+	env := newFakeEnv(0, 2)
+	if NewCSMA(env, DefaultCSMAParams()).Name() != "csma" {
+		t.Error("CSMA name")
+	}
+	if NewTDMA(env, DefaultTDMAParams()).Name() != "tdma" {
+		t.Error("TDMA name")
+	}
+}
+
+func TestCSMAIgnoresCarrierAfterCommit(t *testing.T) {
+	// Once the sense delay has started, a carrier appearing during the
+	// turnaround must not stop the committed transmission — this is the
+	// protocol's vulnerable window that produces collisions.
+	env := newFakeEnv(0, 4)
+	p := DefaultCSMAParams()
+	c := NewCSMA(env, p)
+	c.Start()
+	c.Enqueue(pkt(1))
+	// Busy flag raised mid-turnaround.
+	env.sim.Schedule(p.SenseDelay/2, func() { env.busy = true })
+	env.sim.Run(1)
+	if len(env.transmitted) != 1 {
+		t.Fatal("committed transmission was aborted by late carrier")
+	}
+}

@@ -1,0 +1,528 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hiopt/internal/app"
+	"hiopt/internal/channel"
+	"hiopt/internal/des"
+	"hiopt/internal/mac"
+	"hiopt/internal/phys"
+	"hiopt/internal/rng"
+	"hiopt/internal/routing"
+	"hiopt/internal/stack"
+)
+
+// transmission is one in-flight packet on the shared medium.
+type transmission struct {
+	sender    *node
+	p         stack.Packet
+	end       float64
+	audible   []bool // per node index, sampled at transmission start
+	corrupted []bool // per node index: collision or half-duplex deafness
+	rxDBm     []phys.DBm
+}
+
+// node composes the four layers and implements stack.Env / app.Env.
+type node struct {
+	net *Network
+	id  int // node index in [0, N)
+	loc int // body location index
+
+	mac stack.MAC
+	rt  stack.Routing
+	app *app.Layer
+
+	transmitting bool
+	down         bool
+	aliveUntil   float64
+	txEnergyJ    float64
+	rxEnergyJ    float64
+	txCount      uint64
+	rxClean      uint64
+	rxCorrupt    uint64
+}
+
+// Network is one simulation instance.
+type Network struct {
+	cfg     Config
+	sim     *des.Simulator
+	ch      *channel.Model
+	src     *rng.Source
+	nodes   []*node
+	airtime float64
+	coordID int // node index of the star coordinator, -1 for mesh
+
+	active     []*transmission
+	collisions uint64
+
+	traceHeaderDone bool
+}
+
+// trace appends one event line to the configured trace writer.
+func (n *Network) trace(event string, nd *node, p *stack.Packet, detail string) {
+	w := n.cfg.Trace
+	if w == nil {
+		return
+	}
+	if !n.traceHeaderDone {
+		fmt.Fprintln(w, "time,event,node_loc,origin,dst,seq,detail")
+		n.traceHeaderDone = true
+	}
+	if p != nil {
+		fmt.Fprintf(w, "%.6f,%s,%d,%d,%d,%d,%s\n", n.sim.Now(), event, nd.loc, p.Origin, p.Dst, p.Seq, detail)
+	} else {
+		fmt.Fprintf(w, "%.6f,%s,%d,,,,%s\n", n.sim.Now(), event, nd.loc, detail)
+	}
+}
+
+// New builds a network from a validated configuration and a master seed.
+func New(cfg Config, seed uint64) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.NewSource(seed)
+	locs := cfg.bodyLocations()
+	var ch *channel.Model
+	if cfg.ChannelMatrix != nil {
+		var err error
+		ch, err = channel.NewFromMatrix(cfg.ChannelMatrix, cfg.Channel, src)
+		if err != nil {
+			return nil, err
+		}
+		if ch.NumLocations() < len(locs) {
+			return nil, fmt.Errorf("netsim: channel matrix covers %d locations, need %d", ch.NumLocations(), len(locs))
+		}
+	} else {
+		ch = channel.New(locs, cfg.Channel, src)
+	}
+	n := &Network{
+		cfg:     cfg,
+		sim:     des.New(),
+		ch:      ch,
+		src:     src,
+		airtime: cfg.Radio.PacketAirtime(cfg.App.Bytes),
+		coordID: -1,
+	}
+	for i, loc := range cfg.Locations {
+		nd := &node{net: n, id: i, loc: loc, aliveUntil: cfg.Duration}
+		if cfg.Routing == Star && loc == cfg.CoordinatorLoc {
+			n.coordID = i
+		}
+		n.nodes = append(n.nodes, nd)
+	}
+	for _, nd := range n.nodes {
+		switch cfg.MAC {
+		case CSMA:
+			nd.mac = mac.NewCSMA(nd, cfg.CSMAParams)
+		case TDMA:
+			nd.mac = mac.NewTDMA(nd, mac.TDMAParams{BufferCap: cfg.TDMABuffer})
+		}
+		switch cfg.Routing {
+		case Star:
+			nd.rt = routing.NewStar(nd)
+		case Mesh:
+			nd.rt = routing.NewMesh(nd, cfg.NHops)
+		}
+		// Generation stops a drain guard before the horizon so packets
+		// already in flight can be delivered and counted — otherwise the
+		// PDR estimate carries a small negative edge bias.
+		nd.app = app.New(nd, cfg.App, nd.rt, cfg.Duration-drainGuard(cfg.Duration))
+	}
+	return n, nil
+}
+
+// drainGuard returns the end-of-simulation quiet period during which no
+// new packets are generated (50 ms, shrunk for very short horizons).
+func drainGuard(duration float64) float64 {
+	g := 0.05
+	if duration < 5 {
+		g = duration * 0.01
+	}
+	return g
+}
+
+// --- stack.Env / app.Env implementation on node ---
+
+func (nd *node) NodeID() int   { return nd.id }
+func (nd *node) NumNodes() int { return len(nd.net.nodes) }
+func (nd *node) Now() float64  { return nd.net.sim.Now() }
+
+func (nd *node) After(delay float64, fn func()) stack.Canceler {
+	return nd.net.sim.Schedule(delay, fn)
+}
+
+// RNG derives streams by body location (not node index) so that two
+// configurations sharing a location reuse the same random sequences —
+// common random numbers across design candidates.
+func (nd *node) RNG(name string) *rng.Stream {
+	return nd.net.src.Stream(fmt.Sprintf("node/%d/%s", nd.loc, name))
+}
+
+func (nd *node) CarrierBusy() bool {
+	for _, tx := range nd.net.active {
+		if tx.sender != nd && tx.audible[nd.id] {
+			return true
+		}
+	}
+	return false
+}
+
+func (nd *node) Transmitting() bool { return nd.transmitting }
+func (nd *node) Airtime() float64   { return nd.net.airtime }
+
+func (nd *node) SlotSeconds() float64 { return nd.net.cfg.SlotSeconds }
+
+// NextOwnedSlot computes the first round-robin slot boundary at or after t
+// belonging to this node. Slot k (starting at k*T_slot) is owned by node
+// k mod N.
+func (nd *node) NextOwnedSlot(t float64) float64 {
+	s := nd.net.cfg.SlotSeconds
+	n := len(nd.net.nodes)
+	k := int(math.Ceil(t/s - 1e-9))
+	if k < 0 {
+		k = 0
+	}
+	diff := (nd.id - k%n + n) % n
+	return float64(k+diff) * s
+}
+
+func (nd *node) Transmit(p stack.Packet) { nd.net.transmit(nd, p) }
+
+func (nd *node) PassUp(p stack.Packet) { nd.rt.FromMAC(p) }
+
+func (nd *node) SendDown(p stack.Packet) bool {
+	ok := nd.mac.Enqueue(p)
+	if !ok {
+		nd.net.trace("drop", nd, &p, "buffer-full")
+	}
+	return ok
+}
+
+func (nd *node) Deliver(p stack.Packet) {
+	nd.net.trace("deliver", nd, &p, "")
+	nd.app.OnDeliver(p)
+}
+
+func (nd *node) IsCoordinator() bool { return nd.net.coordID == nd.id }
+
+// --- medium ---
+
+// transmit starts a packet on the air: it samples per-receiver path loss,
+// marks collisions against overlapping transmissions, and schedules the
+// end-of-transmission processing.
+func (n *Network) transmit(sender *node, p stack.Packet) {
+	if sender.down {
+		// A failed node's MAC timers may still fire; its radio is dead.
+		return
+	}
+	if sender.transmitting {
+		panic("netsim: node started transmitting while already on air")
+	}
+	now := n.sim.Now()
+	tx := &transmission{
+		sender:    sender,
+		p:         p,
+		end:       now + n.airtime,
+		audible:   make([]bool, len(n.nodes)),
+		corrupted: make([]bool, len(n.nodes)),
+		rxDBm:     make([]phys.DBm, len(n.nodes)),
+	}
+	txOut := n.cfg.Radio.TxModes[n.cfg.TxMode].OutputDBm
+	for _, r := range n.nodes {
+		if r == sender || r.down {
+			continue
+		}
+		pl := n.ch.PathLossAt(now, sender.loc, r.loc)
+		tx.audible[r.id] = n.cfg.Radio.Receivable(n.cfg.TxMode, pl)
+		tx.rxDBm[r.id] = phys.ReceivedPower(txOut, pl)
+		if r.transmitting {
+			// Half-duplex: a node on air cannot receive.
+			tx.corrupted[r.id] = true
+		}
+	}
+	// Collisions with ongoing transmissions. Without capture, any
+	// receiver that hears both packets decodes neither; with a capture
+	// threshold the stronger survives if it clears the margin. The new
+	// sender is also deaf to ongoing transmissions and they to it.
+	for _, other := range n.active {
+		other.corrupted[sender.id] = true
+		collided := false
+		for rid := range n.nodes {
+			if rid == sender.id || rid == other.sender.id {
+				continue
+			}
+			if tx.audible[rid] && other.audible[rid] {
+				collided = true
+				switch {
+				case n.cfg.CaptureDB > 0 && tx.rxDBm[rid] >= other.rxDBm[rid]+phys.DBm(n.cfg.CaptureDB):
+					other.corrupted[rid] = true
+				case n.cfg.CaptureDB > 0 && other.rxDBm[rid] >= tx.rxDBm[rid]+phys.DBm(n.cfg.CaptureDB):
+					tx.corrupted[rid] = true
+				default:
+					tx.corrupted[rid] = true
+					other.corrupted[rid] = true
+				}
+			}
+		}
+		if collided {
+			n.collisions++
+		}
+	}
+	sender.transmitting = true
+	n.active = append(n.active, tx)
+	n.trace("tx", sender, &p, fmt.Sprintf("hops=%d", p.Hops))
+	n.sim.Schedule(n.airtime, func() { n.finish(tx) })
+}
+
+// finish completes a transmission: accounts energy, delivers clean copies,
+// and notifies the sender's MAC.
+func (n *Network) finish(tx *transmission) {
+	for i, a := range n.active {
+		if a == tx {
+			n.active = append(n.active[:i], n.active[i+1:]...)
+			break
+		}
+	}
+	sender := tx.sender
+	sender.transmitting = false
+	sender.txCount++
+	sender.txEnergyJ += float64(n.cfg.Radio.TxModes[n.cfg.TxMode].ConsumptionMW) / 1000 * n.airtime
+
+	for _, r := range n.nodes {
+		if r == sender || !tx.audible[r.id] || r.down {
+			continue
+		}
+		if r.transmitting {
+			// Deaf for the tail of the packet; its radio was in TX mode,
+			// already accounted there.
+			continue
+		}
+		r.rxEnergyJ += float64(n.cfg.Radio.RxConsumptionMW) / 1000 * n.airtime
+		if tx.corrupted[r.id] {
+			r.rxCorrupt++
+			n.trace("rx-corrupt", r, &tx.p, "")
+			continue
+		}
+		r.rxClean++
+		n.trace("rx", r, &tx.p, "")
+		r.mac.OnReceive(tx.p)
+	}
+	sender.mac.OnTxDone()
+}
+
+// Run executes the simulation to the configured horizon and returns the
+// measured metrics.
+func (n *Network) Run() *Result {
+	for _, nd := range n.nodes {
+		nd.mac.Start()
+		nd.rt.Start()
+	}
+	for _, nd := range n.nodes {
+		nd.app.Start()
+	}
+	for _, f := range n.cfg.Failures {
+		for _, nd := range n.nodes {
+			if nd.loc == f.Location {
+				nd := nd
+				at := f.At
+				n.sim.At(at, func() {
+					nd.down = true
+					nd.aliveUntil = at
+					nd.app.Stop()
+					n.trace("fail", nd, nil, "permanent")
+				})
+			}
+		}
+	}
+	n.sim.Run(n.cfg.Duration)
+	return n.collect()
+}
+
+// Simulator exposes the kernel (used by tests and diagnostics).
+func (n *Network) Simulator() *des.Simulator { return n.sim }
+
+// Channel exposes the channel model (used by tests and diagnostics).
+func (n *Network) Channel() *channel.Model { return n.ch }
+
+func (n *Network) collect() *Result {
+	cfg := n.cfg
+	N := len(n.nodes)
+	layers := make([]*app.Layer, N)
+	for i, nd := range n.nodes {
+		layers[i] = nd.app
+	}
+	res := &Result{
+		Locations:  append([]int(nil), cfg.Locations...),
+		Duration:   cfg.Duration,
+		NodePDR:    make([]float64, N),
+		NodePower:  make([]phys.MilliWatt, N),
+		Collisions: n.collisions,
+	}
+	for k := 0; k < N; k++ {
+		res.NodePDR[k] = app.PDR(k, layers)
+	}
+	res.PDR = app.NetworkPDR(layers)
+
+	worst := phys.MilliWatt(0)
+	for i, nd := range n.nodes {
+		rxJ := nd.rxEnergyJ
+		if cfg.IdleListening {
+			// No wake-up receiver: the RX chain is on whenever the node
+			// is alive and not transmitting.
+			txTime := float64(nd.txCount) * n.airtime
+			rxJ = float64(cfg.Radio.RxConsumptionMW) / 1000 * (nd.aliveUntil - txTime)
+		}
+		pw := cfg.BaselineMW + phys.MilliWatt((nd.txEnergyJ+rxJ)/cfg.Duration*1000)
+		res.NodePower[i] = pw
+		res.TxCount += nd.txCount
+		res.RxClean += nd.rxClean
+		res.RxCorrupt += nd.rxCorrupt
+		res.Sent += nd.app.TotalSent()
+		res.Delivered += nd.app.TotalReceived()
+		if d, ok := nd.mac.(interface{ Drops() uint64 }); ok {
+			res.MACDrops += d.Drops()
+		}
+		if cfg.Routing == Star && i == n.coordID {
+			// The coordinator has larger energy storage and is excluded
+			// from the lifetime minimum (paper §3).
+			continue
+		}
+		if pw > worst {
+			worst = pw
+		}
+	}
+	res.MaxPower = worst
+	res.NLTSeconds = phys.LifetimeSeconds(cfg.BatteryJ, worst)
+	res.NLTDays = phys.Days(res.NLTSeconds)
+	res.Events = n.sim.Processed()
+
+	// End-to-end latency across all deliveries.
+	var lats []float64
+	for _, nd := range n.nodes {
+		lats = append(lats, nd.app.Latencies...)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		sum := 0.0
+		for _, v := range lats {
+			sum += v
+		}
+		res.MeanLatency = sum / float64(len(lats))
+		idx := (len(lats) * 95) / 100
+		if idx >= len(lats) {
+			idx = len(lats) - 1
+		}
+		res.P95Latency = lats[idx]
+		res.MaxLatency = lats[len(lats)-1]
+	}
+	return res
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Locations echoes the simulated topology.
+	Locations []int
+	// Duration is the simulated horizon in seconds.
+	Duration float64
+	// PDR is the overall network packet-delivery ratio, Eq. (7), in [0,1].
+	PDR float64
+	// NodePDR holds the per-node PDR_k values, Eq. (6).
+	NodePDR []float64
+	// NodePower is each node's average power draw including baseline.
+	NodePower []phys.MilliWatt
+	// MaxPower is the highest draw among lifetime-relevant nodes (the
+	// coordinator is exempt in a star).
+	MaxPower phys.MilliWatt
+	// NLTSeconds and NLTDays express the network lifetime, Eq. (4).
+	NLTSeconds float64
+	NLTDays    float64
+
+	// Traffic and medium statistics.
+	Sent, Delivered      uint64
+	TxCount              uint64
+	RxClean, RxCorrupt   uint64
+	Collisions, MACDrops uint64
+	// Events is the number of kernel events processed.
+	Events uint64
+	// MeanLatency, P95Latency, and MaxLatency summarize end-to-end
+	// delivery delay in seconds (0 when nothing was delivered).
+	MeanLatency float64
+	P95Latency  float64
+	MaxLatency  float64
+	// PDRStdDev is the run-to-run standard deviation of the PDR estimate
+	// (populated by RunAveraged when runs > 1; 0 otherwise). It lets
+	// callers judge whether a configuration sits within noise of a
+	// reliability bound.
+	PDRStdDev float64
+}
+
+// Run is the convenience one-shot: build a network and run it.
+func Run(cfg Config, seed uint64) (*Result, error) {
+	n, err := New(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return n.Run(), nil
+}
+
+// RunAveraged runs the configuration `runs` times with derived seeds
+// (seed, seed+1, ...) and averages PDR and power metrics, following the
+// paper's practice of averaging 3 runs to mitigate randomness. The
+// returned Result's NLT is recomputed from the averaged worst-node power.
+func RunAveraged(cfg Config, runs int, seed uint64) (*Result, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	var acc *Result
+	pdrs := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		res, err := Run(cfg, seed+uint64(r))
+		if err != nil {
+			return nil, err
+		}
+		pdrs = append(pdrs, res.PDR)
+		if acc == nil {
+			acc = res
+			continue
+		}
+		acc.PDR += res.PDR
+		for i := range acc.NodePDR {
+			acc.NodePDR[i] += res.NodePDR[i]
+			acc.NodePower[i] += res.NodePower[i]
+		}
+		acc.MaxPower += res.MaxPower
+		acc.Sent += res.Sent
+		acc.Delivered += res.Delivered
+		acc.TxCount += res.TxCount
+		acc.RxClean += res.RxClean
+		acc.RxCorrupt += res.RxCorrupt
+		acc.Collisions += res.Collisions
+		acc.MACDrops += res.MACDrops
+		acc.Events += res.Events
+		acc.MeanLatency += res.MeanLatency
+		acc.P95Latency = math.Max(acc.P95Latency, res.P95Latency)
+		acc.MaxLatency = math.Max(acc.MaxLatency, res.MaxLatency)
+	}
+	if runs > 1 {
+		f := 1 / float64(runs)
+		acc.PDR *= f
+		for i := range acc.NodePDR {
+			acc.NodePDR[i] *= f
+			acc.NodePower[i] = phys.MilliWatt(float64(acc.NodePower[i]) * f)
+		}
+		acc.MaxPower = phys.MilliWatt(float64(acc.MaxPower) * f)
+		acc.NLTSeconds = phys.LifetimeSeconds(cfg.BatteryJ, acc.MaxPower)
+		acc.NLTDays = phys.Days(acc.NLTSeconds)
+		acc.MeanLatency *= f
+		var sq float64
+		for _, p := range pdrs {
+			d := p - acc.PDR
+			sq += d * d
+		}
+		acc.PDRStdDev = math.Sqrt(sq / float64(runs-1))
+	}
+	return acc, nil
+}

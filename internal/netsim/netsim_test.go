@@ -1,0 +1,434 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"hiopt/internal/body"
+	"hiopt/internal/phys"
+)
+
+// quietChannel returns channel parameters with fading and blockage
+// disabled, so link outcomes are deterministic functions of mean path loss.
+func quietChannel(cfg *Config) {
+	cfg.Channel.Sigma = 0
+	cfg.Channel.BlockDB = 0
+}
+
+func shortCfg(locs []int, m MACKind, r RoutingKind, tx int, dur float64) Config {
+	cfg := DefaultConfig(locs, m, r, tx)
+	cfg.Duration = dur
+	return cfg
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"one node", func(c *Config) { c.Locations = []int{0} }},
+		{"duplicate location", func(c *Config) { c.Locations = []int{0, 1, 1, 3} }},
+		{"location out of range", func(c *Config) { c.Locations = []int{0, 1, 3, 99} }},
+		{"tx mode out of range", func(c *Config) { c.TxMode = 7 }},
+		{"star without coordinator", func(c *Config) { c.Routing = Star; c.Locations = []int{1, 2, 3, 4} }},
+		{"mesh zero hops", func(c *Config) { c.Routing = Mesh; c.NHops = 0 }},
+		{"zero rate", func(c *Config) { c.App.RatePPS = 0 }},
+		{"airtime exceeds slot", func(c *Config) { c.MAC = TDMA; c.SlotSeconds = 0.0001 }},
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"zero battery", func(c *Config) { c.BatteryJ = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig([]int{0, 1, 3, 6}, CSMA, Star, 1)
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid config", tc.name)
+		}
+	}
+	good := DefaultConfig([]int{0, 1, 3, 6}, TDMA, Mesh, 2)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestPerfectChannelStarDeliversEverything(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 2, 30)
+	quietChannel(&cfg)
+	res, err := Run(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR != 1 {
+		t.Errorf("PDR = %v, want exactly 1 on a quiet channel with TDMA", res.PDR)
+	}
+	if res.Collisions != 0 {
+		t.Errorf("TDMA produced %d collisions", res.Collisions)
+	}
+	if res.MACDrops != 0 {
+		t.Errorf("%d MAC drops on an uncongested network", res.MACDrops)
+	}
+}
+
+func TestPerfectChannelMeshDeliversEverything(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Mesh, 2, 30)
+	quietChannel(&cfg)
+	res, err := Run(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR != 1 {
+		t.Errorf("PDR = %v, want exactly 1", res.PDR)
+	}
+}
+
+func TestDeliveredNeverExceedsSent(t *testing.T) {
+	for _, r := range []RoutingKind{Star, Mesh} {
+		for _, m := range []MACKind{CSMA, TDMA} {
+			for tx := 0; tx < 3; tx++ {
+				cfg := shortCfg([]int{0, 1, 3, 6}, m, r, tx, 20)
+				res, err := Run(cfg, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Delivered > res.Sent {
+					t.Errorf("%s: delivered %d > sent %d", cfg.Label(), res.Delivered, res.Sent)
+				}
+				if res.PDR < 0 || res.PDR > 1 {
+					t.Errorf("%s: PDR %v outside [0,1]", cfg.Label(), res.PDR)
+				}
+				for _, p := range res.NodePDR {
+					if p < 0 || p > 1 {
+						t.Errorf("%s: node PDR %v outside [0,1]", cfg.Label(), p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, CSMA, Mesh, 2, 30)
+	a, err := Run(cfg, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PDR != b.PDR || a.TxCount != b.TxCount || a.Collisions != b.Collisions ||
+		a.MaxPower != b.MaxPower || a.Events != b.Events {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, CSMA, Star, 1, 30)
+	a, _ := Run(cfg, 1)
+	b, _ := Run(cfg, 2)
+	if a.PDR == b.PDR && a.TxCount == b.TxCount && a.Events == b.Events {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestTDMANeverCollides(t *testing.T) {
+	for _, r := range []RoutingKind{Star, Mesh} {
+		cfg := shortCfg([]int{0, 1, 3, 5, 7}, TDMA, r, 2, 30)
+		res, err := Run(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Collisions != 0 {
+			t.Errorf("%s: TDMA produced %d collisions", cfg.Label(), res.Collisions)
+		}
+	}
+}
+
+func TestCSMACollides(t *testing.T) {
+	// A mesh flood under CSMA must produce collisions (relay bursts).
+	cfg := shortCfg([]int{0, 1, 3, 6}, CSMA, Mesh, 2, 30)
+	res, err := Run(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions == 0 {
+		t.Error("CSMA mesh flood produced no collisions")
+	}
+}
+
+func TestHigherTxPowerImprovesPDR(t *testing.T) {
+	var prev float64 = -1
+	for tx := 0; tx < 3; tx++ {
+		cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, tx, 60)
+		res, err := Run(cfg, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PDR < prev-0.02 { // allow small statistical slack
+			t.Errorf("PDR decreased from %v to %v when raising tx power to mode %d", prev, res.PDR, tx)
+		}
+		prev = res.PDR
+	}
+}
+
+func TestMeshBeatsStarReliabilityAtFullPower(t *testing.T) {
+	star, err := Run(shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 2, 60), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := Run(shortCfg([]int{0, 1, 3, 6}, TDMA, Mesh, 2, 60), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.PDR <= star.PDR {
+		t.Errorf("mesh PDR %v <= star PDR %v; redundancy should raise reliability", mesh.PDR, star.PDR)
+	}
+	if mesh.MaxPower <= star.MaxPower {
+		t.Errorf("mesh power %v <= star power %v; flooding should cost energy", mesh.MaxPower, star.MaxPower)
+	}
+	if mesh.NLTDays >= star.NLTDays {
+		t.Errorf("mesh NLT %v >= star NLT %v", mesh.NLTDays, star.NLTDays)
+	}
+}
+
+func TestCoordinatorExemptFromLifetime(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 2, 30)
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Run()
+	// The chest coordinator relays everything: it must be the most
+	// power-hungry node, yet MaxPower must come from another node.
+	coordIdx := -1
+	for i, loc := range cfg.Locations {
+		if loc == body.Chest {
+			coordIdx = i
+		}
+	}
+	for i, p := range res.NodePower {
+		if i != coordIdx && p > res.NodePower[coordIdx] {
+			t.Errorf("node %d draws more than the relaying coordinator", i)
+		}
+	}
+	if res.MaxPower >= res.NodePower[coordIdx] {
+		t.Errorf("MaxPower %v includes the coordinator (%v)", res.MaxPower, res.NodePower[coordIdx])
+	}
+}
+
+func TestMeshLifetimeCountsAllNodes(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Mesh, 2, 30)
+	res, err := Run(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := phys.MilliWatt(0)
+	for _, p := range res.NodePower {
+		if p > max {
+			max = p
+		}
+	}
+	if res.MaxPower != max {
+		t.Errorf("mesh MaxPower %v != max node power %v", res.MaxPower, max)
+	}
+}
+
+func TestLifetimeEnergyArithmetic(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 1, 30)
+	res, err := Run(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := phys.LifetimeSeconds(cfg.BatteryJ, res.MaxPower)
+	if math.Abs(res.NLTSeconds-want) > 1e-9 {
+		t.Errorf("NLTSeconds = %v, want battery/power = %v", res.NLTSeconds, want)
+	}
+	if math.Abs(res.NLTDays-res.NLTSeconds/86400) > 1e-9 {
+		t.Errorf("NLTDays inconsistent with NLTSeconds")
+	}
+}
+
+func TestPowerAboveBaseline(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 0, 20)
+	res, err := Run(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.NodePower {
+		if p <= cfg.BaselineMW {
+			t.Errorf("node %d power %v not above baseline %v", i, p, cfg.BaselineMW)
+		}
+	}
+}
+
+func TestSimulatedPowerBelowAnalyticCeiling(t *testing.T) {
+	// Eq. (9) assumes every transmission round completes with all
+	// receptions; the simulation can only lose packets, so measured star
+	// power must not exceed the analytic value by more than protocol
+	// overhead slack.
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 2, 60)
+	res, err := Run(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := float64(len(cfg.Locations))
+	tpkt := cfg.Radio.PacketAirtime(cfg.App.Bytes)
+	mode := cfg.Radio.TxModes[cfg.TxMode]
+	analytic := float64(cfg.BaselineMW) + cfg.App.RatePPS*tpkt*
+		(float64(mode.ConsumptionMW)+2*(N-1)*float64(cfg.Radio.RxConsumptionMW))
+	if float64(res.MaxPower) > analytic*1.05 {
+		t.Errorf("simulated power %v exceeds analytic ceiling %v", res.MaxPower, analytic)
+	}
+}
+
+func TestBlockageReducesStarReliability(t *testing.T) {
+	base := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 2, 120)
+	noBlock := base
+	noBlock.Channel.BlockDB = 0
+	with, err := Run(base, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(noBlock, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.PDR >= without.PDR {
+		t.Errorf("blockage did not reduce PDR: %v vs %v", with.PDR, without.PDR)
+	}
+}
+
+func TestRunAveragedMatchesManualAverage(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 1, 20)
+	avg, err := RunAveraged(cfg, 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pdr float64
+	var maxP float64
+	for r := 0; r < 3; r++ {
+		res, err := Run(cfg, 500+uint64(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pdr += res.PDR
+		maxP += float64(res.MaxPower)
+	}
+	pdr /= 3
+	maxP /= 3
+	if math.Abs(avg.PDR-pdr) > 1e-12 {
+		t.Errorf("averaged PDR = %v, manual = %v", avg.PDR, pdr)
+	}
+	if math.Abs(float64(avg.MaxPower)-maxP) > 1e-12 {
+		t.Errorf("averaged power = %v, manual = %v", avg.MaxPower, maxP)
+	}
+	if math.Abs(avg.NLTSeconds-phys.LifetimeSeconds(cfg.BatteryJ, avg.MaxPower)) > 1e-9 {
+		t.Error("averaged NLT not recomputed from averaged power")
+	}
+}
+
+func TestPDRStdDevPopulated(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 1, 20)
+	avg, err := RunAveraged(cfg, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.PDRStdDev <= 0 {
+		t.Errorf("PDRStdDev = %v, want > 0 for a fading channel over 3 runs", avg.PDRStdDev)
+	}
+	if avg.PDRStdDev > 0.2 {
+		t.Errorf("PDRStdDev = %v implausibly large", avg.PDRStdDev)
+	}
+	single, err := RunAveraged(cfg, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.PDRStdDev != 0 {
+		t.Errorf("single-run PDRStdDev = %v, want 0", single.PDRStdDev)
+	}
+	// Manual check against the three runs.
+	var ps []float64
+	for r := 0; r < 3; r++ {
+		res, err := Run(cfg, 50+uint64(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, res.PDR)
+	}
+	mean := (ps[0] + ps[1] + ps[2]) / 3
+	var sq float64
+	for _, p := range ps {
+		sq += (p - mean) * (p - mean)
+	}
+	want := math.Sqrt(sq / 2)
+	if math.Abs(avg.PDRStdDev-want) > 1e-12 {
+		t.Errorf("PDRStdDev = %v, manual = %v", avg.PDRStdDev, want)
+	}
+}
+
+func TestFiveNodeMeshMoreReliableThanFour(t *testing.T) {
+	// The PDR gap between 4 and 5 nodes is a few tenths of a percent, so
+	// this comparison needs the paper's full 600 s × 3-run setting to
+	// rise above estimation noise.
+	four, err := RunAveraged(shortCfg([]int{0, 1, 3, 6}, TDMA, Mesh, 2, 600), 3, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := RunAveraged(shortCfg([]int{0, 1, 3, 6, 7}, TDMA, Mesh, 2, 600), 3, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if five.PDR < four.PDR {
+		t.Errorf("adding a redundancy node lowered PDR: %v -> %v", four.PDR, five.PDR)
+	}
+	if five.NLTDays >= four.NLTDays {
+		t.Errorf("adding a node should shorten lifetime: %v -> %v days", four.NLTDays, five.NLTDays)
+	}
+}
+
+func TestLabelFormat(t *testing.T) {
+	cfg := DefaultConfig([]int{0, 1, 3, 6}, CSMA, Star, 1)
+	if got := cfg.Label(); got != "[0 1 3 6] Star CSMA -10dBm" {
+		t.Errorf("Label = %q", got)
+	}
+	cfg2 := DefaultConfig([]int{0, 1, 4, 5}, TDMA, Mesh, 2)
+	if got := cfg2.Label(); got != "[0 1 4 5] Mesh TDMA +0dBm" {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+func TestResultTrafficAccounting(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 2, 30)
+	quietChannel(&cfg)
+	res, err := Run(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a quiet channel with TDMA every generated packet is delivered
+	// exactly once.
+	if res.Delivered != res.Sent {
+		t.Errorf("delivered %d != sent %d on a perfect channel", res.Delivered, res.Sent)
+	}
+	// Transmissions: N sources + coordinator relays for packets not
+	// addressed to it. With 4 nodes, the coordinator relays 2/3 of the
+	// traffic of the 3 non-coordinator nodes plus all packets between
+	// non-coordinator pairs... lower-bound sanity only:
+	if res.TxCount < res.Sent {
+		t.Errorf("tx count %d below packet count %d", res.TxCount, res.Sent)
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig([]int{0}, CSMA, Star, 1)
+	if _, err := Run(cfg, 1); err == nil {
+		t.Error("Run accepted an invalid config")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if CSMA.String() != "CSMA" || TDMA.String() != "TDMA" {
+		t.Error("MACKind strings")
+	}
+	if Star.String() != "Star" || Mesh.String() != "Mesh" {
+		t.Error("RoutingKind strings")
+	}
+}

@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"testing"
+
+	"hiopt/internal/phys"
+	"hiopt/internal/rng"
+)
+
+// TestRandomConfigInvariants fuzzes valid configurations and checks the
+// simulator's global invariants on each: probability ranges, conservation
+// of packets, energy above baseline, collision-freedom of TDMA, and
+// determinism.
+func TestRandomConfigInvariants(t *testing.T) {
+	g := rng.NewSource(20250706).Stream("fuzz")
+	for trial := 0; trial < 25; trial++ {
+		// Random topology: chest plus 1..5 random distinct others.
+		mask := uint16(1)
+		n := 2 + g.Intn(5)
+		for len(locationsOf(mask)) < n {
+			mask |= 1 << uint(1+g.Intn(9))
+		}
+		locs := locationsOf(mask)
+		macK := []MACKind{CSMA, TDMA}[g.Intn(2)]
+		rtK := []RoutingKind{Star, Mesh}[g.Intn(2)]
+		cfg := DefaultConfig(locs, macK, rtK, g.Intn(3))
+		cfg.Duration = 8 + g.Float64()*10
+		cfg.NHops = 1 + g.Intn(3)
+		cfg.App.RatePPS = 2 + g.Float64()*15
+		if g.Intn(3) == 0 {
+			cfg.CaptureDB = phys.DB(6 + g.Float64()*10)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid config: %v", trial, err)
+		}
+		seed := uint64(trial + 1)
+		res, err := Run(cfg, seed)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, cfg.Label(), err)
+		}
+		if res.PDR < 0 || res.PDR > 1 {
+			t.Errorf("trial %d: PDR %v", trial, res.PDR)
+		}
+		if res.Delivered > res.Sent {
+			t.Errorf("trial %d: delivered %d > sent %d", trial, res.Delivered, res.Sent)
+		}
+		for i, p := range res.NodePower {
+			if p < cfg.BaselineMW {
+				t.Errorf("trial %d: node %d power %v below baseline", trial, i, p)
+			}
+		}
+		if macK == TDMA && res.Collisions != 0 {
+			t.Errorf("trial %d: TDMA collided %d times (%s)", trial, res.Collisions, cfg.Label())
+		}
+		if res.MeanLatency < 0 || (res.Delivered > 0 && res.MeanLatency == 0) {
+			t.Errorf("trial %d: latency accounting broken: %v", trial, res.MeanLatency)
+		}
+		// Determinism.
+		res2, err := Run(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.PDR != res.PDR || res2.TxCount != res.TxCount || res2.Events != res.Events {
+			t.Errorf("trial %d: nondeterministic (%s)", trial, cfg.Label())
+		}
+	}
+}
+
+func locationsOf(mask uint16) []int {
+	var out []int
+	for i := 0; i < 16; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package phys provides physical-unit helpers shared across the Human
+// Intranet stack: decibel/linear power conversions, link-budget tests, and
+// the handful of unit types (dBm, milliwatts, joules) that the radio,
+// channel, and energy-accounting layers exchange.
+//
+// Conventions:
+//
+//   - Transmit powers and receiver sensitivities are expressed in dBm.
+//   - Power consumptions are expressed in milliwatts (mW).
+//   - Stored energy is expressed in joules (J).
+//   - Path loss is a positive attenuation in dB.
+package phys
+
+import "math"
+
+// DBm is a signal power level in decibel-milliwatts.
+type DBm float64
+
+// DB is a power ratio in decibels (used for path loss and fade margins).
+type DB float64
+
+// MilliWatt is a power in milliwatts, used both for radiated power and for
+// circuit power consumption.
+type MilliWatt float64
+
+// Joule is an amount of energy.
+type Joule float64
+
+// MilliWattToDBm converts a linear power in mW to dBm.
+// MilliWattToDBm(1) == 0 dBm; MilliWattToDBm(100) == 20 dBm.
+func MilliWattToDBm(p MilliWatt) DBm {
+	return DBm(10 * math.Log10(float64(p)))
+}
+
+// DBmToMilliWatt converts a power level in dBm to linear milliwatts.
+func DBmToMilliWatt(p DBm) MilliWatt {
+	return MilliWatt(math.Pow(10, float64(p)/10))
+}
+
+// ReceivedPower returns the signal level at a receiver given the
+// transmitter output power and the instantaneous path loss between the two
+// locations.
+func ReceivedPower(tx DBm, pathLoss DB) DBm {
+	return tx - DBm(pathLoss)
+}
+
+// LinkClosed reports whether a transmission at power tx survives a channel
+// with the given path loss at a receiver with the given sensitivity, i.e.
+// the paper's reception condition TxdBm >= RxdBm + PL(t).
+func LinkClosed(tx DBm, pathLoss DB, sensitivity DBm) bool {
+	return ReceivedPower(tx, pathLoss) >= sensitivity
+}
+
+// LinkMargin returns the fade margin of a link in dB: how many additional
+// dB of path loss the link tolerates before reception fails. Negative
+// values mean the link is open (broken).
+func LinkMargin(tx DBm, pathLoss DB, sensitivity DBm) DB {
+	return DB(ReceivedPower(tx, pathLoss) - sensitivity)
+}
+
+// EnergyConsumed returns the energy drawn by a load of power p running for
+// seconds s.
+func EnergyConsumed(p MilliWatt, seconds float64) Joule {
+	return Joule(float64(p) / 1000 * seconds)
+}
+
+// LifetimeSeconds returns how long stored energy e sustains a constant
+// power draw p, in seconds. It returns +Inf for a non-positive draw.
+func LifetimeSeconds(e Joule, p MilliWatt) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return float64(e) / (float64(p) / 1000)
+}
+
+// SecondsPerDay is the number of seconds in one day, used when reporting
+// network lifetime in the paper's units (days).
+const SecondsPerDay = 24 * 60 * 60
+
+// Days converts a duration in seconds to days.
+func Days(seconds float64) float64 { return seconds / SecondsPerDay }

@@ -1,0 +1,110 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMilliWattToDBmKnownPoints(t *testing.T) {
+	cases := []struct {
+		mw  MilliWatt
+		dbm DBm
+	}{
+		{1, 0},
+		{10, 10},
+		{100, 20},
+		{0.1, -10},
+		{0.001, -30},
+		{2, 3.0102999566},
+	}
+	for _, c := range cases {
+		if got := MilliWattToDBm(c.mw); !almostEqual(float64(got), float64(c.dbm), 1e-6) {
+			t.Errorf("MilliWattToDBm(%v) = %v, want %v", c.mw, got, c.dbm)
+		}
+	}
+}
+
+func TestDBmToMilliWattKnownPoints(t *testing.T) {
+	cases := []struct {
+		dbm DBm
+		mw  MilliWatt
+	}{
+		{0, 1},
+		{-20, 0.01},
+		{-10, 0.1},
+		{18.3, 67.608297539},
+	}
+	for _, c := range cases {
+		if got := DBmToMilliWatt(c.dbm); !almostEqual(float64(got), float64(c.mw), 1e-6) {
+			t.Errorf("DBmToMilliWatt(%v) = %v, want %v", c.dbm, got, c.mw)
+		}
+	}
+}
+
+func TestDBmRoundTripProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		// Constrain to a physically sensible dBm range.
+		dbm := DBm(math.Mod(math.Abs(raw), 200) - 100)
+		back := MilliWattToDBm(DBmToMilliWatt(dbm))
+		return almostEqual(float64(back), float64(dbm), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkClosedBoundary(t *testing.T) {
+	// Tx 0 dBm, sensitivity -97 dBm: closes iff path loss <= 97 dB.
+	if !LinkClosed(0, 97, -97) {
+		t.Error("link with exactly zero margin should be closed")
+	}
+	if LinkClosed(0, 97.001, -97) {
+		t.Error("link 0.001 dB past the budget should be open")
+	}
+	if !LinkClosed(-10, 86, -97) {
+		t.Error("-10 dBm over 86 dB loss should reach -96 dBm > -97 dBm sensitivity")
+	}
+}
+
+func TestLinkMarginSigns(t *testing.T) {
+	if m := LinkMargin(0, 90, -97); !almostEqual(float64(m), 7, 1e-12) {
+		t.Errorf("margin = %v, want 7", m)
+	}
+	if m := LinkMargin(-20, 90, -97); !almostEqual(float64(m), -13, 1e-12) {
+		t.Errorf("margin = %v, want -13", m)
+	}
+}
+
+func TestEnergyAndLifetime(t *testing.T) {
+	// 1 mW for 1000 s is 1 J.
+	if e := EnergyConsumed(1, 1000); !almostEqual(float64(e), 1, 1e-12) {
+		t.Errorf("EnergyConsumed = %v, want 1", e)
+	}
+	// A CR2032-like 2430 J at 1 mW lasts 2.43e6 s ≈ 28.1 days.
+	life := LifetimeSeconds(2430, 1)
+	if !almostEqual(life, 2.43e6, 1) {
+		t.Errorf("LifetimeSeconds = %v, want 2.43e6", life)
+	}
+	if d := Days(life); !almostEqual(d, 28.125, 1e-9) {
+		t.Errorf("Days = %v, want 28.125", d)
+	}
+	if !math.IsInf(LifetimeSeconds(10, 0), 1) {
+		t.Error("zero draw should give infinite lifetime")
+	}
+}
+
+func TestLifetimeEnergyConsistencyProperty(t *testing.T) {
+	f := func(pRaw, eRaw float64) bool {
+		p := MilliWatt(1e-3 + math.Mod(math.Abs(pRaw), 100))
+		e := Joule(1e-3 + math.Mod(math.Abs(eRaw), 10000))
+		life := LifetimeSeconds(e, p)
+		// Consuming p for the whole lifetime must drain exactly e.
+		return almostEqual(float64(EnergyConsumed(p, life)), float64(e), 1e-6*float64(e))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package radio is the physical-layer component library of the Human
+// Intranet platform: radio chip specifications (carrier, bit rate,
+// receiver sensitivity, and the per-mode transmit power / power
+// consumption pairs the MILP selects among), plus the link-budget and
+// airtime arithmetic the simulator and the analytic power model share.
+//
+// The library ships the paper's radio — the Texas Instruments CC2650
+// (Table 1) — together with two additional commercial 2.4 GHz WBAN-class
+// radios so downstream users can explore alternative component choices.
+package radio
+
+import (
+	"fmt"
+
+	"hiopt/internal/phys"
+)
+
+// TxMode is one selectable transmitter operating point.
+type TxMode struct {
+	// Name identifies the mode (the paper's p1, p2, p3).
+	Name string
+	// OutputDBm is the radiated power TxdBm.
+	OutputDBm phys.DBm
+	// ConsumptionMW is the transmitter circuit power TxmW while sending.
+	ConsumptionMW phys.MilliWatt
+}
+
+// Spec is a radio chip specification.
+type Spec struct {
+	// Name is the part number.
+	Name string
+	// CarrierGHz is the carrier frequency fc in GHz.
+	CarrierGHz float64
+	// BitRateKbps is the over-the-air bit rate BR in kbit/s.
+	BitRateKbps float64
+	// SensitivityDBm is the receiver sensitivity RxdBm.
+	SensitivityDBm phys.DBm
+	// RxConsumptionMW is the receiver circuit power RxmW while receiving.
+	RxConsumptionMW phys.MilliWatt
+	// TxModes are the selectable transmit operating points, in increasing
+	// output power order.
+	TxModes []TxMode
+}
+
+// CC2650 returns the paper's Table 1 specification of the TI CC2650 BLE
+// radio. The −20 and −10 dBm consumption figures are the paper's
+// extrapolations (marked "not present in datasheet").
+func CC2650() Spec {
+	return Spec{
+		Name:            "TI CC2650",
+		CarrierGHz:      2.4,
+		BitRateKbps:     1024,
+		SensitivityDBm:  -97,
+		RxConsumptionMW: 17.7,
+		TxModes: []TxMode{
+			{Name: "p1", OutputDBm: -20, ConsumptionMW: 9.55},
+			{Name: "p2", OutputDBm: -10, ConsumptionMW: 11.56},
+			{Name: "p3", OutputDBm: 0, ConsumptionMW: 18.3},
+		},
+	}
+}
+
+// NRF51822 returns a Nordic nRF51822 BLE radio entry (datasheet figures at
+// 3 V with DC/DC), provided as a library alternative to the CC2650.
+func NRF51822() Spec {
+	return Spec{
+		Name:            "Nordic nRF51822",
+		CarrierGHz:      2.4,
+		BitRateKbps:     1000,
+		SensitivityDBm:  -93,
+		RxConsumptionMW: 39.0,
+		TxModes: []TxMode{
+			{Name: "m20", OutputDBm: -20, ConsumptionMW: 21.0},
+			{Name: "m8", OutputDBm: -8, ConsumptionMW: 23.4},
+			{Name: "p0", OutputDBm: 0, ConsumptionMW: 31.8},
+			{Name: "p4", OutputDBm: 4, ConsumptionMW: 48.0},
+		},
+	}
+}
+
+// CC2541 returns a TI CC2541 BLE radio entry (previous-generation part),
+// provided as a library alternative with a worse energy profile.
+func CC2541() Spec {
+	return Spec{
+		Name:            "TI CC2541",
+		CarrierGHz:      2.4,
+		BitRateKbps:     1000,
+		SensitivityDBm:  -94,
+		RxConsumptionMW: 53.1,
+		TxModes: []TxMode{
+			{Name: "m20", OutputDBm: -20, ConsumptionMW: 46.5},
+			{Name: "m6", OutputDBm: -6, ConsumptionMW: 51.6},
+			{Name: "p0", OutputDBm: 0, ConsumptionMW: 55.2},
+		},
+	}
+}
+
+// Library returns the full component library in a stable order, with the
+// paper's radio first.
+func Library() []Spec {
+	return []Spec{CC2650(), NRF51822(), CC2541()}
+}
+
+// ByName looks a radio up in the library.
+func ByName(name string) (Spec, error) {
+	for _, s := range Library() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("radio: no library entry named %q", name)
+}
+
+// PacketAirtime returns the on-air duration Tpkt = 8L/BR in seconds of a
+// packet with the given payload length in bytes.
+func (s Spec) PacketAirtime(bytes int) float64 {
+	return float64(8*bytes) / (s.BitRateKbps * 1000)
+}
+
+// Mode returns the TxMode at the given index.
+func (s Spec) Mode(i int) TxMode {
+	return s.TxModes[i]
+}
+
+// ModeByOutput returns the index of the mode with the given radiated
+// power, or -1 if absent.
+func (s Spec) ModeByOutput(dbm phys.DBm) int {
+	for i, m := range s.TxModes {
+		if m.OutputDBm == dbm {
+			return i
+		}
+	}
+	return -1
+}
+
+// Receivable reports whether a transmission in mode modeIdx survives the
+// given instantaneous path loss at this radio's receiver: the paper's
+// condition TxdBm >= RxdBm + PL(t).
+func (s Spec) Receivable(modeIdx int, pl phys.DB) bool {
+	return phys.LinkClosed(s.TxModes[modeIdx].OutputDBm, pl, s.SensitivityDBm)
+}

@@ -1,0 +1,131 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"hiopt/internal/phys"
+)
+
+func TestCC2650MatchesTable1(t *testing.T) {
+	s := CC2650()
+	if s.CarrierGHz != 2.4 {
+		t.Errorf("fc = %v, want 2.4", s.CarrierGHz)
+	}
+	if s.BitRateKbps != 1024 {
+		t.Errorf("BR = %v, want 1024", s.BitRateKbps)
+	}
+	if s.SensitivityDBm != -97 {
+		t.Errorf("RxdBm = %v, want -97", s.SensitivityDBm)
+	}
+	if s.RxConsumptionMW != 17.7 {
+		t.Errorf("RxmW = %v, want 17.7", s.RxConsumptionMW)
+	}
+	want := []TxMode{
+		{"p1", -20, 9.55},
+		{"p2", -10, 11.56},
+		{"p3", 0, 18.3},
+	}
+	if len(s.TxModes) != 3 {
+		t.Fatalf("len(TxModes) = %d, want 3", len(s.TxModes))
+	}
+	for i, m := range want {
+		if s.TxModes[i] != m {
+			t.Errorf("TxModes[%d] = %+v, want %+v", i, s.TxModes[i], m)
+		}
+	}
+}
+
+func TestTxModesAscendingPower(t *testing.T) {
+	for _, s := range Library() {
+		for i := 1; i < len(s.TxModes); i++ {
+			if s.TxModes[i].OutputDBm <= s.TxModes[i-1].OutputDBm {
+				t.Errorf("%s: tx modes not ascending at %d", s.Name, i)
+			}
+			if s.TxModes[i].ConsumptionMW <= s.TxModes[i-1].ConsumptionMW {
+				t.Errorf("%s: higher output must consume more at mode %d", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestPacketAirtimePaperValue(t *testing.T) {
+	// Tpkt = 8L/BR = 800 / 1_024_000 = 0.78125 ms for 100-byte packets.
+	got := CC2650().PacketAirtime(100)
+	if math.Abs(got-0.00078125) > 1e-12 {
+		t.Errorf("airtime = %v, want 0.00078125", got)
+	}
+}
+
+func TestPacketAirtimeScalesLinearly(t *testing.T) {
+	s := CC2650()
+	if s.PacketAirtime(200) != 2*s.PacketAirtime(100) {
+		t.Error("airtime not linear in packet length")
+	}
+}
+
+func TestReceivableBoundary(t *testing.T) {
+	s := CC2650()
+	// Mode p3 (0 dBm) over a 97 dB channel arrives exactly at -97 dBm.
+	if !s.Receivable(2, 97) {
+		t.Error("0 dBm over 97 dB should be exactly receivable")
+	}
+	if s.Receivable(2, 97.01) {
+		t.Error("0 dBm over 97.01 dB should not be receivable")
+	}
+	// Mode p1 (-20 dBm) has 20 dB less budget.
+	if s.Receivable(0, 78) {
+		t.Error("-20 dBm over 78 dB should not be receivable")
+	}
+	if !s.Receivable(0, 77) {
+		t.Error("-20 dBm over 77 dB should be receivable")
+	}
+}
+
+func TestModeByOutput(t *testing.T) {
+	s := CC2650()
+	if i := s.ModeByOutput(-10); i != 1 {
+		t.Errorf("ModeByOutput(-10) = %d, want 1", i)
+	}
+	if i := s.ModeByOutput(5); i != -1 {
+		t.Errorf("ModeByOutput(5) = %d, want -1", i)
+	}
+}
+
+func TestLibraryAndByName(t *testing.T) {
+	lib := Library()
+	if len(lib) < 3 {
+		t.Fatalf("library has %d entries, want >= 3", len(lib))
+	}
+	if lib[0].Name != "TI CC2650" {
+		t.Errorf("library[0] = %q, want the paper's radio first", lib[0].Name)
+	}
+	for _, s := range lib {
+		got, err := ByName(s.Name)
+		if err != nil || got.Name != s.Name {
+			t.Errorf("ByName(%q) failed: %v", s.Name, err)
+		}
+		if len(s.TxModes) == 0 || s.SensitivityDBm >= 0 || s.RxConsumptionMW <= 0 {
+			t.Errorf("library entry %q has implausible fields: %+v", s.Name, s)
+		}
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("ByName on unknown radio should error")
+	}
+}
+
+func TestLinkBudgetConsistencyAcrossModes(t *testing.T) {
+	// A channel receivable at a lower power mode must be receivable at
+	// every higher mode.
+	s := CC2650()
+	for pl := phys.DB(60); pl <= 100; pl += 0.5 {
+		prev := false
+		for i := range s.TxModes {
+			got := s.Receivable(i, pl)
+			if prev && !got {
+				t.Fatalf("pl=%v receivable at mode %d but not %d", pl, i-1, i)
+			}
+			prev = got
+		}
+	}
+}

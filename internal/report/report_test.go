@@ -1,0 +1,57 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b bytes.Buffer
+	Table(&b, []string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	// Value column must start at the same offset on every row.
+	idx := strings.Index(lines[0], "value")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[3][idx:], "22") {
+		t.Errorf("misaligned value column:\n%s", b.String())
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing header rule:\n%s", b.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var b bytes.Buffer
+	err := CSV(&b, []string{"a", "b"}, [][]string{{"x,y", `quote"inside`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, `"x,y"`) || !strings.Contains(got, `"quote""inside"`) {
+		t.Errorf("CSV escaping wrong:\n%s", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.9042) != "90.42%" {
+		t.Errorf("Pct = %q", Pct(0.9042))
+	}
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+	if Days(11.678) != "11.68 d" {
+		t.Errorf("Days = %q", Days(11.678))
+	}
+	if MW(0.86012) != "0.8601 mW" {
+		t.Errorf("MW = %q", MW(0.86012))
+	}
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ScatterSeries is one mark class of an ASCII scatter plot.
+type ScatterSeries struct {
+	// Name labels the series in the legend.
+	Name string
+	// Mark is the character drawn for the series' points.
+	Mark rune
+	// X and Y are the point coordinates (equal length).
+	X, Y []float64
+}
+
+// Scatter renders an ASCII scatter plot — the terminal rendition of the
+// paper's Fig. 3 — with linear axes sized to the data envelope. Points
+// from later series overdraw earlier ones on cell collisions.
+func Scatter(w io.Writer, series []ScatterSeries, width, height int, xLabel, yLabel string) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		fmt.Fprintln(w, "(no points)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for _, s := range series {
+		for i := range s.X {
+			c := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			r := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-r][c] = s.Mark
+		}
+	}
+	fmt.Fprintf(w, "%s\n", yLabel)
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%8.1f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(w, "%9s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%9s %-*.1f%*.1f  %s\n", "", width/2, minX, width-width/2, maxX, xLabel)
+	var legend []string
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c = %s", s.Mark, s.Name))
+	}
+	fmt.Fprintf(w, "%9s %s\n", "", strings.Join(legend, "   "))
+}

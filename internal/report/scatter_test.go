@@ -1,0 +1,61 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScatterPlacesExtremes(t *testing.T) {
+	var b bytes.Buffer
+	Scatter(&b, []ScatterSeries{
+		{Name: "s", Mark: '*', X: []float64{0, 10}, Y: []float64{0, 100}},
+	}, 20, 10, "x", "y")
+	out := b.String()
+	lines := strings.Split(out, "\n")
+	// Top data row holds the max-Y point at the right edge; bottom data
+	// row the min at the left edge.
+	top := lines[1]
+	if !strings.Contains(top, "100.0") || !strings.HasSuffix(strings.TrimRight(top, " "), "*|") {
+		t.Errorf("max point misplaced: %q", top)
+	}
+	bottom := lines[10]
+	if !strings.Contains(bottom, "|*") {
+		t.Errorf("min point misplaced: %q", bottom)
+	}
+	if !strings.Contains(out, "* = s") {
+		t.Error("legend missing")
+	}
+}
+
+func TestScatterMultipleSeries(t *testing.T) {
+	var b bytes.Buffer
+	Scatter(&b, []ScatterSeries{
+		{Name: "star", Mark: 'o', X: []float64{1, 2}, Y: []float64{1, 2}},
+		{Name: "mesh", Mark: 'x', X: []float64{3}, Y: []float64{3}},
+	}, 30, 10, "NLT", "PDR")
+	out := b.String()
+	if !strings.ContainsRune(out, 'o') || !strings.ContainsRune(out, 'x') {
+		t.Errorf("series marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o = star") || !strings.Contains(out, "x = mesh") {
+		t.Error("legend incomplete")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	var b bytes.Buffer
+	Scatter(&b, nil, 20, 10, "x", "y")
+	if !strings.Contains(b.String(), "no points") {
+		t.Error("empty scatter not handled")
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	var b bytes.Buffer
+	// All points identical: must not divide by zero.
+	Scatter(&b, []ScatterSeries{{Name: "p", Mark: '#', X: []float64{5, 5}, Y: []float64{7, 7}}}, 20, 10, "x", "y")
+	if !strings.ContainsRune(b.String(), '#') {
+		t.Error("degenerate-range point not drawn")
+	}
+}

@@ -1,0 +1,297 @@
+package routing
+
+import (
+	"testing"
+
+	"hiopt/internal/des"
+	"hiopt/internal/rng"
+	"hiopt/internal/stack"
+)
+
+// fakeEnv records layer interactions for routing tests.
+type fakeEnv struct {
+	sim       *des.Simulator
+	src       *rng.Source
+	id        int
+	n         int
+	coord     bool
+	sentDown  []stack.Packet
+	delivered []stack.Packet
+	full      bool // simulate MAC buffer overflow
+}
+
+func newFakeEnv(id, n int, coord bool) *fakeEnv {
+	return &fakeEnv{sim: des.New(), src: rng.NewSource(3), id: id, n: n, coord: coord}
+}
+
+func (f *fakeEnv) NodeID() int                     { return f.id }
+func (f *fakeEnv) NumNodes() int                   { return f.n }
+func (f *fakeEnv) Now() float64                    { return f.sim.Now() }
+func (f *fakeEnv) RNG(name string) *rng.Stream     { return f.src.Stream(name) }
+func (f *fakeEnv) CarrierBusy() bool               { return false }
+func (f *fakeEnv) Transmitting() bool              { return false }
+func (f *fakeEnv) Transmit(p stack.Packet)         {}
+func (f *fakeEnv) Airtime() float64                { return 0.00078125 }
+func (f *fakeEnv) SlotSeconds() float64            { return 0.001 }
+func (f *fakeEnv) NextOwnedSlot(t float64) float64 { return t }
+func (f *fakeEnv) IsCoordinator() bool             { return f.coord }
+
+func (f *fakeEnv) After(delay float64, fn func()) stack.Canceler {
+	return f.sim.Schedule(delay, fn)
+}
+
+func (f *fakeEnv) PassUp(p stack.Packet) {}
+
+func (f *fakeEnv) SendDown(p stack.Packet) bool {
+	if f.full {
+		return false
+	}
+	f.sentDown = append(f.sentDown, p)
+	return true
+}
+
+func (f *fakeEnv) Deliver(p stack.Packet) { f.delivered = append(f.delivered, p) }
+
+var _ stack.Env = (*fakeEnv)(nil)
+
+func mkPkt(origin, dst int, seq uint32) stack.Packet {
+	return stack.Packet{Origin: origin, Dst: dst, Seq: seq, Bytes: 100}
+}
+
+// --- Star ---
+
+func TestStarSourceSendsDown(t *testing.T) {
+	env := newFakeEnv(1, 4, false)
+	s := NewStar(env)
+	s.Start()
+	s.FromApp(mkPkt(1, 2, 0))
+	if len(env.sentDown) != 1 {
+		t.Fatalf("sentDown = %d, want 1", len(env.sentDown))
+	}
+	if env.sentDown[0].StarRelay {
+		t.Error("source packet must not be marked as relay")
+	}
+}
+
+func TestStarCoordinatorRelaysOnce(t *testing.T) {
+	env := newFakeEnv(0, 4, true)
+	s := NewStar(env)
+	s.Start()
+	p := mkPkt(1, 2, 0)
+	s.FromMAC(p)
+	s.FromMAC(p) // duplicate copy heard again
+	if len(env.sentDown) != 1 {
+		t.Fatalf("coordinator relayed %d times, want 1", len(env.sentDown))
+	}
+	if !env.sentDown[0].StarRelay {
+		t.Error("relay copy must be marked StarRelay")
+	}
+	if s.Relayed() != 1 {
+		t.Errorf("Relayed() = %d, want 1", s.Relayed())
+	}
+}
+
+func TestStarCoordinatorDoesNotRelayPacketsForItself(t *testing.T) {
+	env := newFakeEnv(0, 4, true)
+	s := NewStar(env)
+	s.Start()
+	s.FromMAC(mkPkt(1, 0, 0)) // addressed to the coordinator
+	if len(env.sentDown) != 0 {
+		t.Error("coordinator relayed a packet addressed to itself")
+	}
+	if len(env.delivered) != 1 {
+		t.Error("coordinator did not deliver its own packet")
+	}
+}
+
+func TestStarCoordinatorDoesNotRelayRelays(t *testing.T) {
+	env := newFakeEnv(0, 4, true)
+	s := NewStar(env)
+	s.Start()
+	p := mkPkt(1, 2, 0)
+	p.StarRelay = true
+	s.FromMAC(p)
+	if len(env.sentDown) != 0 {
+		t.Error("coordinator re-relayed a relay copy")
+	}
+}
+
+func TestStarDestinationDeliversOnceAcrossCopies(t *testing.T) {
+	env := newFakeEnv(2, 4, false)
+	s := NewStar(env)
+	s.Start()
+	orig := mkPkt(1, 2, 7)
+	relay := orig
+	relay.StarRelay = true
+	s.FromMAC(orig)  // direct reception
+	s.FromMAC(relay) // coordinator's copy
+	if len(env.delivered) != 1 {
+		t.Fatalf("delivered %d, want exactly 1 (dedup)", len(env.delivered))
+	}
+	// Distinct sequence numbers must both deliver.
+	s.FromMAC(mkPkt(1, 2, 8))
+	if len(env.delivered) != 2 {
+		t.Error("distinct packet suppressed by dedup")
+	}
+}
+
+func TestStarNonCoordinatorIgnoresForeignTraffic(t *testing.T) {
+	env := newFakeEnv(3, 4, false)
+	s := NewStar(env)
+	s.Start()
+	s.FromMAC(mkPkt(1, 2, 0)) // overheard, not for us
+	if len(env.sentDown) != 0 || len(env.delivered) != 0 {
+		t.Error("non-coordinator acted on foreign traffic")
+	}
+}
+
+// --- Mesh ---
+
+func TestMeshOriginStampsHistory(t *testing.T) {
+	env := newFakeEnv(1, 5, false)
+	m := NewMesh(env, 2)
+	m.Start()
+	m.FromApp(mkPkt(1, 3, 0))
+	if len(env.sentDown) != 1 {
+		t.Fatal("origin did not flood")
+	}
+	got := env.sentDown[0]
+	if got.Hops != 0 || got.Visited != 1<<1 {
+		t.Errorf("origin copy hops=%d visited=%b", got.Hops, got.Visited)
+	}
+}
+
+func TestMeshDestinationDeliversAndDoesNotRelay(t *testing.T) {
+	env := newFakeEnv(3, 5, false)
+	m := NewMesh(env, 2)
+	m.Start()
+	p := mkPkt(1, 3, 0)
+	p.Visited = 1 << 1
+	m.FromMAC(p)
+	if len(env.delivered) != 1 {
+		t.Error("destination did not deliver")
+	}
+	if len(env.sentDown) != 0 {
+		t.Error("destination rebroadcast a packet addressed to it")
+	}
+}
+
+func TestMeshRelayIncrementsHopAndHistory(t *testing.T) {
+	env := newFakeEnv(2, 5, false)
+	m := NewMesh(env, 2)
+	m.Start()
+	p := mkPkt(1, 3, 0)
+	p.Visited = 1 << 1
+	m.FromMAC(p)
+	if len(env.sentDown) != 1 {
+		t.Fatal("relay did not rebroadcast")
+	}
+	got := env.sentDown[0]
+	if got.Hops != 1 {
+		t.Errorf("relayed hops = %d, want 1", got.Hops)
+	}
+	if got.Visited != (1<<1 | 1<<2) {
+		t.Errorf("relayed visited = %b, want origin+self", got.Visited)
+	}
+}
+
+func TestMeshBlocksAtHopLimit(t *testing.T) {
+	env := newFakeEnv(2, 5, false)
+	m := NewMesh(env, 2)
+	m.Start()
+	p := mkPkt(1, 3, 0)
+	p.Hops = 2 // already visited NHops relays
+	p.Visited = 1<<1 | 1<<0 | 1<<4
+	m.FromMAC(p)
+	if len(env.sentDown) != 0 {
+		t.Error("relayed beyond the hop limit")
+	}
+}
+
+func TestMeshDoesNotRevisit(t *testing.T) {
+	env := newFakeEnv(2, 5, false)
+	m := NewMesh(env, 2)
+	m.Start()
+	p := mkPkt(1, 3, 0)
+	p.Hops = 1
+	p.Visited = 1<<1 | 1<<2 // we are already in the history
+	m.FromMAC(p)
+	if len(env.sentDown) != 0 {
+		t.Error("node relayed a copy it already carried")
+	}
+}
+
+func TestMeshIgnoresOwnEcho(t *testing.T) {
+	env := newFakeEnv(1, 5, false)
+	m := NewMesh(env, 2)
+	m.Start()
+	p := mkPkt(1, 3, 0)
+	p.Hops = 1
+	p.Visited = 1<<1 | 1<<4
+	m.FromMAC(p)
+	if len(env.sentDown) != 0 {
+		t.Error("origin relayed an echo of its own packet")
+	}
+}
+
+func TestMeshRelaysDistinctCopiesOfSamePacket(t *testing.T) {
+	// Per-copy relaying (not per-packet): two copies of the same flow via
+	// different relays must both be rebroadcast — this is what makes the
+	// transmission count match the paper's NreTx = 1+(N-2)² formula.
+	env := newFakeEnv(2, 6, false)
+	m := NewMesh(env, 2)
+	m.Start()
+	c1 := mkPkt(1, 3, 0)
+	c1.Hops = 1
+	c1.Visited = 1<<1 | 1<<4 // came via relay 4
+	c2 := mkPkt(1, 3, 0)
+	c2.Hops = 1
+	c2.Visited = 1<<1 | 1<<5 // came via relay 5
+	m.FromMAC(c1)
+	m.FromMAC(c2)
+	if len(env.sentDown) != 2 {
+		t.Fatalf("relayed %d copies, want 2 (per-copy flooding)", len(env.sentDown))
+	}
+	if m.Relayed() != 2 {
+		t.Errorf("Relayed() = %d, want 2", m.Relayed())
+	}
+}
+
+func TestMeshDeliveryDedupAcrossCopies(t *testing.T) {
+	env := newFakeEnv(3, 6, false)
+	m := NewMesh(env, 2)
+	m.Start()
+	c1 := mkPkt(1, 3, 0)
+	c1.Visited = 1 << 1
+	c2 := mkPkt(1, 3, 0)
+	c2.Hops = 1
+	c2.Visited = 1<<1 | 1<<4
+	m.FromMAC(c1)
+	m.FromMAC(c2)
+	if len(env.delivered) != 1 {
+		t.Fatalf("delivered %d copies, want 1", len(env.delivered))
+	}
+}
+
+func TestMeshRelayCountsOnlyAcceptedPackets(t *testing.T) {
+	env := newFakeEnv(2, 5, false)
+	env.full = true // MAC rejects everything
+	m := NewMesh(env, 2)
+	m.Start()
+	p := mkPkt(1, 3, 0)
+	p.Visited = 1 << 1
+	m.FromMAC(p)
+	if m.Relayed() != 0 {
+		t.Error("Relayed counted a packet the MAC dropped")
+	}
+}
+
+func TestNamesAndStart(t *testing.T) {
+	env := newFakeEnv(0, 4, true)
+	if NewStar(env).Name() != "star" {
+		t.Error("star name")
+	}
+	if NewMesh(env, 2).Name() != "mesh" {
+		t.Error("mesh name")
+	}
+}

@@ -1,0 +1,83 @@
+// Package routing implements the Human Intranet network-layer library: the
+// two topologies of the paper's component library (§2.1.2) — the classic
+// WBAN star with a central coordinator hub, and a multi-hop mesh using
+// controlled flooding with a hop counter and visited-node history.
+package routing
+
+import "hiopt/internal/stack"
+
+// Star routes every packet through the coordinator hub. The source
+// broadcasts; the coordinator rebroadcasts each first-seen packet so the
+// destination can receive it even without a direct link. Because the
+// medium is broadcast, a destination may also catch the source's original
+// transmission directly — this is the paper's Eq. (5) factor of two (each
+// node can receive both the original packet and the coordinator's
+// retransmitted copy).
+type Star struct {
+	env stack.Env
+	// seen dedups the coordinator's relaying (only populated on the
+	// coordinator node).
+	seen map[uint64]struct{}
+	// delivered dedups application delivery (original vs relay copy).
+	delivered map[uint64]struct{}
+	// relayed counts coordinator rebroadcasts for diagnostics.
+	relayed uint64
+}
+
+// NewStar binds a star routing instance to a node environment.
+func NewStar(env stack.Env) *Star {
+	return &Star{
+		env:       env,
+		seen:      make(map[uint64]struct{}),
+		delivered: make(map[uint64]struct{}),
+	}
+}
+
+// Name implements stack.Routing.
+func (s *Star) Name() string { return "star" }
+
+// Start implements stack.Routing.
+func (s *Star) Start() {}
+
+// Relayed returns the number of packets this node rebroadcast as
+// coordinator.
+func (s *Star) Relayed() uint64 { return s.relayed }
+
+// FromApp implements stack.Routing: locally generated packets go straight
+// to the MAC (the broadcast reaches the coordinator, which relays).
+func (s *Star) FromApp(p stack.Packet) {
+	s.env.SendDown(p)
+}
+
+// FromMAC implements stack.Routing.
+func (s *Star) FromMAC(p stack.Packet) {
+	me := s.env.NodeID()
+	if p.Dst == me {
+		s.deliverOnce(p)
+		// The destination does not relay, even when it is the coordinator.
+		return
+	}
+	if !s.env.IsCoordinator() || p.StarRelay {
+		// Non-coordinator nodes overhear foreign traffic and ignore it;
+		// relay copies are never re-relayed.
+		return
+	}
+	key := p.FlowKey()
+	if _, dup := s.seen[key]; dup {
+		return
+	}
+	s.seen[key] = struct{}{}
+	relay := p
+	relay.StarRelay = true
+	s.relayed++
+	s.env.SendDown(relay)
+}
+
+func (s *Star) deliverOnce(p stack.Packet) {
+	key := p.FlowKey()
+	if _, dup := s.delivered[key]; dup {
+		return
+	}
+	s.delivered[key] = struct{}{}
+	s.env.Deliver(p)
+}

@@ -1,0 +1,126 @@
+// Package stack defines the types and interfaces shared by the layers of a
+// Human Intranet node — the four-layer decomposition of the paper's §2.1.2
+// (radio, MAC, routing, application). Concrete MAC protocols live in
+// internal/mac, routing protocols in internal/routing, the traffic and
+// bookkeeping layer in internal/app, and internal/netsim wires them
+// together over the internal/des kernel and internal/channel medium.
+package stack
+
+import "hiopt/internal/rng"
+
+// Packet is one application packet copy traveling through the network.
+// Copies are passed by value; relaying layers mutate their own copy's
+// Hops/Visited/StarRelay fields.
+type Packet struct {
+	// Origin is the node index (not location index) that generated the
+	// packet.
+	Origin int
+	// Dst is the node index of the final destination.
+	Dst int
+	// Seq is the per-(Origin,Dst) application sequence number.
+	Seq uint32
+	// Hops counts relay visits (mesh controlled flooding); the origin
+	// transmits with Hops = 0.
+	Hops uint8
+	// Visited is a bitmask of node indices this copy has been relayed by
+	// (including the origin), implementing the paper's "history of the
+	// nodes reached by the packet".
+	Visited uint16
+	// Bytes is the physical-layer packet length L.
+	Bytes int
+	// StarRelay marks the coordinator's rebroadcast copy in a star
+	// topology.
+	StarRelay bool
+	// Born is the application-layer generation time, used for
+	// end-to-end latency accounting.
+	Born float64
+}
+
+// FlowKey identifies the packet's application flow instance (origin,
+// destination, sequence number) regardless of which copy carried it; it is
+// the deduplication key for at-most-once delivery.
+func (p Packet) FlowKey() uint64 {
+	return uint64(p.Origin)<<48 | uint64(p.Dst)<<40 | uint64(p.Seq)
+}
+
+// Canceler is a cancellable timer handle (implemented by *des.Event).
+type Canceler interface{ Cancel() }
+
+// Env is the node-local runtime a MAC or routing layer operates in. It is
+// implemented by the netsim node and exposes the simulation clock, the
+// node's deterministic RNG streams, medium access, and the up/down calls
+// between layers.
+type Env interface {
+	// NodeID returns this node's index in [0, NumNodes).
+	NodeID() int
+	// NumNodes returns the network size N.
+	NumNodes() int
+	// Now returns the simulation time in seconds.
+	Now() float64
+	// After schedules fn after delay seconds and returns a cancellable
+	// handle.
+	After(delay float64, fn func()) Canceler
+	// RNG returns this node's deterministic random stream for the named
+	// purpose.
+	RNG(name string) *rng.Stream
+
+	// CarrierBusy reports whether any ongoing transmission is audible at
+	// this node (carrier sensing).
+	CarrierBusy() bool
+	// Transmitting reports whether this node's radio is currently sending.
+	Transmitting() bool
+	// Transmit starts sending p now. The caller must ensure the radio is
+	// idle; the environment calls the MAC's OnTxDone when the packet
+	// leaves the air.
+	Transmit(p Packet)
+	// Airtime returns the on-air duration of a data packet in seconds.
+	Airtime() float64
+
+	// SlotSeconds returns the TDMA slot duration Tslot.
+	SlotSeconds() float64
+	// NextOwnedSlot returns the start time of the first TDMA slot at or
+	// after t that belongs to this node under the round-robin schedule.
+	NextOwnedSlot(t float64) float64
+
+	// PassUp hands a cleanly received packet from the MAC to the routing
+	// layer.
+	PassUp(p Packet)
+	// SendDown enqueues a packet at the MAC; it reports false when the MAC
+	// buffer overflowed and the packet was dropped.
+	SendDown(p Packet) bool
+	// Deliver hands a packet addressed to this node to the application.
+	Deliver(p Packet)
+
+	// IsCoordinator reports whether this node is the star coordinator.
+	IsCoordinator() bool
+}
+
+// MAC is a medium-access-control protocol instance bound to one node.
+type MAC interface {
+	// Name identifies the protocol ("csma" or "tdma").
+	Name() string
+	// Start arms the protocol at simulation start.
+	Start()
+	// Enqueue accepts a packet for transmission; false means the buffer
+	// was full and the packet was dropped.
+	Enqueue(p Packet) bool
+	// OnTxDone is called by the environment when this node's transmission
+	// completes.
+	OnTxDone()
+	// OnReceive is called by the environment on clean packet reception.
+	OnReceive(p Packet)
+	// QueueLen returns the current transmit-buffer occupancy.
+	QueueLen() int
+}
+
+// Routing is a network-layer protocol instance bound to one node.
+type Routing interface {
+	// Name identifies the protocol ("star" or "mesh").
+	Name() string
+	// Start arms the protocol at simulation start.
+	Start()
+	// FromApp accepts a locally generated packet.
+	FromApp(p Packet)
+	// FromMAC accepts a packet received over the air.
+	FromMAC(p Packet)
+}

@@ -1,0 +1,30 @@
+package stack
+
+import "testing"
+
+func TestFlowKeyUniqueAcrossFlows(t *testing.T) {
+	seen := map[uint64]Packet{}
+	for origin := 0; origin < 8; origin++ {
+		for dst := 0; dst < 8; dst++ {
+			for seq := uint32(0); seq < 16; seq++ {
+				p := Packet{Origin: origin, Dst: dst, Seq: seq}
+				k := p.FlowKey()
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("FlowKey collision: %+v and %+v", prev, p)
+				}
+				seen[k] = p
+			}
+		}
+	}
+}
+
+func TestFlowKeyIgnoresCopyFields(t *testing.T) {
+	a := Packet{Origin: 1, Dst: 2, Seq: 7}
+	b := a
+	b.Hops = 2
+	b.Visited = 0b1011
+	b.StarRelay = true
+	if a.FlowKey() != b.FlowKey() {
+		t.Error("FlowKey must identify the flow regardless of the copy's relay path")
+	}
+}
