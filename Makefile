@@ -1,0 +1,26 @@
+# Development entry points. `make check` is the full gate: the tier-1
+# build-and-test pass plus `go vet` and the race detector on the packages
+# with concurrent evaluation loops. `make bench-smoke` compiles and runs
+# every benchmark once — enough to catch bit-rot in the perf harness
+# without waiting for statistically meaningful timings.
+
+GO ?= go
+
+.PHONY: check build test vet race bench-smoke
+
+check: build test vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/netsim/
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

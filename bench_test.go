@@ -27,12 +27,14 @@ import (
 	"hiopt/internal/body"
 	"hiopt/internal/channel"
 	"hiopt/internal/core"
+	"hiopt/internal/des"
 	"hiopt/internal/design"
 	"hiopt/internal/experiments"
 	"hiopt/internal/linexpr"
 	"hiopt/internal/lp"
 	"hiopt/internal/milp"
 	"hiopt/internal/netsim"
+	"hiopt/internal/phys"
 	"hiopt/internal/radio"
 	"hiopt/internal/rng"
 )
@@ -471,6 +473,67 @@ func BenchmarkChannelSample(b *testing.B) {
 		ch.PathLossAt(float64(i)*1e-4, 0, 3)
 	}
 }
+
+func BenchmarkDESSteadyState(b *testing.B) {
+	// A self-rescheduling event chain at 1 kHz: after warm-up every
+	// Schedule is served from the kernel's free list, so steady state
+	// must report 0 allocs/op (1000 events per op).
+	sim := des.New()
+	var tick func()
+	tick = func() { sim.Schedule(0.001, tick) }
+	sim.Schedule(0.001, tick)
+	sim.Run(1) // warm-up: populate the event pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(float64(i) + 2)
+	}
+	b.ReportMetric(float64(sim.Processed())/float64(b.N), "events/op")
+}
+
+func BenchmarkNetsimOneSecond(b *testing.B) {
+	// One simulated second per op of the busiest protocol corner (5-node
+	// CSMA mesh), stepped on a single long-lived network so the pooled
+	// steady state is visible: 0 allocs/op after warm-up.
+	cfg := netsim.DefaultConfig([]int{0, 1, 3, 5, 7}, netsim.CSMA, netsim.Mesh, 2)
+	cfg.Duration = 1 << 20 // effectively unbounded for a stepped run
+	n, err := netsim.New(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Start()
+	sim := n.Simulator()
+	sim.Run(2) // warm-up: fills the event/transmission pools
+	start := sim.Processed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(float64(i) + 3)
+	}
+	b.ReportMetric(float64(sim.Processed()-start)/float64(b.N), "events/op")
+}
+
+func BenchmarkChannelPathLossAt(b *testing.B) {
+	// One transmission's worth of receptions per op: every receiver pair
+	// advances to the same instant, exercising the flat pair-index lookup
+	// and the shared exp(−Δt/τ) memoization. Must report 0 allocs/op.
+	locs := body.Default()
+	ch := channel.New(locs, channel.DefaultParams(), rng.NewSource(1))
+	var sink phys.DB
+	t := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 1e-3
+		for j := 1; j < len(locs); j++ {
+			sink += ch.PathLossAt(t, 0, j)
+		}
+	}
+	benchSinkDB = sink
+}
+
+// benchSinkDB defeats dead-code elimination of the PathLossAt benchmark.
+var benchSinkDB phys.DB
 
 func BenchmarkMILPKnapsack(b *testing.B) {
 	m := linexpr.NewModel()

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hiopt/internal/body"
+	"hiopt/internal/channel"
+	"hiopt/internal/des"
+	"hiopt/internal/netsim"
+	"hiopt/internal/phys"
+	"hiopt/internal/rng"
+)
+
+// benchEntry is one micro-benchmark measurement in the BENCH_simcore.json
+// emitted by -benchjson.
+type benchEntry struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchFile is the serialized layout of BENCH_simcore.json: the simulator
+// micro-benchmarks (mirroring the Benchmark* functions in bench_test.go)
+// plus the wall time of every experiment this invocation ran.
+type benchFile struct {
+	GeneratedBy       string                `json:"generated_by"`
+	Timestamp         string                `json:"timestamp"`
+	GoVersion         string                `json:"go_version"`
+	GOOS              string                `json:"goos"`
+	GOARCH            string                `json:"goarch"`
+	Benchmarks        map[string]benchEntry `json:"benchmarks"`
+	ExperimentSeconds map[string]float64    `json:"experiment_wall_seconds,omitempty"`
+}
+
+func toEntry(r testing.BenchmarkResult) benchEntry {
+	e := benchEntry{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		e.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			e.Metrics[k] = v
+		}
+	}
+	return e
+}
+
+// writeBenchJSON measures the simulation-core micro-benchmarks and writes
+// them, with the experiment wall times, to path.
+func writeBenchJSON(path string, expSeconds map[string]float64) error {
+	out := benchFile{
+		GeneratedBy: "hibench -benchjson",
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Benchmarks: map[string]benchEntry{
+			"des_steady_state":    toEntry(testing.Benchmark(benchDESSteadyState)),
+			"netsim_one_second":   toEntry(testing.Benchmark(benchNetsimOneSecond)),
+			"channel_pathloss_at": toEntry(testing.Benchmark(benchChannelPathLossAt)),
+		},
+		ExperimentSeconds: expSeconds,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchDESSteadyState mirrors BenchmarkDESSteadyState: a self-rescheduling
+// 1 kHz event chain, 1000 events per op, 0 allocs/op in steady state.
+func benchDESSteadyState(b *testing.B) {
+	sim := des.New()
+	var tick func()
+	tick = func() { sim.Schedule(0.001, tick) }
+	sim.Schedule(0.001, tick)
+	sim.Run(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(float64(i) + 2)
+	}
+	b.ReportMetric(float64(sim.Processed())/float64(b.N), "events/op")
+}
+
+// benchNetsimOneSecond mirrors BenchmarkNetsimOneSecond: one simulated
+// second per op of the 5-node CSMA mesh on a long-lived network.
+func benchNetsimOneSecond(b *testing.B) {
+	cfg := netsim.DefaultConfig([]int{0, 1, 3, 5, 7}, netsim.CSMA, netsim.Mesh, 2)
+	cfg.Duration = 1 << 20
+	n, err := netsim.New(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Start()
+	sim := n.Simulator()
+	sim.Run(2)
+	start := sim.Processed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(float64(i) + 3)
+	}
+	b.ReportMetric(float64(sim.Processed()-start)/float64(b.N), "events/op")
+}
+
+// benchChannelPathLossAt mirrors BenchmarkChannelPathLossAt: one
+// transmission's worth of receptions per op.
+func benchChannelPathLossAt(b *testing.B) {
+	locs := body.Default()
+	ch := channel.New(locs, channel.DefaultParams(), rng.NewSource(1))
+	var sink phys.DB
+	t := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 1e-3
+		for j := 1; j < len(locs); j++ {
+			sink += ch.PathLossAt(t, 0, j)
+		}
+	}
+	if sink == 0 && b.N > 0 {
+		fmt.Fprintln(os.Stderr, "benchChannelPathLossAt: implausible zero path loss sum")
+	}
+}

@@ -9,6 +9,11 @@
 //	hibench -paper               # the paper's full 600 s × 3-run setting
 //
 // Experiment identifiers: t1, f1, f3, r1, r2, r3, a1, a2, a3, a4, all.
+//
+// Performance tooling: -cpuprofile/-memprofile write pprof profiles of
+// the run, and -benchjson measures the simulator micro-benchmarks
+// in-process and emits them (with per-experiment wall times) as JSON —
+// the generator of the checked-in BENCH_simcore.json.
 package main
 
 import (
@@ -19,18 +24,28 @@ import (
 	"time"
 
 	"hiopt/internal/experiments"
+	"hiopt/internal/profiling"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (t1,f1,f3,r1,r2,r3,a1..a8,pf,all)")
-		duration = flag.Float64("duration", 60, "simulation horizon in seconds")
-		runs     = flag.Int("runs", 1, "runs to average")
-		seed     = flag.Uint64("seed", 1, "master random seed")
-		paper    = flag.Bool("paper", false, "paper fidelity (600 s × 3 runs)")
-		csvPath  = flag.String("csv", "", "write the F3 scatter to this CSV file")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (t1,f1,f3,r1,r2,r3,a1..a8,pf,all)")
+		duration   = flag.Float64("duration", 60, "simulation horizon in seconds")
+		runs       = flag.Int("runs", 1, "runs to average")
+		seed       = flag.Uint64("seed", 1, "master random seed")
+		paper      = flag.Bool("paper", false, "paper fidelity (600 s × 3 runs)")
+		csvPath    = flag.String("csv", "", "write the F3 scatter to this CSV file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON  = flag.String("benchjson", "", "measure the simulator micro-benchmarks and write BENCH_simcore.json-style output to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hibench:", err)
+		os.Exit(1)
+	}
 
 	fid := experiments.Fidelity{Duration: *duration, Runs: *runs, Seed: *seed}
 	if *paper {
@@ -44,6 +59,7 @@ func main() {
 		want[strings.TrimSpace(strings.ToLower(id))] = true
 	}
 	all := want["all"]
+	expSeconds := map[string]float64{}
 	run := func(id string, fn func() error) {
 		if !all && !want[id] {
 			return
@@ -53,7 +69,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hibench %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+		elapsed := time.Since(t0)
+		expSeconds[id] = elapsed.Seconds()
+		fmt.Printf("[%s done in %s]\n\n", id, elapsed.Round(time.Millisecond))
 	}
 
 	run("t1", func() error { suite.Table1(); return nil })
@@ -74,4 +92,16 @@ func main() {
 	run("a10", func() error { _, err := suite.A10(); return err })
 	run("a11", func() error { _, err := suite.A11(); return err })
 	run("pf", func() error { _, err := suite.PF(nil); return err })
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, expSeconds); err != nil {
+			fmt.Fprintln(os.Stderr, "hibench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[bench JSON written to %s]\n", *benchJSON)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "hibench:", err)
+		os.Exit(1)
+	}
 }

@@ -15,17 +15,26 @@ import (
 	"time"
 
 	"hiopt/internal/experiments"
+	"hiopt/internal/profiling"
 )
 
 func main() {
 	var (
-		duration = flag.Float64("duration", 60, "simulation horizon in seconds")
-		runs     = flag.Int("runs", 1, "runs to average")
-		seed     = flag.Uint64("seed", 1, "master random seed")
-		paper    = flag.Bool("paper", false, "paper fidelity (600 s × 3 runs)")
-		csvPath  = flag.String("csv", "", "write the scatter to this CSV file")
+		duration   = flag.Float64("duration", 60, "simulation horizon in seconds")
+		runs       = flag.Int("runs", 1, "runs to average")
+		seed       = flag.Uint64("seed", 1, "master random seed")
+		paper      = flag.Bool("paper", false, "paper fidelity (600 s × 3 runs)")
+		csvPath    = flag.String("csv", "", "write the scatter to this CSV file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hisweep:", err)
+		os.Exit(1)
+	}
 
 	fid := experiments.Fidelity{Duration: *duration, Runs: *runs, Seed: *seed}
 	if *paper {
@@ -39,4 +48,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("sweep completed in %s\n", time.Since(t0).Round(time.Millisecond))
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "hisweep:", err)
+		os.Exit(1)
+	}
 }

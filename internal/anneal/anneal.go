@@ -100,6 +100,9 @@ type Annealer struct {
 	g     *rng.Stream
 	cache map[uint32]*Entry
 	evals int
+	// ev is the reusable simulation kernel; the walk is serial, so one
+	// suffices for the whole search.
+	ev *netsim.Evaluator
 }
 
 // New builds an annealer over a problem.
@@ -110,6 +113,7 @@ func New(pr *design.Problem, opts Options) *Annealer {
 		opts:  o,
 		g:     rng.NewSource(o.Seed).Stream("anneal"),
 		cache: make(map[uint32]*Entry),
+		ev:    netsim.NewEvaluator(),
 	}
 }
 
@@ -118,7 +122,7 @@ func (a *Annealer) evaluate(p design.Point) (*Entry, error) {
 	if e, ok := a.cache[p.Key()]; ok {
 		return e, nil
 	}
-	res, err := a.pr.Evaluate(p)
+	res, err := a.pr.EvaluateWith(a.ev, p)
 	if err != nil {
 		return nil, err
 	}

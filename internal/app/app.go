@@ -69,24 +69,42 @@ type Layer struct {
 	Latencies []float64
 	// stopped halts generation (set when the node fails).
 	stopped bool
+	// generateFn is the periodic-source callback, bound once at
+	// construction so rearming the source does not allocate a method value.
+	generateFn func()
 }
 
 // Stop halts packet generation permanently (failure injection).
 func (l *Layer) Stop() { l.stopped = true }
 
+// latencyCapLimit bounds the up-front latency-buffer reservation so
+// open-ended horizons (stepped benchmarks) cannot demand huge buffers;
+// beyond it the slice falls back to amortized append growth.
+const latencyCapLimit = 1 << 16
+
 // New builds an application layer that will hand generated packets to rt.
 func New(env Env, params Params, rt stack.Routing, horizon float64) *Layer {
 	n := env.NumNodes()
-	return &Layer{
-		env:      env,
-		params:   params,
-		routing:  rt,
-		horizon:  horizon,
-		nextDst:  (env.NodeID() + 1) % n,
-		seq:      make([]uint32, n),
-		SentTo:   make([]uint64, n),
-		RecvFrom: make([]uint64, n),
+	// Pre-size the latency record to its expected upper bound (a node
+	// receives at most the aggregate rate addressed to it, ≈ RatePPS) so
+	// steady-state deliveries do not reallocate the slice.
+	latCap := int(params.RatePPS*horizon) + 1
+	if latCap > latencyCapLimit {
+		latCap = latencyCapLimit
 	}
+	l := &Layer{
+		env:       env,
+		params:    params,
+		routing:   rt,
+		horizon:   horizon,
+		nextDst:   (env.NodeID() + 1) % n,
+		seq:       make([]uint32, n),
+		SentTo:    make([]uint64, n),
+		RecvFrom:  make([]uint64, n),
+		Latencies: make([]float64, 0, latCap),
+	}
+	l.generateFn = l.generate
+	return l
 }
 
 // Start arms the periodic source with a random initial phase (uniform over
@@ -98,7 +116,7 @@ func (l *Layer) Start() {
 	period := 1 / l.params.RatePPS
 	phase := l.env.RNG("app/phase").Uniform(0, period)
 	l.jitter = l.env.RNG("app/jitter")
-	l.env.After(phase, l.generate)
+	l.env.After(phase, l.generateFn)
 }
 
 // nextPeriod returns the inter-generation gap with clock jitter applied.
@@ -131,7 +149,7 @@ func (l *Layer) generate() {
 	l.seq[dst]++
 	l.SentTo[dst]++
 	l.routing.FromApp(p)
-	l.env.After(l.nextPeriod(), l.generate)
+	l.env.After(l.nextPeriod(), l.generateFn)
 }
 
 // OnDeliver records a unique packet delivery; the routing layer guarantees

@@ -113,11 +113,20 @@ type Model struct {
 	n      int
 	params Params
 	mean   []phys.DB // row-major n×n
+	// pairIdx maps (i, j) to the packed unordered-pair index in one load,
+	// replacing the triangular-index arithmetic on every PathLossAt call
+	// (the hottest function of a simulation: once per potential receiver
+	// per transmission).
+	pairIdx []int32 // row-major n×n, -1 on the diagonal
 	// Gauss–Markov state per unordered pair {i<j}: current deviation and
 	// the time it was last advanced to.
 	delta  []float64
 	lastT  []float64
 	stream []*rng.Stream
+	// lastDt/lastRho memoize exp(−Δt/τ): one transmission advances every
+	// audible pair by the same Δt, so consecutive receptions of a packet
+	// hit the cache and skip the math.Exp.
+	lastDt, lastRho float64
 	// Blockage state per unordered pair: whether currently blocked and
 	// when the current episode ends.
 	blocked    []bool
@@ -161,9 +170,11 @@ func build(n int, params Params, src *rng.Source, meanOf func(i, j int) phys.DB)
 		n:          n,
 		params:     params,
 		mean:       make([]phys.DB, n*n),
+		pairIdx:    make([]int32, n*n),
 		delta:      make([]float64, pairs),
 		lastT:      make([]float64, pairs),
 		stream:     make([]*rng.Stream, pairs),
+		lastDt:     -1,
 		blocked:    make([]bool, pairs),
 		blockUntil: make([]float64, pairs),
 		blockRNG:   make([]*rng.Stream, pairs),
@@ -171,9 +182,11 @@ func build(n int, params Params, src *rng.Source, meanOf func(i, j int) phys.DB)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
+				m.pairIdx[i*n+j] = -1
 				continue
 			}
 			m.mean[i*n+j] = meanOf(i, j)
+			m.pairIdx[i*n+j] = int32(m.pairIndex(i, j))
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -244,10 +257,14 @@ func (m *Model) PathLossAt(t float64, i, j int) phys.DB {
 	if i == j {
 		return 0
 	}
-	k := m.pairIndex(i, j)
+	k := int(m.pairIdx[i*m.n+j])
 	dt := t - m.lastT[k]
 	if dt > 0 {
-		rho := math.Exp(-dt / m.params.Tau)
+		rho := m.lastRho
+		if dt != m.lastDt {
+			rho = math.Exp(-dt / m.params.Tau)
+			m.lastDt, m.lastRho = dt, rho
+		}
 		m.delta[k] = rho*m.delta[k] + m.params.Sigma*math.Sqrt(1-rho*rho)*m.stream[k].Norm()
 		m.lastT[k] = t
 	}

@@ -151,6 +151,12 @@ type Optimizer struct {
 	cache       map[uint32]*netsim.Result
 	screenCache map[uint32]*netsim.Result
 	mu          sync.Mutex
+
+	// evPool recycles netsim evaluators (DES kernel + result scratch)
+	// across candidates and iterations, keeping the simulation hot path
+	// allocation-free. Each worker goroutine checks one out for the
+	// duration of a candidate's evaluation.
+	evPool sync.Pool
 }
 
 // NewOptimizer builds an optimizer with the given options.
@@ -160,6 +166,7 @@ func NewOptimizer(pr *design.Problem, opts Options) *Optimizer {
 		Options:     opts.withDefaults(),
 		cache:       make(map[uint32]*netsim.Result),
 		screenCache: make(map[uint32]*netsim.Result),
+		evPool:      sync.Pool{New: func() any { return netsim.NewEvaluator() }},
 	}
 }
 
@@ -168,7 +175,7 @@ func NewOptimizer(pr *design.Problem, opts Options) *Optimizer {
 const screenSeedOffset = 7777
 
 // screen runs (or recalls) the cheap screening simulation of a point.
-func (o *Optimizer) screen(p design.Point) (*netsim.Result, bool, error) {
+func (o *Optimizer) screen(ev *netsim.Evaluator, p design.Point) (*netsim.Result, bool, error) {
 	o.mu.Lock()
 	if r, ok := o.screenCache[p.Key()]; ok {
 		o.mu.Unlock()
@@ -177,7 +184,7 @@ func (o *Optimizer) screen(p design.Point) (*netsim.Result, bool, error) {
 	o.mu.Unlock()
 	cfg := o.Problem.Config(p)
 	cfg.Duration /= 5
-	r, err := netsim.RunAveraged(cfg, 1, o.Problem.Seed+screenSeedOffset)
+	r, err := ev.RunAveraged(cfg, 1, o.Problem.Seed+screenSeedOffset)
 	if err != nil {
 		return nil, false, err
 	}
@@ -365,6 +372,8 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]*netsim.Result, simSta
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			ev := o.evPool.Get().(*netsim.Evaluator)
+			defer o.evPool.Put(ev)
 			p := points[idxs[0]]
 			fail := func(err error) {
 				select {
@@ -373,7 +382,7 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]*netsim.Result, simSta
 				}
 			}
 			if o.Options.TwoStage {
-				sr, cached, err := o.screen(p)
+				sr, cached, err := o.screen(ev, p)
 				if err != nil {
 					fail(err)
 					return
@@ -395,7 +404,7 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]*netsim.Result, simSta
 					return
 				}
 			}
-			r, err := o.Problem.Evaluate(p)
+			r, err := o.Problem.EvaluateWith(ev, p)
 			if err != nil {
 				fail(err)
 				return

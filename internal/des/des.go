@@ -3,29 +3,67 @@
 // reproduction. It provides a simulation clock, an event calendar with
 // deterministic FIFO ordering among simultaneous events, and cancellable
 // event handles (needed by MAC backoff timers and TDMA schedules).
+//
+// The kernel is allocation-free in the steady state: event structs are
+// recycled through a per-simulator free list the moment they fire or are
+// cancelled, so Schedule/At/Step/Run stop touching the heap once the pool
+// has grown to the calendar's high-water mark. Handles are seq-checked
+// values (not pointers), so a stale handle held across an event's firing
+// can never cancel the recycled struct's next occupant. See DESIGN.md
+// "Performance" for the pooling invariants.
 package des
 
-import "container/heap"
+import (
+	"container/heap"
+	"math"
+)
 
-// Event is a scheduled callback. Handles returned by Schedule/At can be
-// cancelled; cancellation is lazy (the entry is skipped when popped).
+// Event is one calendar entry. Event structs are owned and recycled by
+// their Simulator; user code never holds a *Event directly — Schedule and
+// At return seq-checked Handle values instead.
 type Event struct {
-	t         float64
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int // heap index, -1 once popped
+	t     float64
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 while pooled or firing
 }
 
-// Time returns the simulation time the event fires at.
-func (e *Event) Time() float64 { return e.t }
+// Handle refers to one scheduled occurrence of an event. It is a value
+// type (scheduling allocates nothing) and stays safe after the underlying
+// Event struct is recycled: the embedded sequence number uniquely
+// identifies the occurrence, so Cancel and Active on a stale handle are
+// harmless no-ops. The zero Handle is valid and permanently inactive.
+type Handle struct {
+	s   *Simulator
+	e   *Event
+	seq uint64
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// Active reports whether the event is still scheduled: it has neither
+// fired nor been cancelled, and the calendar has not been Reset.
+func (h Handle) Active() bool {
+	return h.e != nil && h.e.index >= 0 && h.e.seq == h.seq
+}
 
-// Cancelled reports whether Cancel was called.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Cancel removes the event from the calendar so it never fires. The event
+// struct is recycled immediately, which keeps Pending exact. Cancelling an
+// already-fired, already-cancelled, or zero handle is a no-op.
+func (h Handle) Cancel() {
+	if !h.Active() {
+		return
+	}
+	heap.Remove(&h.s.queue, h.e.index)
+	h.s.recycle(h.e)
+}
+
+// Time returns the simulation time the event fires at, or NaN when the
+// handle is no longer active.
+func (h Handle) Time() float64 {
+	if !h.Active() {
+		return math.NaN()
+	}
+	return h.e.t
+}
 
 type eventHeap []*Event
 
@@ -62,6 +100,10 @@ type Simulator struct {
 	seq       uint64
 	queue     eventHeap
 	processed uint64
+	// free is the event recycling pool. Structs enter it when they fire,
+	// are cancelled, or are swept by Reset, and leave it on the next
+	// Schedule/At. Its length converges to the calendar's high-water mark.
+	free []*Event
 }
 
 // New returns a simulator with the clock at zero.
@@ -73,13 +115,37 @@ func (s *Simulator) Now() float64 { return s.now }
 // Processed returns the number of events executed so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled entries not yet reaped).
+// Pending returns the exact number of events currently scheduled.
+// Cancelled events are removed (and recycled) at Cancel time, so they are
+// never counted.
 func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// PoolSize returns the number of recycled event structs currently parked
+// in the free list (diagnostics and tests).
+func (s *Simulator) PoolSize() int { return len(s.free) }
+
+// recycle parks a popped event in the free list. The closure reference is
+// dropped so the kernel does not pin user memory between occupancies; seq
+// keeps its last value until reuse so stale handles stay inert.
+func (s *Simulator) recycle(e *Event) {
+	e.fn = nil
+	s.free = append(s.free, e)
+}
+
+// take pops a pooled event struct or allocates a fresh one.
+func (s *Simulator) take() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
 
 // Schedule enqueues fn to run after the given non-negative delay and
 // returns a cancellable handle.
-func (s *Simulator) Schedule(delay float64, fn func()) *Event {
+func (s *Simulator) Schedule(delay float64, fn func()) Handle {
 	if delay < 0 {
 		panic("des: negative delay")
 	}
@@ -87,50 +153,66 @@ func (s *Simulator) Schedule(delay float64, fn func()) *Event {
 }
 
 // At enqueues fn to run at absolute time t, which must not be in the past.
-func (s *Simulator) At(t float64, fn func()) *Event {
+func (s *Simulator) At(t float64, fn func()) Handle {
 	if t < s.now {
 		panic("des: scheduling into the past")
 	}
-	e := &Event{t: t, seq: s.seq, fn: fn}
-	s.seq++
+	e := s.take()
+	s.seq++ // monotone across Reset: pre-Reset handles can never re-match
+	e.t, e.seq, e.fn = t, s.seq, fn
 	heap.Push(&s.queue, e)
-	return e
+	return Handle{s: s, e: e, seq: e.seq}
 }
 
-// Step executes the next pending event, skipping cancelled ones. It
-// returns false when the calendar is empty.
+// Step executes the next pending event. It returns false when the
+// calendar is empty. The event struct is recycled before its callback
+// runs, so a callback that schedules reuses the struct it fired from.
 func (s *Simulator) Step() bool {
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancelled {
-			continue
-		}
-		s.now = e.t
-		s.processed++
-		e.fn()
-		return true
+	if s.queue.Len() == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&s.queue).(*Event)
+	fn := e.fn
+	s.now = e.t
+	s.recycle(e)
+	s.processed++
+	fn()
+	return true
 }
 
 // Run executes events until the calendar is exhausted or the next event
 // lies strictly beyond horizon; the clock is then advanced to horizon.
 func (s *Simulator) Run(horizon float64) {
 	for s.queue.Len() > 0 {
-		// Peek; respect cancellation without firing.
 		e := s.queue[0]
 		if e.t > horizon {
 			break
 		}
 		heap.Pop(&s.queue)
-		if e.cancelled {
-			continue
-		}
+		fn := e.fn
 		s.now = e.t
+		s.recycle(e)
 		s.processed++
-		e.fn()
+		fn()
 	}
 	if s.now < horizon {
 		s.now = horizon
 	}
+}
+
+// Reset rewinds the clock to zero, drops every pending event into the
+// free list, and zeroes the processed counter, so one kernel (and its
+// warmed-up event pool) can be reused across independent simulation runs.
+// Determinism is preserved because event ordering depends only on the
+// relative sequence numbers within a run, and those restart from a clean
+// calendar; the internal counter itself is deliberately not rewound so
+// handles issued before the Reset can never alias post-Reset events.
+func (s *Simulator) Reset() {
+	for _, e := range s.queue {
+		e.index = -1
+		s.recycle(e)
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.processed = 0
 }

@@ -73,13 +73,16 @@ func TestCancel(t *testing.T) {
 	s := New()
 	ran := false
 	e := s.Schedule(1, func() { ran = true })
+	if !e.Active() {
+		t.Error("Active() = false for a freshly scheduled event")
+	}
 	e.Cancel()
 	s.Run(2)
 	if ran {
 		t.Error("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Error("Cancelled() = false after Cancel")
+	if e.Active() {
+		t.Error("Active() = true after Cancel")
 	}
 }
 
@@ -182,7 +185,7 @@ func TestRandomScheduleOrderProperty(t *testing.T) {
 		}
 		recs := make([]rec, n)
 		var fired []float64
-		events := make([]*Event, n)
+		events := make([]Handle, n)
 		for i := 0; i < n; i++ {
 			d := g.Float64() * 100
 			recs[i].t = d
@@ -215,5 +218,161 @@ func TestRandomScheduleOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- pooling, Reset, and handle-safety guarantees ---
+
+// TestPendingExactAfterCancel: cancelled events are reaped at Cancel time,
+// so Pending never counts them.
+func TestPendingExactAfterCancel(t *testing.T) {
+	s := New()
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		hs = append(hs, s.Schedule(float64(i+1), func() {}))
+	}
+	hs[2].Cancel()
+	hs[7].Cancel()
+	hs[7].Cancel() // double-cancel is a no-op
+	if s.Pending() != 8 {
+		t.Fatalf("Pending = %d after cancelling 2 of 10, want 8", s.Pending())
+	}
+	if s.PoolSize() != 2 {
+		t.Fatalf("PoolSize = %d after 2 cancellations, want 2", s.PoolSize())
+	}
+	s.Run(100)
+	if s.Pending() != 0 || s.Processed() != 8 {
+		t.Fatalf("Pending=%d Processed=%d after Run, want 0 and 8", s.Pending(), s.Processed())
+	}
+}
+
+// TestCancelledEventNeverFiresAfterReuse: a cancelled event's recycled
+// struct is reused by a later Schedule, and (a) the old callback never
+// fires, (b) the new occupant fires normally, (c) the stale handle cannot
+// cancel the new occupant.
+func TestCancelledEventNeverFiresAfterReuse(t *testing.T) {
+	s := New()
+	oldFired, newFired := false, false
+	old := s.Schedule(1, func() { oldFired = true })
+	old.Cancel() // struct goes straight to the pool
+	if s.PoolSize() != 1 {
+		t.Fatalf("PoolSize = %d after cancel, want 1", s.PoolSize())
+	}
+	fresh := s.Schedule(2, func() { newFired = true })
+	if s.PoolSize() != 0 {
+		t.Fatal("Schedule did not reuse the pooled event struct")
+	}
+	old.Cancel() // stale handle aliases the reused struct; must be inert
+	if !fresh.Active() {
+		t.Fatal("stale handle cancelled the recycled struct's new occupant")
+	}
+	s.Run(3)
+	if oldFired {
+		t.Error("cancelled event fired after its struct was reused")
+	}
+	if !newFired {
+		t.Error("event occupying a recycled struct did not fire")
+	}
+}
+
+// TestStaleHandleAfterFire: once an event fires, its handle goes inactive
+// and cancelling through it cannot touch the struct's next occupant.
+func TestStaleHandleAfterFire(t *testing.T) {
+	s := New()
+	h := s.Schedule(1, func() {})
+	s.Run(1.5)
+	if h.Active() {
+		t.Fatal("handle still active after its event fired")
+	}
+	ran := false
+	next := s.Schedule(1, func() { ran = true }) // reuses the fired struct
+	h.Cancel()
+	if !next.Active() {
+		t.Fatal("stale handle cancelled a later event")
+	}
+	s.Run(5)
+	if !ran {
+		t.Error("later event did not fire")
+	}
+}
+
+// TestSteadyStateAllocFree: a self-rescheduling event loop must not grow
+// the pool or allocate once the calendar high-water mark is reached.
+func TestSteadyStateAllocFree(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 1000 {
+			s.Schedule(0.001, tick)
+		}
+	}
+	s.Schedule(0.001, tick)
+	s.Run(10)
+	if count != 1000 {
+		t.Fatalf("ticks = %d, want 1000", count)
+	}
+	// One event in flight at a time: the pool holds at most one struct.
+	if s.PoolSize() > 1 {
+		t.Errorf("PoolSize = %d for a single self-rescheduling chain, want <= 1", s.PoolSize())
+	}
+}
+
+// TestResetReusesPoolDeterministically: the same schedule replayed through
+// one Reset kernel fires identically to a fresh kernel, and the second
+// pass draws its events from the pool.
+func TestResetReusesPoolDeterministically(t *testing.T) {
+	replay := func(s *Simulator) []float64 {
+		var fired []float64
+		for _, d := range []float64{5, 1, 3, 2, 4, 1, 3} {
+			d := d
+			s.Schedule(d, func() { fired = append(fired, d) })
+		}
+		s.Run(10)
+		return fired
+	}
+	s := New()
+	first := replay(s)
+	if s.PoolSize() != 7 {
+		t.Fatalf("PoolSize = %d after first pass, want 7", s.PoolSize())
+	}
+	s.Reset()
+	if s.Now() != 0 || s.Processed() != 0 || s.Pending() != 0 {
+		t.Fatal("Reset did not rewind clock/counters")
+	}
+	second := replay(s)
+	if len(first) != len(second) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, first, second)
+		}
+	}
+	if s.PoolSize() != 7 {
+		t.Errorf("PoolSize = %d after replay, want 7 (no growth)", s.PoolSize())
+	}
+}
+
+// TestResetSweepsPendingEvents: events still scheduled at Reset time are
+// recycled and never fire afterwards.
+func TestResetSweepsPendingEvents(t *testing.T) {
+	s := New()
+	ran := false
+	h := s.Schedule(5, func() { ran = true })
+	s.Run(1)
+	s.Reset()
+	if h.Active() {
+		t.Error("handle still active after Reset")
+	}
+	if s.PoolSize() != 1 {
+		t.Errorf("PoolSize = %d after Reset swept one event, want 1", s.PoolSize())
+	}
+	h.Cancel() // stale; must not corrupt the pool
+	s.Schedule(1, func() {})
+	s.Run(10)
+	if ran {
+		t.Error("pre-Reset event fired after Reset")
 	}
 }

@@ -228,7 +228,14 @@ func (pr *Problem) Config(p Point) netsim.Config {
 // Evaluate runs the accurate oracle: the averaged discrete-event
 // simulation of the point.
 func (pr *Problem) Evaluate(p Point) (*netsim.Result, error) {
-	return netsim.RunAveraged(pr.Config(p), pr.Runs, pr.Seed)
+	return pr.EvaluateWith(netsim.NewEvaluator(), p)
+}
+
+// EvaluateWith is Evaluate on a caller-supplied reusable evaluator, so an
+// evaluation loop can amortize the simulation kernel across points. The
+// result is bit-identical to Evaluate's.
+func (pr *Problem) EvaluateWith(ev *netsim.Evaluator, p Point) (*netsim.Result, error) {
+	return ev.RunAveraged(pr.Config(p), pr.Runs, pr.Seed)
 }
 
 // Tpkt returns the packet airtime 8L/BR.

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"hiopt/internal/design"
+	"hiopt/internal/netsim"
 )
 
 // Entry is one evaluated configuration.
@@ -65,13 +66,19 @@ func Search(pr *design.Problem, opts Options) (*Result, error) {
 	errCh := make(chan error, 1)
 	var done int64
 	var mu sync.Mutex
+	// Each worker slot reuses one simulation kernel across the points it
+	// evaluates; the sweep is the hottest loop of the reproduction (the
+	// Fig. 3 scatter simulates the whole design space).
+	evPool := sync.Pool{New: func() any { return netsim.NewEvaluator() }}
 	for i := range points {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := pr.Evaluate(points[i])
+			ev := evPool.Get().(*netsim.Evaluator)
+			defer evPool.Put(ev)
+			res, err := pr.EvaluateWith(ev, points[i])
 			if err != nil {
 				select {
 				case errCh <- err:

@@ -61,6 +61,17 @@ type Suite struct {
 	sweep     *exhaustive.Result
 	sweepProb *design.Problem
 	alg1Cache map[float64]*core.Outcome
+	// ev is the shared simulation kernel for the suite's serial
+	// evaluation loops (suite methods never run concurrently).
+	ev *netsim.Evaluator
+}
+
+// evaluator returns the suite's reusable simulation kernel.
+func (s *Suite) evaluator() *netsim.Evaluator {
+	if s.ev == nil {
+		s.ev = netsim.NewEvaluator()
+	}
+	return s.ev
 }
 
 // NewSuite builds an experiment suite writing to w (os.Stdout if nil).
@@ -575,7 +586,7 @@ func (s *Suite) A3() ([]A3Row, error) {
 		pr.NHops = h
 		p := design.Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<5 | 1<<7,
 			TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Mesh}
-		res, err := pr.Evaluate(p)
+		res, err := pr.EvaluateWith(s.evaluator(), p)
 		if err != nil {
 			return nil, err
 		}
@@ -610,7 +621,7 @@ func (s *Suite) A4() ([]A4Row, error) {
 		pr.SlotSeconds = slotMS / 1000
 		p := design.Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<5 | 1<<7,
 			TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Mesh}
-		res, err := netsim.RunAveraged(pr.Config(p), pr.Runs, pr.Seed)
+		res, err := s.evaluator().RunAveraged(pr.Config(p), pr.Runs, pr.Seed)
 		if err != nil {
 			return nil, err
 		}

@@ -78,7 +78,7 @@ func (s *Suite) A6() ([]A6Row, error) {
 	var tbl [][]string
 	for _, p := range corners {
 		pr := s.problem(0.9)
-		res, err := pr.Evaluate(p)
+		res, err := pr.EvaluateWith(s.evaluator(), p)
 		if err != nil {
 			return nil, err
 		}
@@ -125,12 +125,12 @@ func (s *Suite) A7() ([]A7Row, error) {
 		pr := s.problem(0.9)
 		p := design.Point{Topology: 0b11001011, TxMode: 2, MAC: netsim.TDMA, Routing: sc.routing}
 		cfg := pr.Config(p)
-		healthy, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+		healthy, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Failures = []netsim.NodeFailure{{Location: sc.fail, At: cfg.Duration / 4}}
-		failed, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+		failed, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -157,12 +157,12 @@ func (s *Suite) A8() (*A8Result, error) {
 	pr := s.problem(0.9)
 	p := design.Point{Topology: 0b1001011, TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Star}
 	cfg := pr.Config(p)
-	duty, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+	duty, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
 	if err != nil {
 		return nil, err
 	}
 	cfg.IdleListening = true
-	idle, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+	idle, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +239,7 @@ func (s *Suite) A10() ([]A10Row, error) {
 		p := design.Point{Topology: 0b10101011, TxMode: 2, MAC: netsim.CSMA, Routing: netsim.Mesh}
 		cfg := pr.Config(p)
 		cfg.CSMAParams.AccessMode = m.am
-		res, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+		res, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +271,7 @@ func (s *Suite) A11() ([]A11Row, error) {
 		p := design.Point{Topology: 0b10101011, TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Mesh}
 		cfg := pr.Config(p)
 		cfg.TDMABuffer = cap
-		res, err := netsim.RunAveraged(cfg, pr.Runs, pr.Seed)
+		res, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
 		if err != nil {
 			return nil, err
 		}

@@ -84,11 +84,17 @@ type CSMA struct {
 	timer   stack.Canceler
 	g       *rng.Stream
 	drops   uint64
+	// attemptFn and commitFn are the timer callbacks, bound once at
+	// construction so arming a timer does not allocate a method value.
+	attemptFn, commitFn func()
 }
 
 // NewCSMA binds a CSMA instance to a node environment.
 func NewCSMA(env stack.Env, params CSMAParams) *CSMA {
-	return &CSMA{env: env, params: params}
+	c := &CSMA{env: env, params: params}
+	c.attemptFn = c.attempt
+	c.commitFn = c.commit
+	return c
 }
 
 // Name implements stack.MAC.
@@ -120,7 +126,7 @@ func (c *CSMA) Enqueue(p stack.Packet) bool {
 
 func (c *CSMA) schedule(delay float64) {
 	c.pending = true
-	c.timer = c.env.After(delay, c.attempt)
+	c.timer = c.env.After(delay, c.attemptFn)
 }
 
 // attempt senses the carrier and reacts per the configured access mode:
@@ -150,7 +156,7 @@ func (c *CSMA) attempt() {
 	// and transmission is the vulnerable window during which another
 	// node's assessment also reads clear.
 	c.pending = true
-	c.timer = c.env.After(c.params.SenseDelay, c.commit)
+	c.timer = c.env.After(c.params.SenseDelay, c.commitFn)
 }
 
 func (c *CSMA) commit() {

@@ -29,11 +29,16 @@ type TDMA struct {
 	pending bool
 	timer   stack.Canceler
 	drops   uint64
+	// fireFn is the slot callback, bound once at construction so arming a
+	// slot timer does not allocate a method value.
+	fireFn func()
 }
 
 // NewTDMA binds a TDMA instance to a node environment.
 func NewTDMA(env stack.Env, params TDMAParams) *TDMA {
-	return &TDMA{env: env, params: params}
+	t := &TDMA{env: env, params: params}
+	t.fireFn = t.fire
+	return t
 }
 
 // Name implements stack.MAC.
@@ -64,7 +69,7 @@ func (t *TDMA) Enqueue(p stack.Packet) bool {
 func (t *TDMA) armNextSlot() {
 	at := t.env.NextOwnedSlot(t.env.Now())
 	t.pending = true
-	t.timer = t.env.After(at-t.env.Now(), t.fire)
+	t.timer = t.env.After(at-t.env.Now(), t.fireFn)
 }
 
 func (t *TDMA) fire() {

@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"math"
+
+	"hiopt/internal/des"
+	"hiopt/internal/phys"
+)
+
+// Evaluator amortizes simulation infrastructure across runs: it owns one
+// DES kernel whose event pool and calendar are recycled through Reset, a
+// scratch Result reused for the inner repetitions of RunAveraged, and the
+// PDR-sample / latency-merge buffers. Results returned to callers are
+// always freshly allocated (safe to retain or cache); only the internal
+// scratch is reused. Reuse is invisible in the output: the kernel's event
+// ordering depends only on relative (time, sequence) order, which Reset
+// preserves, so an Evaluator produces bit-identical Results to one-shot
+// construction for the same (Config, seed).
+//
+// An Evaluator is not safe for concurrent use; give each worker goroutine
+// its own (see internal/core's evaluator pool).
+type Evaluator struct {
+	sim     *des.Simulator
+	scratch Result    // per-repetition metrics inside RunAveraged
+	pdrs    []float64 // per-repetition PDR samples for the std-dev estimate
+	lats    []float64 // latency merge buffer for collectInto
+}
+
+// NewEvaluator returns an Evaluator with a fresh kernel.
+func NewEvaluator() *Evaluator { return &Evaluator{sim: des.New()} }
+
+// runInto executes one simulation into res, reusing the Evaluator's kernel
+// and buffers.
+func (ev *Evaluator) runInto(cfg Config, seed uint64, res *Result) error {
+	ev.sim.Reset()
+	n, err := newWith(cfg, seed, ev.sim)
+	if err != nil {
+		return err
+	}
+	n.Start()
+	ev.sim.Run(cfg.Duration)
+	ev.lats = n.collectInto(res, ev.lats)
+	return nil
+}
+
+// Run executes one simulation and returns a fresh Result.
+func (ev *Evaluator) Run(cfg Config, seed uint64) (*Result, error) {
+	res := &Result{}
+	if err := ev.runInto(cfg, seed, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunAveraged runs the configuration `runs` times with derived seeds
+// (seed, seed+1, ...) and averages PDR and power metrics on the reusable
+// kernel; semantics match the package-level RunAveraged.
+func (ev *Evaluator) RunAveraged(cfg Config, runs int, seed uint64) (*Result, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	// The first repetition's (fresh) Result doubles as the accumulator and
+	// the return value; later repetitions land in the reused scratch.
+	acc, err := ev.Run(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	ev.pdrs = append(ev.pdrs[:0], acc.PDR)
+	for r := 1; r < runs; r++ {
+		if err := ev.runInto(cfg, seed+uint64(r), &ev.scratch); err != nil {
+			return nil, err
+		}
+		res := &ev.scratch
+		ev.pdrs = append(ev.pdrs, res.PDR)
+		acc.PDR += res.PDR
+		for i := range acc.NodePDR {
+			acc.NodePDR[i] += res.NodePDR[i]
+			acc.NodePower[i] += res.NodePower[i]
+		}
+		acc.MaxPower += res.MaxPower
+		acc.Sent += res.Sent
+		acc.Delivered += res.Delivered
+		acc.TxCount += res.TxCount
+		acc.RxClean += res.RxClean
+		acc.RxCorrupt += res.RxCorrupt
+		acc.Collisions += res.Collisions
+		acc.MACDrops += res.MACDrops
+		acc.Events += res.Events
+		acc.MeanLatency += res.MeanLatency
+		acc.P95Latency = math.Max(acc.P95Latency, res.P95Latency)
+		acc.MaxLatency = math.Max(acc.MaxLatency, res.MaxLatency)
+	}
+	if runs > 1 {
+		f := 1 / float64(runs)
+		acc.PDR *= f
+		for i := range acc.NodePDR {
+			acc.NodePDR[i] *= f
+			acc.NodePower[i] = phys.MilliWatt(float64(acc.NodePower[i]) * f)
+		}
+		acc.MaxPower = phys.MilliWatt(float64(acc.MaxPower) * f)
+		acc.NLTSeconds = phys.LifetimeSeconds(cfg.BatteryJ, acc.MaxPower)
+		acc.NLTDays = phys.Days(acc.NLTSeconds)
+		acc.MeanLatency *= f
+		var sq float64
+		for _, p := range ev.pdrs {
+			d := p - acc.PDR
+			sq += d * d
+		}
+		acc.PDRStdDev = math.Sqrt(sq / float64(runs-1))
+	}
+	return acc, nil
+}

@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEvaluatorPooledRunsAreByteIdentical is the pooling-determinism
+// contract: the same (Config, seed) through one Evaluator — whose kernel,
+// transmission pool, and scratch buffers are recycled between runs — must
+// produce a Result identical field-for-field to a fresh one-shot run, on
+// every repetition.
+func TestEvaluatorPooledRunsAreByteIdentical(t *testing.T) {
+	for _, m := range []MACKind{CSMA, TDMA} {
+		for _, r := range []RoutingKind{Star, Mesh} {
+			cfg := shortCfg([]int{0, 1, 3, 6}, m, r, 1, 30)
+			fresh, err := Run(cfg, 42)
+			if err != nil {
+				t.Fatalf("%v/%v fresh run: %v", m, r, err)
+			}
+			ev := NewEvaluator()
+			for rep := 0; rep < 3; rep++ {
+				got, err := ev.Run(cfg, 42)
+				if err != nil {
+					t.Fatalf("%v/%v pooled run %d: %v", m, r, rep, err)
+				}
+				if !reflect.DeepEqual(got, fresh) {
+					t.Fatalf("%v/%v pooled run %d diverged:\n got  %+v\nwant %+v", m, r, rep, got, fresh)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorRunAveragedMatchesPackage checks the reusable-kernel
+// averaging path against the package-level entry point, including after
+// the Evaluator has been dirtied by an unrelated configuration.
+func TestEvaluatorRunAveragedMatchesPackage(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, CSMA, Mesh, 2, 20)
+	want, err := RunAveraged(cfg, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator()
+	// Dirty the scratch with a different topology and protocol first.
+	if _, err := ev.RunAveraged(shortCfg([]int{0, 2, 4, 5, 7}, TDMA, Star, 0, 20), 2, 99); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.RunAveraged(cfg, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("evaluator RunAveraged diverged:\n got  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEvaluatorResultsAreFresh guards the cache-safety contract: Results
+// handed out by an Evaluator must not alias its internal scratch, so a
+// caller may retain them across later runs.
+func TestEvaluatorResultsAreFresh(t *testing.T) {
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 1, 20)
+	ev := NewEvaluator()
+	first, err := ev.RunAveraged(cfg, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := *first
+	snapPDR := append([]float64(nil), first.NodePDR...)
+	if _, err := ev.RunAveraged(shortCfg([]int{0, 1, 2, 3, 4, 5}, CSMA, Mesh, 2, 20), 2, 6); err != nil {
+		t.Fatal(err)
+	}
+	if snapshot.PDR != first.PDR || !reflect.DeepEqual(snapPDR, first.NodePDR) {
+		t.Fatal("a retained Result was mutated by a later Evaluator run")
+	}
+}
+
+// TestTraceHeaderWrittenOncePerNetwork checks the header contract: the CSV
+// header is emitted at construction (exactly once per network), so traced
+// output never interleaves a mid-stream duplicate header.
+func TestTraceHeaderWrittenOncePerNetwork(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 2, 2)
+	cfg.Trace = &buf
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := "time,event,node_loc,origin,dst,seq,detail"
+	if got := strings.TrimSpace(buf.String()); got != header {
+		t.Fatalf("header not written at construction: %q", got)
+	}
+	n.Run()
+	out := buf.String()
+	if got := strings.Count(out, header); got != 1 {
+		t.Fatalf("header appears %d times, want 1", got)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 2 {
+		t.Fatal("trace recorded no events")
+	}
+}

@@ -15,14 +15,21 @@ import (
 	"hiopt/internal/stack"
 )
 
-// transmission is one in-flight packet on the shared medium.
+// transmission is one in-flight packet on the shared medium. Instances are
+// recycled through the owning Network's txPool: the per-node slices are
+// allocated once and zeroed on reuse, and finishFn is the end-of-airtime
+// callback bound once at allocation so scheduling it never closes over a
+// fresh variable. A transmission is only valid between transmit and the
+// finish call that releases it.
 type transmission struct {
+	net       *Network
 	sender    *node
 	p         stack.Packet
 	end       float64
 	audible   []bool // per node index, sampled at transmission start
 	corrupted []bool // per node index: collision or half-duplex deafness
 	rxDBm     []phys.DBm
+	finishFn  func()
 }
 
 // node composes the four layers and implements stack.Env / app.Env.
@@ -58,18 +65,18 @@ type Network struct {
 	active     []*transmission
 	collisions uint64
 
-	traceHeaderDone bool
+	// txPool recycles transmission structs and their per-node slices so a
+	// steady-state run allocates nothing per packet on the medium.
+	txPool []*transmission
 }
 
-// trace appends one event line to the configured trace writer.
+// trace appends one event line to the configured trace writer. Hot call
+// sites guard on cfg.Trace != nil themselves so detail strings are only
+// formatted when tracing is on; the CSV header is written by New.
 func (n *Network) trace(event string, nd *node, p *stack.Packet, detail string) {
 	w := n.cfg.Trace
 	if w == nil {
 		return
-	}
-	if !n.traceHeaderDone {
-		fmt.Fprintln(w, "time,event,node_loc,origin,dst,seq,detail")
-		n.traceHeaderDone = true
 	}
 	if p != nil {
 		fmt.Fprintf(w, "%.6f,%s,%d,%d,%d,%d,%s\n", n.sim.Now(), event, nd.loc, p.Origin, p.Dst, p.Seq, detail)
@@ -80,8 +87,21 @@ func (n *Network) trace(event string, nd *node, p *stack.Packet, detail string) 
 
 // New builds a network from a validated configuration and a master seed.
 func New(cfg Config, seed uint64) (*Network, error) {
+	return newWith(cfg, seed, des.New())
+}
+
+// newWith builds a network on an existing (freshly constructed or Reset)
+// simulator kernel, so an Evaluator can amortize the kernel's event pool
+// and calendar across many runs.
+func newWith(cfg Config, seed uint64, sim *des.Simulator) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Trace != nil {
+		// The header is written at construction, not lazily on the first
+		// traced event, so evaluations sharing a writer cannot interleave a
+		// duplicate header between another network's lines.
+		fmt.Fprintln(cfg.Trace, "time,event,node_loc,origin,dst,seq,detail")
 	}
 	src := rng.NewSource(seed)
 	locs := cfg.bodyLocations()
@@ -100,7 +120,7 @@ func New(cfg Config, seed uint64) (*Network, error) {
 	}
 	n := &Network{
 		cfg:     cfg,
-		sim:     des.New(),
+		sim:     sim,
 		ch:      ch,
 		src:     src,
 		airtime: cfg.Radio.PacketAirtime(cfg.App.Bytes),
@@ -195,14 +215,16 @@ func (nd *node) PassUp(p stack.Packet) { nd.rt.FromMAC(p) }
 
 func (nd *node) SendDown(p stack.Packet) bool {
 	ok := nd.mac.Enqueue(p)
-	if !ok {
+	if !ok && nd.net.cfg.Trace != nil {
 		nd.net.trace("drop", nd, &p, "buffer-full")
 	}
 	return ok
 }
 
 func (nd *node) Deliver(p stack.Packet) {
-	nd.net.trace("deliver", nd, &p, "")
+	if nd.net.cfg.Trace != nil {
+		nd.net.trace("deliver", nd, &p, "")
+	}
 	nd.app.OnDeliver(p)
 }
 
@@ -222,14 +244,10 @@ func (n *Network) transmit(sender *node, p stack.Packet) {
 		panic("netsim: node started transmitting while already on air")
 	}
 	now := n.sim.Now()
-	tx := &transmission{
-		sender:    sender,
-		p:         p,
-		end:       now + n.airtime,
-		audible:   make([]bool, len(n.nodes)),
-		corrupted: make([]bool, len(n.nodes)),
-		rxDBm:     make([]phys.DBm, len(n.nodes)),
-	}
+	tx := n.acquireTx()
+	tx.sender = sender
+	tx.p = p
+	tx.end = now + n.airtime
 	txOut := n.cfg.Radio.TxModes[n.cfg.TxMode].OutputDBm
 	for _, r := range n.nodes {
 		if r == sender || r.down {
@@ -273,8 +291,41 @@ func (n *Network) transmit(sender *node, p stack.Packet) {
 	}
 	sender.transmitting = true
 	n.active = append(n.active, tx)
-	n.trace("tx", sender, &p, fmt.Sprintf("hops=%d", p.Hops))
-	n.sim.Schedule(n.airtime, func() { n.finish(tx) })
+	if n.cfg.Trace != nil {
+		n.trace("tx", sender, &p, fmt.Sprintf("hops=%d", p.Hops))
+	}
+	n.sim.Schedule(n.airtime, tx.finishFn)
+}
+
+// acquireTx pops a recycled transmission (slices zeroed) or allocates one
+// sized for this network.
+func (n *Network) acquireTx() *transmission {
+	if len(n.txPool) == 0 {
+		N := len(n.nodes)
+		tx := &transmission{
+			net:       n,
+			audible:   make([]bool, N),
+			corrupted: make([]bool, N),
+			rxDBm:     make([]phys.DBm, N),
+		}
+		tx.finishFn = func() { tx.net.finish(tx) }
+		return tx
+	}
+	tx := n.txPool[len(n.txPool)-1]
+	n.txPool = n.txPool[:len(n.txPool)-1]
+	// transmit only writes entries conditionally (it skips the sender and
+	// down nodes), so stale flags from the previous occupant must be wiped.
+	clear(tx.audible)
+	clear(tx.corrupted)
+	clear(tx.rxDBm)
+	return tx
+}
+
+// releaseTx returns a finished transmission to the pool.
+func (n *Network) releaseTx(tx *transmission) {
+	tx.sender = nil
+	tx.p = stack.Packet{}
+	n.txPool = append(n.txPool, tx)
 }
 
 // finish completes a transmission: accounts energy, delivers clean copies,
@@ -303,19 +354,26 @@ func (n *Network) finish(tx *transmission) {
 		r.rxEnergyJ += float64(n.cfg.Radio.RxConsumptionMW) / 1000 * n.airtime
 		if tx.corrupted[r.id] {
 			r.rxCorrupt++
-			n.trace("rx-corrupt", r, &tx.p, "")
+			if n.cfg.Trace != nil {
+				n.trace("rx-corrupt", r, &tx.p, "")
+			}
 			continue
 		}
 		r.rxClean++
-		n.trace("rx", r, &tx.p, "")
+		if n.cfg.Trace != nil {
+			n.trace("rx", r, &tx.p, "")
+		}
 		r.mac.OnReceive(tx.p)
 	}
 	sender.mac.OnTxDone()
+	n.releaseTx(tx)
 }
 
-// Run executes the simulation to the configured horizon and returns the
-// measured metrics.
-func (n *Network) Run() *Result {
+// Start arms every node's protocol stack and schedules the configured
+// failure injections, without advancing the clock. It is Run's setup
+// phase, exposed separately so stepped drivers (benchmarks, interactive
+// tools) can advance the kernel incrementally through Simulator().Run.
+func (n *Network) Start() {
 	for _, nd := range n.nodes {
 		nd.mac.Start()
 		nd.rt.Start()
@@ -337,6 +395,12 @@ func (n *Network) Run() *Result {
 			}
 		}
 	}
+}
+
+// Run executes the simulation to the configured horizon and returns the
+// measured metrics.
+func (n *Network) Run() *Result {
+	n.Start()
 	n.sim.Run(n.cfg.Duration)
 	return n.collect()
 }
@@ -348,17 +412,37 @@ func (n *Network) Simulator() *des.Simulator { return n.sim }
 func (n *Network) Channel() *channel.Model { return n.ch }
 
 func (n *Network) collect() *Result {
+	res := &Result{}
+	n.collectInto(res, nil)
+	return res
+}
+
+// collectInto computes the run metrics into res, reusing res's slices when
+// their capacity allows (so an evaluation loop can recycle one Result as
+// scratch across repetitions), and lats as the latency merge buffer. It
+// returns the (possibly grown) lats buffer for the caller to keep.
+func (n *Network) collectInto(res *Result, lats []float64) []float64 {
 	cfg := n.cfg
 	N := len(n.nodes)
 	layers := make([]*app.Layer, N)
 	for i, nd := range n.nodes {
 		layers[i] = nd.app
 	}
-	res := &Result{
-		Locations:  append([]int(nil), cfg.Locations...),
+	// Every entry of NodePDR and NodePower is assigned below, so recycled
+	// slices only need resizing, not zeroing.
+	nodePDR := res.NodePDR
+	if cap(nodePDR) < N {
+		nodePDR = make([]float64, N)
+	}
+	nodePower := res.NodePower
+	if cap(nodePower) < N {
+		nodePower = make([]phys.MilliWatt, N)
+	}
+	*res = Result{
+		Locations:  append(res.Locations[:0], cfg.Locations...),
 		Duration:   cfg.Duration,
-		NodePDR:    make([]float64, N),
-		NodePower:  make([]phys.MilliWatt, N),
+		NodePDR:    nodePDR[:N],
+		NodePower:  nodePower[:N],
 		Collisions: n.collisions,
 	}
 	for k := 0; k < N; k++ {
@@ -400,7 +484,7 @@ func (n *Network) collect() *Result {
 	res.Events = n.sim.Processed()
 
 	// End-to-end latency across all deliveries.
-	var lats []float64
+	lats = lats[:0]
 	for _, nd := range n.nodes {
 		lats = append(lats, nd.app.Latencies...)
 	}
@@ -418,7 +502,7 @@ func (n *Network) collect() *Result {
 		res.P95Latency = lats[idx]
 		res.MaxLatency = lats[len(lats)-1]
 	}
-	return res
+	return lats
 }
 
 // Result is the outcome of one simulation run.
@@ -461,11 +545,7 @@ type Result struct {
 
 // Run is the convenience one-shot: build a network and run it.
 func Run(cfg Config, seed uint64) (*Result, error) {
-	n, err := New(cfg, seed)
-	if err != nil {
-		return nil, err
-	}
-	return n.Run(), nil
+	return NewEvaluator().Run(cfg, seed)
 }
 
 // RunAveraged runs the configuration `runs` times with derived seeds
@@ -473,56 +553,5 @@ func Run(cfg Config, seed uint64) (*Result, error) {
 // paper's practice of averaging 3 runs to mitigate randomness. The
 // returned Result's NLT is recomputed from the averaged worst-node power.
 func RunAveraged(cfg Config, runs int, seed uint64) (*Result, error) {
-	if runs < 1 {
-		runs = 1
-	}
-	var acc *Result
-	pdrs := make([]float64, 0, runs)
-	for r := 0; r < runs; r++ {
-		res, err := Run(cfg, seed+uint64(r))
-		if err != nil {
-			return nil, err
-		}
-		pdrs = append(pdrs, res.PDR)
-		if acc == nil {
-			acc = res
-			continue
-		}
-		acc.PDR += res.PDR
-		for i := range acc.NodePDR {
-			acc.NodePDR[i] += res.NodePDR[i]
-			acc.NodePower[i] += res.NodePower[i]
-		}
-		acc.MaxPower += res.MaxPower
-		acc.Sent += res.Sent
-		acc.Delivered += res.Delivered
-		acc.TxCount += res.TxCount
-		acc.RxClean += res.RxClean
-		acc.RxCorrupt += res.RxCorrupt
-		acc.Collisions += res.Collisions
-		acc.MACDrops += res.MACDrops
-		acc.Events += res.Events
-		acc.MeanLatency += res.MeanLatency
-		acc.P95Latency = math.Max(acc.P95Latency, res.P95Latency)
-		acc.MaxLatency = math.Max(acc.MaxLatency, res.MaxLatency)
-	}
-	if runs > 1 {
-		f := 1 / float64(runs)
-		acc.PDR *= f
-		for i := range acc.NodePDR {
-			acc.NodePDR[i] *= f
-			acc.NodePower[i] = phys.MilliWatt(float64(acc.NodePower[i]) * f)
-		}
-		acc.MaxPower = phys.MilliWatt(float64(acc.MaxPower) * f)
-		acc.NLTSeconds = phys.LifetimeSeconds(cfg.BatteryJ, acc.MaxPower)
-		acc.NLTDays = phys.Days(acc.NLTSeconds)
-		acc.MeanLatency *= f
-		var sq float64
-		for _, p := range pdrs {
-			d := p - acc.PDR
-			sq += d * d
-		}
-		acc.PDRStdDev = math.Sqrt(sq / float64(runs-1))
-	}
-	return acc, nil
+	return NewEvaluator().RunAveraged(cfg, runs, seed)
 }

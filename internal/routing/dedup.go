@@ -1,0 +1,39 @@
+package routing
+
+// seqBits is a set of (slot, sequence-number) pairs backed by per-slot
+// bitsets. It replaces the hash maps previously used for at-most-once
+// delivery and coordinator relay dedup: application sequence numbers are
+// dense and monotone per flow, so a bitset indexed by seq gives O(1)
+// test-and-set with no per-insert allocation — the rows grow by doubling,
+// a handful of times per simulation instead of once per packet.
+type seqBits struct {
+	rows [][]uint64
+}
+
+// newSeqBits returns a set with the given number of slots (one bitset
+// row per slot; rows start empty and grow on demand).
+func newSeqBits(slots int) seqBits {
+	return seqBits{rows: make([][]uint64, slots)}
+}
+
+// testAndSet records (slot, seq) and reports whether it was already
+// present.
+func (s *seqBits) testAndSet(slot int, seq uint32) bool {
+	row := s.rows[slot]
+	word, bit := int(seq>>6), uint64(1)<<(seq&63)
+	if word >= len(row) {
+		n := len(row) * 2
+		if n <= word {
+			n = word + 1
+		}
+		grown := make([]uint64, n)
+		copy(grown, row)
+		row = grown
+		s.rows[slot] = row
+	}
+	if row[word]&bit != 0 {
+		return true
+	}
+	row[word] |= bit
+	return false
+}

@@ -19,15 +19,16 @@ import "hiopt/internal/stack"
 type Mesh struct {
 	env   stack.Env
 	nhops int
-	// delivered dedups application delivery across copies.
-	delivered map[uint64]struct{}
+	// delivered dedups application delivery across copies, by (origin,
+	// seq) — this node is always the destination when it consults the set.
+	delivered seqBits
 	// relayedTx counts flood rebroadcasts accepted by the MAC.
 	relayedTx uint64
 }
 
 // NewMesh binds a mesh routing instance with the given maximum hop count.
 func NewMesh(env stack.Env, nhops int) *Mesh {
-	return &Mesh{env: env, nhops: nhops, delivered: make(map[uint64]struct{})}
+	return &Mesh{env: env, nhops: nhops, delivered: newSeqBits(env.NumNodes())}
 }
 
 // Name implements stack.Routing.
@@ -72,10 +73,8 @@ func (m *Mesh) FromMAC(p stack.Packet) {
 }
 
 func (m *Mesh) deliverOnce(p stack.Packet) {
-	key := p.FlowKey()
-	if _, dup := m.delivered[key]; dup {
+	if m.delivered.testAndSet(p.Origin, p.Seq) {
 		return
 	}
-	m.delivered[key] = struct{}{}
 	m.env.Deliver(p)
 }

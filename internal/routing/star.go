@@ -15,21 +15,23 @@ import "hiopt/internal/stack"
 // retransmitted copy).
 type Star struct {
 	env stack.Env
-	// seen dedups the coordinator's relaying (only populated on the
-	// coordinator node).
-	seen map[uint64]struct{}
-	// delivered dedups application delivery (original vs relay copy).
-	delivered map[uint64]struct{}
+	// seen dedups the coordinator's relaying by (origin·N + dst, seq)
+	// (only populated on the coordinator node).
+	seen seqBits
+	// delivered dedups application delivery (original vs relay copy) by
+	// (origin, seq) — this node is the destination when it consults it.
+	delivered seqBits
 	// relayed counts coordinator rebroadcasts for diagnostics.
 	relayed uint64
 }
 
 // NewStar binds a star routing instance to a node environment.
 func NewStar(env stack.Env) *Star {
+	n := env.NumNodes()
 	return &Star{
 		env:       env,
-		seen:      make(map[uint64]struct{}),
-		delivered: make(map[uint64]struct{}),
+		seen:      newSeqBits(n * n),
+		delivered: newSeqBits(n),
 	}
 }
 
@@ -62,11 +64,9 @@ func (s *Star) FromMAC(p stack.Packet) {
 		// relay copies are never re-relayed.
 		return
 	}
-	key := p.FlowKey()
-	if _, dup := s.seen[key]; dup {
+	if s.seen.testAndSet(p.Origin*s.env.NumNodes()+p.Dst, p.Seq) {
 		return
 	}
-	s.seen[key] = struct{}{}
 	relay := p
 	relay.StarRelay = true
 	s.relayed++
@@ -74,10 +74,8 @@ func (s *Star) FromMAC(p stack.Packet) {
 }
 
 func (s *Star) deliverOnce(p stack.Packet) {
-	key := p.FlowKey()
-	if _, dup := s.delivered[key]; dup {
+	if s.delivered.testAndSet(p.Origin, p.Seq) {
 		return
 	}
-	s.delivered[key] = struct{}{}
 	s.env.Deliver(p)
 }

@@ -6,7 +6,10 @@
 // together over the internal/des kernel and internal/channel medium.
 package stack
 
-import "hiopt/internal/rng"
+import (
+	"hiopt/internal/des"
+	"hiopt/internal/rng"
+)
 
 // Packet is one application packet copy traveling through the network.
 // Copies are passed by value; relaying layers mutate their own copy's
@@ -43,8 +46,11 @@ func (p Packet) FlowKey() uint64 {
 	return uint64(p.Origin)<<48 | uint64(p.Dst)<<40 | uint64(p.Seq)
 }
 
-// Canceler is a cancellable timer handle (implemented by *des.Event).
-type Canceler interface{ Cancel() }
+// Canceler is a cancellable timer handle. It is an alias for des.Handle —
+// a seq-checked value type — rather than an interface, so the simulation
+// hot path schedules timers without boxing a handle on the heap. A zero
+// Canceler is valid and permanently inactive.
+type Canceler = des.Handle
 
 // Env is the node-local runtime a MAC or routing layer operates in. It is
 // implemented by the netsim node and exposes the simulation clock, the
