@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench-smoke
+.PHONY: check build test vet race bench-smoke robust-smoke
 
 check: build test vet race
 
@@ -20,7 +20,12 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/netsim/
+	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/fault/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# A fast end-to-end robustness pass: one configuration evaluated against
+# its 1-node-failure family at quick fidelity.
+robust-smoke:
+	$(GO) run ./cmd/hisim -locs 0,1,3,6 -routing star -mac tdma -tx 0 -duration 60 -faults knode=1

@@ -30,6 +30,7 @@ import (
 	"hiopt/internal/des"
 	"hiopt/internal/design"
 	"hiopt/internal/experiments"
+	"hiopt/internal/fault"
 	"hiopt/internal/linexpr"
 	"hiopt/internal/lp"
 	"hiopt/internal/milp"
@@ -534,6 +535,28 @@ func BenchmarkChannelPathLossAt(b *testing.B) {
 
 // benchSinkDB defeats dead-code elimination of the PathLossAt benchmark.
 var benchSinkDB phys.DB
+
+func BenchmarkRobustEval(b *testing.B) {
+	// One 10-second robust evaluation per op: the 4-node star against its
+	// 1-node-failure family (3 scenarios + nominal, common random
+	// numbers) on a recycled evaluator — the unit of work the optimizer's
+	// robust screening pays per nominally feasible candidate.
+	cfg := netsim.DefaultConfig([]int{0, 1, 3, 6}, netsim.TDMA, netsim.Star, 2)
+	cfg.Duration = 10
+	scenarios := fault.ScenarioGen{Seed: 1}.KNodeFailures(cfg.Locations, cfg.CoordinatorLoc, 1, cfg.Duration)
+	ev := netsim.NewEvaluator()
+	if _, err := ev.EvaluateRobust(cfg, 1, 1, scenarios); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvaluateRobust(cfg, 1, 1, scenarios); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(scenarios)+1), "sims/op")
+}
 
 func BenchmarkMILPKnapsack(b *testing.B) {
 	m := linexpr.NewModel()

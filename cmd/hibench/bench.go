@@ -11,6 +11,7 @@ import (
 	"hiopt/internal/body"
 	"hiopt/internal/channel"
 	"hiopt/internal/des"
+	"hiopt/internal/fault"
 	"hiopt/internal/netsim"
 	"hiopt/internal/phys"
 	"hiopt/internal/rng"
@@ -66,6 +67,7 @@ func writeBenchJSON(path string, expSeconds map[string]float64) error {
 			"des_steady_state":    toEntry(testing.Benchmark(benchDESSteadyState)),
 			"netsim_one_second":   toEntry(testing.Benchmark(benchNetsimOneSecond)),
 			"channel_pathloss_at": toEntry(testing.Benchmark(benchChannelPathLossAt)),
+			"robust_eval":         toEntry(testing.Benchmark(benchRobustEval)),
 		},
 		ExperimentSeconds: expSeconds,
 	}
@@ -111,6 +113,28 @@ func benchNetsimOneSecond(b *testing.B) {
 		sim.Run(float64(i) + 3)
 	}
 	b.ReportMetric(float64(sim.Processed()-start)/float64(b.N), "events/op")
+}
+
+// benchRobustEval mirrors BenchmarkRobustEval: one 10-second robust
+// evaluation per op — the 4-node star under its 1-node-failure family
+// (3 scenarios + nominal) on a recycled evaluator, the unit of work the
+// optimizer's robust screening pays per nominally feasible candidate.
+func benchRobustEval(b *testing.B) {
+	cfg := netsim.DefaultConfig([]int{0, 1, 3, 6}, netsim.TDMA, netsim.Star, 2)
+	cfg.Duration = 10
+	scenarios := fault.ScenarioGen{Seed: 1}.KNodeFailures(cfg.Locations, cfg.CoordinatorLoc, 1, cfg.Duration)
+	ev := netsim.NewEvaluator()
+	if _, err := ev.EvaluateRobust(cfg, 1, 1, scenarios); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvaluateRobust(cfg, 1, 1, scenarios); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(scenarios)+1), "sims/op")
 }
 
 // benchChannelPathLossAt mirrors BenchmarkChannelPathLossAt: one

@@ -8,7 +8,8 @@
 //	hibench -exp f3,r1           # a subset
 //	hibench -paper               # the paper's full 600 s × 3-run setting
 //
-// Experiment identifiers: t1, f1, f3, r1, r2, r3, a1, a2, a3, a4, all.
+// Experiment identifiers: t1, f1, f3, r1, r2, r3, a1..a11, pf, all, plus
+// rb (nominal-vs-robust comparison; excluded from "all" for cost).
 //
 // Performance tooling: -cpuprofile/-memprofile write pprof profiles of
 // the run, and -benchjson measures the simulator micro-benchmarks
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (t1,f1,f3,r1,r2,r3,a1..a8,pf,all)")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (t1,f1,f3,r1,r2,r3,a1..a8,pf,rb,all)")
 		duration   = flag.Float64("duration", 60, "simulation horizon in seconds")
 		runs       = flag.Int("runs", 1, "runs to average")
 		seed       = flag.Uint64("seed", 1, "master random seed")
@@ -92,6 +93,11 @@ func main() {
 	run("a10", func() error { _, err := suite.A10(); return err })
 	run("a11", func() error { _, err := suite.A11(); return err })
 	run("pf", func() error { _, err := suite.PF(nil); return err })
+	// rb re-simulates every nominally feasible sweep entry under its
+	// k-node-failure family — too costly for "all"; request it explicitly.
+	if want["rb"] {
+		run("rb", func() error { _, err := suite.RB(nil, 0.9, *csvPath); return err })
+	}
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, expSeconds); err != nil {

@@ -6,6 +6,8 @@
 //
 //	hisim -locs 0,1,3,6 -routing star -mac csma -tx -10
 //	hisim -locs 0,1,3,5,7 -routing mesh -mac tdma -tx 0 -paper
+//	hisim -locs 0,1,3,6 -routing star -mac tdma -tx 0 -faults knode=1
+//	hisim -locs 0,1,3,6 -scenario "fail:6@15,link:0-3@10-30"
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"hiopt/internal/body"
+	"hiopt/internal/fault"
 	"hiopt/internal/netsim"
 	"hiopt/internal/phys"
 	"hiopt/internal/report"
@@ -50,6 +53,8 @@ func main() {
 		paper    = flag.Bool("paper", false, "paper fidelity (600 s × 3 runs)")
 		perNode  = flag.Bool("nodes", false, "print per-node metrics")
 		trace    = flag.String("trace", "", "write a CSV event trace of the (first) run to this file")
+		scenario = flag.String("scenario", "", "inject a fault scenario, e.g. \"fail:6@15,out:1@5-12,link:0-3@10-30,drain:3x100\"")
+		faults   = flag.String("faults", "", "robust evaluation against a generated scenario family, e.g. \"knode=1\" or \"coord-outage\"")
 	)
 	flag.Parse()
 
@@ -94,6 +99,17 @@ func main() {
 		*runs = 1 // a trace documents a single run
 	}
 
+	if *scenario != "" {
+		sc, err := fault.Parse(*scenario)
+		fatalIf(err)
+		cfg.Scenario = sc
+	}
+
+	if *faults != "" {
+		fatalIf(runRobust(cfg, *faults, *runs, *seed))
+		return
+	}
+
 	t0 := time.Now()
 	res, err := netsim.RunAveraged(cfg, *runs, *seed)
 	fatalIf(err)
@@ -117,6 +133,61 @@ func main() {
 		fmt.Println()
 		report.Table(os.Stdout, []string{"loc", "site", "PDR", "power"}, rows)
 	}
+}
+
+// parseFamily builds the generated scenario family named by the -faults
+// spec: "knode=K" (every K-subset of the used locations fails at a
+// quarter of the horizon; the star coordinator is exempt) or
+// "coord-outage" (the coordinator reboots for a quarter of the horizon).
+func parseFamily(cfg netsim.Config, spec string, seed uint64) ([]*fault.Scenario, error) {
+	gen := fault.ScenarioGen{Seed: seed}
+	switch {
+	case spec == "coord-outage":
+		return []*fault.Scenario{gen.CoordinatorOutage(cfg.CoordinatorLoc, cfg.Duration)}, nil
+	case strings.HasPrefix(spec, "knode="):
+		k, err := strconv.Atoi(strings.TrimPrefix(spec, "knode="))
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("bad -faults spec %q: want knode=K with K >= 1", spec)
+		}
+		exclude := -1
+		if cfg.Routing == netsim.Star {
+			exclude = cfg.CoordinatorLoc
+		}
+		fam := gen.KNodeFailures(cfg.Locations, exclude, k, cfg.Duration)
+		if len(fam) == 0 {
+			return nil, fmt.Errorf("-faults %s: no %d-subsets of the failable locations", spec, k)
+		}
+		return fam, nil
+	default:
+		return nil, fmt.Errorf("unknown -faults spec %q (want knode=K or coord-outage)", spec)
+	}
+}
+
+// runRobust evaluates the configuration under the generated family and
+// prints the nominal result, the per-scenario table, and the worst case.
+func runRobust(cfg netsim.Config, spec string, runs int, seed uint64) error {
+	scenarios, err := parseFamily(cfg, spec, seed)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	rr, err := netsim.EvaluateRobust(cfg, runs, seed, scenarios)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("configuration: %s\n", cfg.Label())
+	fmt.Printf("simulated:     %.0f s × %d runs × %d scenarios (+nominal) in %s\n",
+		cfg.Duration, runs, len(scenarios), time.Since(t0).Round(time.Millisecond))
+	rows := [][]string{{"nominal", report.Pct(rr.Nominal.PDR), report.Days(rr.Nominal.NLTDays),
+		report.MW(float64(rr.Nominal.MaxPower))}}
+	for _, m := range rr.Scenarios {
+		rows = append(rows, []string{m.Scenario.Label(), report.Pct(m.PDR),
+			report.Days(m.NLTDays), report.MW(m.MaxPowerMW)})
+	}
+	report.Table(os.Stdout, []string{"scenario", "PDR", "lifetime", "worst node"}, rows)
+	fmt.Printf("worst case:    PDR %s, lifetime %s (scenario %s)\n",
+		report.Pct(rr.WorstPDR), report.Days(rr.WorstNLTDays), rr.WorstScenario)
+	return nil
 }
 
 func fatalIf(err error) {

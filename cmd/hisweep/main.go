@@ -6,12 +6,15 @@
 //
 //	hisweep -csv fig3.csv             # quick fidelity sweep
 //	hisweep -paper -csv fig3_full.csv # the paper's 600 s × 3 runs
+//	hisweep -robust -kfail 1,2 -robustcsv rb.csv  # nominal-vs-robust comparison
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"hiopt/internal/experiments"
@@ -25,6 +28,10 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "master random seed")
 		paper      = flag.Bool("paper", false, "paper fidelity (600 s × 3 runs)")
 		csvPath    = flag.String("csv", "", "write the scatter to this CSV file")
+		robust     = flag.Bool("robust", false, "also run the nominal-vs-robust comparison under k-node failures")
+		kfail      = flag.String("kfail", "1,2", "comma-separated failure counts k for -robust")
+		pdrMin     = flag.Float64("pdrmin", 0.9, "reliability bound of the -robust comparison")
+		robustCSV  = flag.String("robustcsv", "", "write the -robust comparison to this CSV file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -46,6 +53,25 @@ func main() {
 	if _, err := suite.Fig3(*csvPath); err != nil {
 		fmt.Fprintln(os.Stderr, "hisweep:", err)
 		os.Exit(1)
+	}
+	if *robust {
+		var ks []int
+		for _, part := range strings.Split(*kfail, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			k, err := strconv.Atoi(part)
+			if err != nil || k <= 0 {
+				fmt.Fprintf(os.Stderr, "hisweep: bad -kfail entry %q\n", part)
+				os.Exit(1)
+			}
+			ks = append(ks, k)
+		}
+		if _, err := suite.RB(ks, *pdrMin, *robustCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "hisweep:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("sweep completed in %s\n", time.Since(t0).Round(time.Millisecond))
 	if err := stopProf(); err != nil {

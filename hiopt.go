@@ -35,6 +35,7 @@ import (
 	"hiopt/internal/core"
 	"hiopt/internal/design"
 	"hiopt/internal/exhaustive"
+	"hiopt/internal/fault"
 	"hiopt/internal/netsim"
 	"hiopt/internal/phys"
 	"hiopt/internal/radio"
@@ -55,6 +56,23 @@ type (
 	Outcome = core.Outcome
 	// Candidate is one simulated configuration with metrics.
 	Candidate = core.Candidate
+	// RobustOptions configure worst-case screening against a fault-scenario
+	// family inside Algorithm 1 (OptimizerOptions.Robust).
+	RobustOptions = core.RobustOptions
+)
+
+// Fault-injection and robust-evaluation types.
+type (
+	// FaultScenario is one deterministic fault schedule (node failures,
+	// outages, link shadowing bursts, battery drains) attachable to a
+	// SimConfig; the zero value injects nothing.
+	FaultScenario = fault.Scenario
+	// ScenarioGen derives deterministic fault-scenario families (k-node
+	// failures, coordinator outages, sampled link bursts) from a seed.
+	ScenarioGen = fault.ScenarioGen
+	// RobustResult is a configuration's measured envelope across a
+	// scenario family: nominal, per-scenario, and worst-case metrics.
+	RobustResult = netsim.RobustResult
 )
 
 // Simulator-facing types.
@@ -125,6 +143,19 @@ func Simulate(cfg SimConfig, seed uint64) (*SimResult, error) {
 // and averages the metrics, as the paper does (3 runs).
 func SimulateAveraged(cfg SimConfig, runs int, seed uint64) (*SimResult, error) {
 	return netsim.RunAveraged(cfg, runs, seed)
+}
+
+// ParseFaultScenario builds a fault scenario from its textual spec, e.g.
+// "fail:6@150,out:0@100-200,link:1-5@50-250,drain:3x1e6".
+func ParseFaultScenario(spec string) (*FaultScenario, error) {
+	return fault.Parse(spec)
+}
+
+// SimulateRobust measures a configuration under every scenario of a fault
+// family (plus the fault-free nominal run) with common random numbers and
+// returns the per-scenario metrics and worst-case envelope.
+func SimulateRobust(cfg SimConfig, runs int, seed uint64, scenarios []*FaultScenario) (*RobustResult, error) {
+	return netsim.EvaluateRobust(cfg, runs, seed, scenarios)
 }
 
 // DefaultSimConfig assembles the design-example configuration around a

@@ -233,13 +233,6 @@ func (a *Annealer) Run() (*Outcome, error) {
 		out.Steps++
 	}
 	out.Evaluations = a.evals
-	out.Simulations = a.evals * maxInt(1, a.pr.Runs)
+	out.Simulations = a.evals * max(1, a.pr.Runs)
 	return out, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -69,13 +69,36 @@ type Layer struct {
 	Latencies []float64
 	// stopped halts generation (set when the node fails).
 	stopped bool
+	// timer is the armed generation timer, kept so Stop can cancel it
+	// through the des cancel path instead of letting it fire into a
+	// stopped source.
+	timer stack.Canceler
 	// generateFn is the periodic-source callback, bound once at
 	// construction so rearming the source does not allocate a method value.
 	generateFn func()
 }
 
-// Stop halts packet generation permanently (failure injection).
-func (l *Layer) Stop() { l.stopped = true }
+// Stop halts packet generation (failure injection or an outage window)
+// and cancels the pending generation timer.
+func (l *Layer) Stop() {
+	l.stopped = true
+	l.timer.Cancel()
+}
+
+// Resume restarts a stopped source (outage recovery): generation resumes
+// after one fresh period, with sequence numbers continuing where they
+// left off. It is a no-op when the source never started, was not
+// stopped, or the horizon has passed.
+func (l *Layer) Resume() {
+	if !l.stopped {
+		return
+	}
+	l.stopped = false
+	if l.jitter == nil || l.env.Now() > l.horizon {
+		return
+	}
+	l.timer = l.env.After(l.nextPeriod(), l.generateFn)
+}
 
 // latencyCapLimit bounds the up-front latency-buffer reservation so
 // open-ended horizons (stepped benchmarks) cannot demand huge buffers;
@@ -116,7 +139,7 @@ func (l *Layer) Start() {
 	period := 1 / l.params.RatePPS
 	phase := l.env.RNG("app/phase").Uniform(0, period)
 	l.jitter = l.env.RNG("app/jitter")
-	l.env.After(phase, l.generateFn)
+	l.timer = l.env.After(phase, l.generateFn)
 }
 
 // nextPeriod returns the inter-generation gap with clock jitter applied.
@@ -149,7 +172,7 @@ func (l *Layer) generate() {
 	l.seq[dst]++
 	l.SentTo[dst]++
 	l.routing.FromApp(p)
-	l.env.After(l.nextPeriod(), l.generateFn)
+	l.timer = l.env.After(l.nextPeriod(), l.generateFn)
 }
 
 // OnDeliver records a unique packet delivery; the routing layer guarantees

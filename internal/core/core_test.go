@@ -348,7 +348,7 @@ func TestCacheAvoidsResimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res[0] != res[1] {
+	if res[0].res != res[1].res {
 		t.Error("duplicate points returned distinct results")
 	}
 	if stats.runs != 1*pr.Runs {

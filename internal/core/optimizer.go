@@ -1,14 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"hiopt/internal/design"
+	"hiopt/internal/fault"
 	"hiopt/internal/linexpr"
 	"hiopt/internal/milp"
 	"hiopt/internal/netsim"
@@ -24,13 +27,23 @@ const (
 	// Infeasible means no configuration satisfies the constraints and the
 	// reliability bound.
 	Infeasible
+	// StatusBudgetExceeded means the iteration or wall-clock budget ran
+	// out before the search terminated; Best carries the best-so-far
+	// incumbent (possibly nil) without an optimality proof.
+	StatusBudgetExceeded
 )
 
 func (s Status) String() string {
-	if s == Optimal {
+	switch s {
+	case Optimal:
 		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case StatusBudgetExceeded:
+		return "budget-exceeded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
 	}
-	return "infeasible"
 }
 
 // Candidate is one simulated design point with its measured metrics.
@@ -43,8 +56,16 @@ type Candidate struct {
 	PowerMW float64
 	// NLTDays is the simulated network lifetime.
 	NLTDays float64
-	// Feasible reports PDR >= PDRMin − FeasTol.
+	// Feasible reports PDR >= PDRMin − FeasTol; under robust screening it
+	// additionally requires the scenario-family PDR statistic (worst case
+	// or configured quantile) to clear the same bound.
 	Feasible bool
+	// WorstPDR is the lowest PDR across the robust scenario family. It
+	// equals PDR when robust screening is off or when the candidate was
+	// already nominally infeasible (the family is then not evaluated).
+	// WorstScenario labels the minimizing scenario ("" when none).
+	WorstPDR      float64
+	WorstScenario string
 }
 
 // Iteration records one RunMILP → RunSim round for reporting.
@@ -118,8 +139,48 @@ type Options struct {
 	// ScreenMargin is the rejection band of the screening pass (default
 	// 0.05 — roughly 3σ of the short run's PDR estimator).
 	ScreenMargin float64
+	// MaxIterations caps the RunMILP → RunSim rounds of one Run (0 =
+	// unlimited). When the cap is hit the Outcome carries the best-so-far
+	// incumbent with StatusBudgetExceeded.
+	MaxIterations int
+	// MaxWallClock caps the wall-clock duration of one Run (0 =
+	// unlimited); checked at iteration granularity, same best-so-far
+	// semantics as MaxIterations.
+	MaxWallClock time.Duration
+	// Robust configures worst-case screening against a fault-scenario
+	// family.
+	Robust RobustOptions
 	// Progress, when non-nil, receives a line per iteration.
 	Progress func(format string, args ...interface{})
+}
+
+// RobustOptions configure the robust evaluation mode: every nominally
+// feasible pool candidate is re-evaluated under a fault-scenario family
+// and must also clear the reliability bound on the family's worst case
+// (or a configured quantile) to stay feasible — the scenario-based robust
+// design of D'Andreagiovanni et al. applied to Algorithm 1's oracle.
+type RobustOptions struct {
+	// Enabled turns robust screening on.
+	Enabled bool
+	// KFailures selects the k-node-failure family: every k-subset of a
+	// candidate's locations fails at FailFrac × Duration (default 1).
+	KFailures int
+	// FailFrac places the hard failures as a fraction of the horizon
+	// (default 0.25).
+	FailFrac float64
+	// IncludeCoordinator also fails the star coordinator. Off by
+	// default: the paper treats the hub as the node with larger energy
+	// storage (and, here, higher integrity); failing it collapses every
+	// star trivially.
+	IncludeCoordinator bool
+	// Quantile selects the PDR order statistic the bound is enforced on:
+	// 0 (default) is the strict worst case; e.g. 0.25 tolerates the worst
+	// quarter of scenarios falling below the bound.
+	Quantile float64
+	// Scenarios, when non-empty, overrides the generated family: the same
+	// explicit scenarios screen every candidate (faults at locations a
+	// candidate does not use are inert).
+	Scenarios []*fault.Scenario
 }
 
 func (o Options) withDefaults() Options {
@@ -135,6 +196,14 @@ func (o Options) withDefaults() Options {
 	if o.ScreenMargin == 0 {
 		o.ScreenMargin = 0.05
 	}
+	if o.Robust.Enabled {
+		if o.Robust.KFailures <= 0 {
+			o.Robust.KFailures = 1
+		}
+		if o.Robust.FailFrac <= 0 {
+			o.Robust.FailFrac = 0.25
+		}
+	}
 	return o
 }
 
@@ -148,9 +217,18 @@ type Optimizer struct {
 	// lifetime (including across a ParetoFront sweep). screenCache holds
 	// the cheap screening results separately — a point screened out at
 	// one bound may need a full evaluation at a looser bound.
-	cache       map[uint32]*netsim.Result
-	screenCache map[uint32]*netsim.Result
-	mu          sync.Mutex
+	// scenarioCache holds fault-scenario evaluations keyed by the
+	// combined (point key, scenario key) hash, so the robust family is
+	// simulated once per (candidate, scenario) even across bound sweeps.
+	cache         map[uint32]*netsim.Result
+	screenCache   map[uint32]*netsim.Result
+	scenarioCache map[uint64]*netsim.Result
+	mu            sync.Mutex
+
+	// evalHook, when non-nil, runs before each candidate's evaluation
+	// inside a simulateAll worker; tests use it to inject failures and
+	// panics.
+	evalHook func(design.Point)
 
 	// evPool recycles netsim evaluators (DES kernel + result scratch)
 	// across candidates and iterations, keeping the simulation hot path
@@ -162,11 +240,12 @@ type Optimizer struct {
 // NewOptimizer builds an optimizer with the given options.
 func NewOptimizer(pr *design.Problem, opts Options) *Optimizer {
 	return &Optimizer{
-		Problem:     pr,
-		Options:     opts.withDefaults(),
-		cache:       make(map[uint32]*netsim.Result),
-		screenCache: make(map[uint32]*netsim.Result),
-		evPool:      sync.Pool{New: func() any { return netsim.NewEvaluator() }},
+		Problem:       pr,
+		Options:       opts.withDefaults(),
+		cache:         make(map[uint32]*netsim.Result),
+		screenCache:   make(map[uint32]*netsim.Result),
+		scenarioCache: make(map[uint64]*netsim.Result),
+		evPool:        sync.Pool{New: func() any { return netsim.NewEvaluator() }},
 	}
 }
 
@@ -247,8 +326,19 @@ func (o *Optimizer) Run() (*Outcome, error) {
 	if progress == nil {
 		progress = func(string, ...interface{}) {}
 	}
+	start := time.Now()
 
 	for iter := 0; ; iter++ {
+		if o.Options.MaxIterations > 0 && iter >= o.Options.MaxIterations {
+			progress("iter %d: iteration budget exhausted", iter)
+			out.Status = StatusBudgetExceeded
+			break
+		}
+		if o.Options.MaxWallClock > 0 && time.Since(start) >= o.Options.MaxWallClock {
+			progress("iter %d: wall-clock budget exhausted (%s)", iter, o.Options.MaxWallClock)
+			out.Status = StatusBudgetExceeded
+			break
+		}
 		pool, agg, err := milp.SolvePool(work, milp.Options{}, o.Options.PoolLimit, 1e-6)
 		if err != nil {
 			return nil, err
@@ -284,7 +374,7 @@ func (o *Optimizer) Run() (*Outcome, error) {
 		}
 
 		// Line 7: RunSim over the candidate set (parallel, cached).
-		results, stats, err := o.simulateAll(points)
+		evals, stats, err := o.simulateAll(points)
 		if err != nil {
 			return nil, err
 		}
@@ -295,14 +385,21 @@ func (o *Optimizer) Run() (*Outcome, error) {
 
 		it := Iteration{PBarStar: pStar}
 		for i, p := range points {
+			e := evals[i]
 			cand := Candidate{
-				Point:      p,
-				AnalyticMW: o.Problem.AnalyticPower(p),
-				PDR:        results[i].PDR,
-				PowerMW:    float64(results[i].MaxPower),
-				NLTDays:    results[i].NLTDays,
+				Point:         p,
+				AnalyticMW:    o.Problem.AnalyticPower(p),
+				PDR:           e.res.PDR,
+				PowerMW:       float64(e.res.MaxPower),
+				NLTDays:       e.res.NLTDays,
+				WorstPDR:      e.res.PDR,
+				WorstScenario: e.worstScenario,
 			}
 			cand.Feasible = cand.PDR >= o.Problem.PDRMin-o.Options.FeasTol
+			if e.robust {
+				cand.WorstPDR = e.worstPDR
+				cand.Feasible = cand.Feasible && e.screenPDR >= o.Problem.PDRMin-o.Options.FeasTol
+			}
 			it.Candidates = append(it.Candidates, cand)
 			if cand.Feasible {
 				it.FeasibleCount++
@@ -342,18 +439,41 @@ type simStats struct {
 	seconds float64
 }
 
+// pointEval is one candidate's evaluation outcome: the nominal result
+// plus, when robust screening ran, the scenario-family PDR statistics.
+type pointEval struct {
+	res *netsim.Result
+	// robust reports whether the scenario family was evaluated (it is
+	// skipped for nominally infeasible candidates — they are rejected
+	// either way).
+	robust bool
+	// screenPDR is the statistic the bound is enforced on (the
+	// Quantile-selected order statistic; equals worstPDR at quantile 0).
+	// worstPDR is the strict minimum and worstScenario its label.
+	screenPDR     float64
+	worstPDR      float64
+	worstScenario string
+}
+
 // simulateAll evaluates a candidate set concurrently, consulting the
-// cross-iteration cache and (optionally) the two-stage screening pass. It
-// returns per-point results and the batch's fresh-simulation cost.
-func (o *Optimizer) simulateAll(points []design.Point) ([]*netsim.Result, simStats, error) {
-	results := make([]*netsim.Result, len(points))
-	// jobs maps each distinct uncached key to the point indices wanting
-	// it, so within-batch duplicates are simulated once.
+// cross-iteration caches, the optional two-stage screening pass, and the
+// optional robust scenario family. It returns per-point evaluations and
+// the batch's fresh-simulation cost. Worker panics are recovered into
+// errors, every in-flight worker is drained before returning, and all
+// failures are reported via errors.Join.
+func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, error) {
+	evals := make([]pointEval, len(points))
+	// jobs maps each distinct key to the point indices wanting it, so
+	// within-batch duplicates are evaluated once. Points with a cached
+	// nominal result still pass through a worker when robust screening is
+	// on — their scenario family resolves from the scenario cache, and
+	// the feasibility statistic must be recomputed per call (the bound
+	// may have changed across a ParetoFront sweep).
 	jobs := make(map[uint32][]int)
 	o.mu.Lock()
 	for i, p := range points {
-		if r, ok := o.cache[p.Key()]; ok {
-			results[i] = r
+		if r, ok := o.cache[p.Key()]; ok && !o.Options.Robust.Enabled {
+			evals[i] = pointEval{res: r}
 		} else {
 			jobs[p.Key()] = append(jobs[p.Key()], i)
 		}
@@ -363,78 +483,199 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]*netsim.Result, simSta
 	var stats simStats
 	var statsMu sync.Mutex
 	var wg sync.WaitGroup
-	errCh := make(chan error, 1)
+	var errMu sync.Mutex
+	var errs []error
+	addErr := func(err error) {
+		errMu.Lock()
+		errs = append(errs, err)
+		errMu.Unlock()
+	}
+	hasErr := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return len(errs) > 0
+	}
 	sem := make(chan struct{}, o.Options.Workers)
-	fullRuns := maxInt(1, o.Problem.Runs)
+	fullRuns := max(1, o.Problem.Runs)
 	for _, idxs := range jobs {
 		wg.Add(1)
 		go func(idxs []int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ev := o.evPool.Get().(*netsim.Evaluator)
-			defer o.evPool.Put(ev)
+			if hasErr() {
+				// A sibling already failed; the batch is doomed, so skip
+				// the remaining work and let Run surface the error.
+				return
+			}
 			p := points[idxs[0]]
-			fail := func(err error) {
-				select {
-				case errCh <- err:
-				default:
+			ev := o.evPool.Get().(*netsim.Evaluator)
+			defer func() {
+				if r := recover(); r != nil {
+					// One bad candidate becomes an error, not a hung
+					// WaitGroup. The evaluator may be mid-run; drop it
+					// rather than returning it to the pool.
+					addErr(fmt.Errorf("core: evaluation of %s panicked: %v", p, r))
+					return
 				}
+				o.evPool.Put(ev)
+			}()
+			if o.evalHook != nil {
+				o.evalHook(p)
 			}
 			if o.Options.TwoStage {
-				sr, cached, err := o.screen(ev, p)
+				o.mu.Lock()
+				_, full := o.cache[p.Key()]
+				o.mu.Unlock()
+				if !full {
+					sr, cached, err := o.screen(ev, p)
+					if err != nil {
+						addErr(err)
+						return
+					}
+					statsMu.Lock()
+					if !cached {
+						stats.runs++
+						stats.seconds += o.Problem.Duration / 5
+					}
+					statsMu.Unlock()
+					if sr.PDR < o.Problem.PDRMin-o.Options.ScreenMargin {
+						// Clearly infeasible: the cheap estimate is final.
+						statsMu.Lock()
+						stats.screenedOut++
+						statsMu.Unlock()
+						for _, i := range idxs {
+							evals[i] = pointEval{res: sr}
+						}
+						return
+					}
+				}
+			}
+			o.mu.Lock()
+			r := o.cache[p.Key()]
+			o.mu.Unlock()
+			if r == nil {
+				rr, err := o.Problem.EvaluateWith(ev, p)
 				if err != nil {
-					fail(err)
+					addErr(err)
+					return
+				}
+				o.mu.Lock()
+				o.cache[p.Key()] = rr
+				o.mu.Unlock()
+				statsMu.Lock()
+				stats.runs += fullRuns
+				stats.seconds += o.Problem.Duration * float64(fullRuns)
+				statsMu.Unlock()
+				r = rr
+			}
+			pe := pointEval{res: r}
+			if o.Options.Robust.Enabled && r.PDR >= o.Problem.PDRMin-o.Options.FeasTol {
+				// Only nominally feasible candidates face the adversary:
+				// the others are rejected either way, and the family
+				// costs |scenarios| full-fidelity evaluations each.
+				re, fresh, err := o.robustEval(ev, p)
+				if err != nil {
+					addErr(err)
 					return
 				}
 				statsMu.Lock()
-				if !cached {
-					stats.runs++
-					stats.seconds += o.Problem.Duration / 5
-				}
+				stats.runs += fresh * fullRuns
+				stats.seconds += o.Problem.Duration * float64(fresh*fullRuns)
 				statsMu.Unlock()
-				if sr.PDR < o.Problem.PDRMin-o.Options.ScreenMargin {
-					// Clearly infeasible: the cheap estimate is final.
-					statsMu.Lock()
-					stats.screenedOut++
-					statsMu.Unlock()
-					for _, i := range idxs {
-						results[i] = sr
-					}
-					return
-				}
+				pe.robust = true
+				pe.screenPDR = re.screenPDR
+				pe.worstPDR = re.worstPDR
+				pe.worstScenario = re.worstScenario
 			}
-			r, err := o.Problem.EvaluateWith(ev, p)
-			if err != nil {
-				fail(err)
-				return
-			}
-			o.mu.Lock()
-			o.cache[p.Key()] = r
-			o.mu.Unlock()
-			statsMu.Lock()
-			stats.runs += fullRuns
-			stats.seconds += o.Problem.Duration * float64(fullRuns)
-			statsMu.Unlock()
 			for _, i := range idxs {
-				results[i] = r
+				evals[i] = pe
 			}
 		}(idxs)
 	}
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, stats, err
-	default:
+	if len(errs) > 0 {
+		// Deterministic order regardless of goroutine scheduling.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return nil, stats, errors.Join(errs...)
 	}
-	return results, stats, nil
+	return evals, stats, nil
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// robustStats is the scenario-family PDR summary of one candidate.
+type robustStats struct {
+	screenPDR     float64
+	worstPDR      float64
+	worstScenario string
+}
+
+// robustEval evaluates a candidate under its fault-scenario family,
+// consulting and filling the (point, scenario) cache. It returns the
+// family statistics and the number of fresh full-fidelity evaluations.
+func (o *Optimizer) robustEval(ev *netsim.Evaluator, p design.Point) (robustStats, int, error) {
+	scenarios := o.scenariosFor(p)
+	rs := robustStats{screenPDR: math.Inf(1), worstPDR: math.Inf(1)}
+	if len(scenarios) == 0 {
+		o.mu.Lock()
+		nominal := o.cache[p.Key()]
+		o.mu.Unlock()
+		rs.screenPDR = nominal.PDR
+		rs.worstPDR = nominal.PDR
+		return rs, 0, nil
 	}
-	return b
+	fresh := 0
+	pdrs := make([]float64, 0, len(scenarios))
+	for _, sc := range scenarios {
+		key := fault.CombineKeys(uint64(p.Key()), sc.Key())
+		o.mu.Lock()
+		r := o.scenarioCache[key]
+		o.mu.Unlock()
+		if r == nil {
+			cfg := o.Problem.Config(p)
+			cfg.Scenario = sc
+			var err error
+			r, err = ev.RunAveraged(cfg, o.Problem.Runs, o.Problem.Seed)
+			if err != nil {
+				return rs, fresh, err
+			}
+			o.mu.Lock()
+			o.scenarioCache[key] = r
+			o.mu.Unlock()
+			fresh++
+		}
+		pdrs = append(pdrs, r.PDR)
+		if r.PDR < rs.worstPDR {
+			rs.worstPDR = r.PDR
+			rs.worstScenario = sc.Label()
+		}
+	}
+	sort.Float64s(pdrs)
+	idx := int(math.Floor(o.Options.Robust.Quantile * float64(len(pdrs))))
+	if idx >= len(pdrs) {
+		idx = len(pdrs) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	rs.screenPDR = pdrs[idx]
+	return rs, fresh, nil
+}
+
+// scenariosFor returns the fault-scenario family a candidate is screened
+// against: the explicit override when configured, otherwise the
+// k-node-failure family over the candidate's own locations (coordinator
+// excluded for stars unless IncludeCoordinator).
+func (o *Optimizer) scenariosFor(p design.Point) []*fault.Scenario {
+	ro := o.Options.Robust
+	if len(ro.Scenarios) > 0 {
+		return ro.Scenarios
+	}
+	exclude := -1
+	if p.Routing == netsim.Star && !ro.IncludeCoordinator {
+		exclude = o.Problem.Config(p).CoordinatorLoc
+	}
+	g := fault.ScenarioGen{Seed: o.Problem.Seed, FailFrac: ro.FailFrac}
+	return g.KNodeFailures(p.Locations(), exclude, ro.KFailures, o.Problem.Duration)
 }
 
 // ParetoPoint is one point of the reliability–lifetime trade-off front.

@@ -113,7 +113,7 @@ func Search(pr *design.Problem, opts Options) (*Result, error) {
 	out := &Result{
 		All:         entries,
 		Evaluations: len(points),
-		Simulations: len(points) * maxInt(1, pr.Runs),
+		Simulations: len(points) * max(1, pr.Runs),
 	}
 	for i := range entries {
 		if entries[i].Feasible {
@@ -123,11 +123,4 @@ func Search(pr *design.Problem, opts Options) (*Result, error) {
 		}
 	}
 	return out, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -335,5 +336,61 @@ func TestR1TableRendersSelections(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "Star") {
 		t.Errorf("R1 output missing the selected topology:\n%s", b.String())
+	}
+}
+
+func TestRBNominalVsRobust(t *testing.T) {
+	s, b := newTestSuite()
+	csvPath := filepath.Join(t.TempDir(), "rb.csv")
+	results, err := s.RB([]int{1}, 0.9, csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].K != 1 {
+		t.Fatalf("want one k=1 result, got %+v", results)
+	}
+	r := results[0]
+	if r.NominallyFeasible == 0 {
+		t.Fatal("no nominally feasible configurations entered the comparison")
+	}
+	if r.RobustFeasible > r.NominallyFeasible {
+		t.Fatalf("robust-feasible %d exceeds nominally feasible %d", r.RobustFeasible, r.NominallyFeasible)
+	}
+	// The PR's acceptance criterion: the comparison must expose at least
+	// one nominally feasible configuration that is worst-case infeasible.
+	if r.RobustFeasible == r.NominallyFeasible {
+		t.Fatal("every nominally feasible configuration survived its worst case")
+	}
+	sawDrop := false
+	for _, row := range r.Rows {
+		if row.WorstPDR > row.NominalPDR+1e-9 {
+			t.Fatalf("%v: worst-case PDR %v above nominal %v", row.Point, row.WorstPDR, row.NominalPDR)
+		}
+		if !row.RobustFeasible && row.WorstScenario == "" {
+			t.Fatalf("%v: infeasible row lacks a worst-scenario label", row.Point)
+		}
+		if !row.RobustFeasible {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Fatal("no row marked robust-infeasible despite the count mismatch")
+	}
+	if r.NominalBest == nil {
+		t.Fatal("nominal best missing")
+	}
+	if r.RobustBest != nil && r.RobustBest.PowerMW < r.NominalBest.PowerMW {
+		t.Fatalf("robust best (%v mW) cheaper than nominal best (%v mW)",
+			r.RobustBest.PowerMW, r.NominalBest.PowerMW)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "k,locations,routing,mac,txmode,nominal_pdr,worst_pdr,") {
+		t.Fatalf("unexpected CSV header: %.80s", data)
+	}
+	if !strings.Contains(b.String(), "nominal choice") || !strings.Contains(b.String(), "robust choice") {
+		t.Fatalf("RB table missing design-rule rows:\n%s", b.String())
 	}
 }

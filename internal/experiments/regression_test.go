@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hiopt/internal/design"
+	"hiopt/internal/fault"
+	"hiopt/internal/netsim"
+	"hiopt/internal/report"
+)
+
+// parseFig3Row rebuilds the design point of one fig3_paper.csv record.
+func parseFig3Row(t *testing.T, rec []string) design.Point {
+	t.Helper()
+	var p design.Point
+	for _, f := range strings.Fields(strings.Trim(rec[0], "[]")) {
+		loc, err := strconv.Atoi(f)
+		if err != nil {
+			t.Fatalf("bad location %q: %v", f, err)
+		}
+		p.Topology |= 1 << uint(loc)
+	}
+	switch rec[1] {
+	case "Star":
+		p.Routing = netsim.Star
+	case "Mesh":
+		p.Routing = netsim.Mesh
+	default:
+		t.Fatalf("bad routing %q", rec[1])
+	}
+	switch rec[2] {
+	case "CSMA":
+		p.MAC = netsim.CSMA
+	case "TDMA":
+		p.MAC = netsim.TDMA
+	default:
+		t.Fatalf("bad MAC %q", rec[2])
+	}
+	tx, err := strconv.Atoi(rec[3])
+	if err != nil {
+		t.Fatalf("bad txmode %q: %v", rec[3], err)
+	}
+	p.TxMode = tx
+	return p
+}
+
+// TestFig3PaperRowsReproduceUnderEmptyScenario is the PR's bit-identity
+// regression gate: re-simulating committed fig3_paper.csv rows at paper
+// fidelity with an empty fault Scenario attached must reproduce the CSV
+// fields character-for-character. It pins down both the simulator's
+// cross-version determinism and the invariant that the fault layer is
+// invisible when no faults are injected.
+func TestFig3PaperRowsReproduceUnderEmptyScenario(t *testing.T) {
+	path := filepath.Join("..", "..", "fig3_paper.csv")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Skipf("fig3_paper.csv not present: %v", err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("fig3_paper.csv has no data rows")
+	}
+	// The first rows plus the first Mesh and first TDMA-mesh row cover
+	// both routings and both MACs without re-simulating the whole file.
+	picked := [][]string{recs[1], recs[2]}
+	var sawMesh, sawMeshTDMA bool
+	for _, rec := range recs[1:] {
+		if rec[1] == "Mesh" && !sawMesh {
+			picked, sawMesh = append(picked, rec), true
+		}
+		if rec[1] == "Mesh" && rec[2] == "TDMA" && !sawMeshTDMA {
+			picked, sawMeshTDMA = append(picked, rec), true
+		}
+		if sawMesh && sawMeshTDMA {
+			break
+		}
+	}
+	pr := design.PaperProblem(0.5)
+	pr.Duration = Paper.Duration
+	pr.Runs = Paper.Runs
+	pr.Seed = Paper.Seed
+	ev := netsim.NewEvaluator()
+	for _, rec := range picked {
+		p := parseFig3Row(t, rec)
+		cfg := pr.Config(p)
+		cfg.Scenario = &fault.Scenario{} // empty: must be invisible
+		res, err := ev.RunAveraged(cfg, pr.Runs, pr.Seed)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		got := []string{report.F(res.PDR, 6), report.F(res.NLTDays, 4), report.F(float64(res.MaxPower), 6)}
+		want := []string{rec[4], rec[5], rec[6]}
+		for i, name := range []string{"pdr", "nlt_days", "power_mw"} {
+			if got[i] != want[i] {
+				t.Errorf("%v %s/%s: %s = %s, want %s (bit-identity broken)",
+					rec[0], rec[1], rec[2], name, got[i], want[i])
+			}
+		}
+	}
+}

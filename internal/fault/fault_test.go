@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func richScenario() *Scenario {
+	return &Scenario{
+		Name:     "rich",
+		Failures: []NodeFailure{{Location: 5, At: 150}, {Location: 1, At: 30}},
+		Outages:  []NodeOutage{{Location: 0, Start: 100, End: 200}},
+		Links:    []LinkOutage{{LocA: 6, LocB: 2, Start: 50, End: 250}},
+		Drains:   []BatteryDrain{{Location: 3, Factor: 1e6}},
+	}
+}
+
+func TestEmptyScenarioKeyIsZero(t *testing.T) {
+	var nilSc *Scenario
+	if !nilSc.Empty() || nilSc.Key() != 0 {
+		t.Fatalf("nil scenario: Empty=%v Key=%d, want true/0", nilSc.Empty(), nilSc.Key())
+	}
+	empty := &Scenario{Name: "named-but-empty"}
+	if !empty.Empty() || empty.Key() != 0 {
+		t.Fatalf("empty scenario: Empty=%v Key=%d, want true/0", empty.Empty(), empty.Key())
+	}
+	if richScenario().Key() == 0 {
+		t.Fatal("non-empty scenario hashed to the reserved empty key 0")
+	}
+}
+
+func TestKeyInvariantUnderOrderAndName(t *testing.T) {
+	a := richScenario()
+	// Same faults, shuffled listing order, swapped link endpoints, and a
+	// different name must hash identically.
+	b := &Scenario{
+		Name:     "completely different name",
+		Failures: []NodeFailure{{Location: 1, At: 30}, {Location: 5, At: 150}},
+		Outages:  []NodeOutage{{Location: 0, Start: 100, End: 200}},
+		Links:    []LinkOutage{{LocA: 2, LocB: 6, Start: 50, End: 250}},
+		Drains:   []BatteryDrain{{Location: 3, Factor: 1e6}},
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("order/name-insensitive keys differ: %#x vs %#x", a.Key(), b.Key())
+	}
+}
+
+func TestKeySeparatesScenarios(t *testing.T) {
+	base := richScenario()
+	variants := []*Scenario{
+		{Failures: []NodeFailure{{Location: 5, At: 150}}},
+		{Failures: []NodeFailure{{Location: 5, At: 151}}},
+		{Outages: []NodeOutage{{Location: 5, Start: 150, End: 151}}},
+		{Links: []LinkOutage{{LocA: 2, LocB: 5, Start: 150, End: 151}}},
+		{Drains: []BatteryDrain{{Location: 5, Factor: 150}}},
+	}
+	seen := map[uint64]int{base.Key(): -1}
+	for i, v := range variants {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("variants %d and %d collide on key %#x", prev, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestCombineKeysIsOrderSensitive(t *testing.T) {
+	if CombineKeys(1, 2) == CombineKeys(2, 1) {
+		t.Fatal("CombineKeys is commutative; (point, scenario) would alias (scenario, point)")
+	}
+	if CombineKeys(1, 2) == CombineKeys(1, 3) {
+		t.Fatal("CombineKeys ignores its second argument")
+	}
+}
+
+func TestSpecParseRoundTrip(t *testing.T) {
+	orig := richScenario()
+	spec := orig.Spec()
+	parsed, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	if parsed.Key() != orig.Key() {
+		t.Fatalf("round trip changed the key: %q → %#x, want %#x", spec, parsed.Key(), orig.Key())
+	}
+	canon := orig.clone()
+	canon.Canonicalize()
+	canon.Name = parsed.Name
+	if !reflect.DeepEqual(parsed, canon) {
+		t.Fatalf("round trip changed content:\n got %+v\nwant %+v", parsed, canon)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"boom:1@2",       // unknown kind
+		"fail:1",         // missing @T
+		"fail:x@2",       // bad location
+		"out:1@30-20",    // empty window
+		"link:1-1@10-20", // coinciding endpoints
+		"drain:1x0",      // non-positive factor
+		"fail:-1@10",     // negative location
+		"out:0@100",      // missing window
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+func TestParseMultiTokenAndAliases(t *testing.T) {
+	sc, err := Parse(" fail:5@150 ; outage:0@100-200 , link:2-6@50-250 ")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(sc.Failures) != 1 || len(sc.Outages) != 1 || len(sc.Links) != 1 {
+		t.Fatalf("parsed counts wrong: %+v", sc)
+	}
+}
+
+func TestKNodeFailures(t *testing.T) {
+	g := ScenarioGen{}
+	locs := []int{0, 2, 4, 6}
+	fam := g.KNodeFailures(locs, 0, 1, 600)
+	if len(fam) != 3 {
+		t.Fatalf("k=1 with coordinator excluded: got %d scenarios, want 3", len(fam))
+	}
+	for _, sc := range fam {
+		if len(sc.Failures) != 1 {
+			t.Fatalf("k=1 scenario has %d failures", len(sc.Failures))
+		}
+		f := sc.Failures[0]
+		if f.Location == 0 {
+			t.Fatal("excluded coordinator location 0 appears in the family")
+		}
+		if f.At != 0.25*600 {
+			t.Fatalf("failure at t=%g, want %g", f.At, 0.25*600)
+		}
+	}
+	// k=2 over the 3 non-excluded locations: C(3,2) = 3 distinct subsets.
+	fam2 := g.KNodeFailures(locs, 0, 2, 600)
+	if len(fam2) != 3 {
+		t.Fatalf("k=2: got %d scenarios, want 3", len(fam2))
+	}
+	keys := map[uint64]bool{}
+	for _, sc := range fam2 {
+		keys[sc.Key()] = true
+	}
+	if len(keys) != 3 {
+		t.Fatalf("k=2 family has duplicate keys: %d unique of 3", len(keys))
+	}
+	// Degenerate requests return nil.
+	if g.KNodeFailures(locs, -1, 0, 600) != nil || g.KNodeFailures(locs, -1, 5, 600) != nil {
+		t.Fatal("degenerate k should yield a nil family")
+	}
+	// exclude < 0 keeps every location.
+	if got := g.KNodeFailures(locs, -1, 1, 600); len(got) != 4 {
+		t.Fatalf("no exclusion: got %d scenarios, want 4", len(got))
+	}
+}
+
+func TestCoordinatorOutage(t *testing.T) {
+	sc := ScenarioGen{}.CoordinatorOutage(0, 600)
+	if len(sc.Outages) != 1 {
+		t.Fatalf("want one outage, got %+v", sc)
+	}
+	o := sc.Outages[0]
+	if o.Start != 150 || o.End != 300 {
+		t.Fatalf("outage window [%g, %g), want [150, 300)", o.Start, o.End)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("generated scenario invalid: %v", err)
+	}
+	if !strings.Contains(sc.Name, "coord-outage") {
+		t.Fatalf("unexpected name %q", sc.Name)
+	}
+}
+
+func TestLinkBurstsDeterministic(t *testing.T) {
+	locs := []int{0, 1, 2, 3, 4}
+	a := ScenarioGen{Seed: 7}.LinkBursts(locs, 3, 2, 600)
+	b := ScenarioGen{Seed: 7}.LinkBursts(locs, 3, 2, 600)
+	if len(a) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(a))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("same seed, scenario %d differs: %#x vs %#x", i, a[i].Key(), b[i].Key())
+		}
+		if len(a[i].Links) != 2 {
+			t.Fatalf("scenario %d has %d bursts, want 2", i, len(a[i].Links))
+		}
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("sampled scenario %d invalid: %v", i, err)
+		}
+	}
+	c := ScenarioGen{Seed: 8}.LinkBursts(locs, 3, 2, 600)
+	same := true
+	for i := range a {
+		if a[i].Key() != c[i].Key() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical burst family")
+	}
+}
+
+func TestValidateMembershipNotChecked(t *testing.T) {
+	// Faults at locations a candidate does not use are inert, not invalid.
+	sc := &Scenario{Failures: []NodeFailure{{Location: 99, At: 10}}}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("out-of-topology location rejected: %v", err)
+	}
+}

@@ -81,6 +81,7 @@ type CSMA struct {
 	params  CSMAParams
 	queue   []stack.Packet
 	pending bool
+	halted  bool
 	timer   stack.Canceler
 	g       *rng.Stream
 	drops   uint64
@@ -111,8 +112,25 @@ func (c *CSMA) QueueLen() int { return len(c.queue) }
 // Drops returns the number of packets rejected due to buffer overflow.
 func (c *CSMA) Drops() uint64 { return c.drops }
 
+// Halt implements stack.MAC: it cancels the armed timer through the des
+// cancel path, flushes the buffer, and refuses traffic until Resume.
+func (c *CSMA) Halt() {
+	c.timer.Cancel()
+	c.pending = false
+	c.queue = c.queue[:0]
+	c.halted = true
+}
+
+// Resume implements stack.MAC: the protocol restarts from an empty
+// buffer; the next Enqueue re-arms the attempt timer.
+func (c *CSMA) Resume() { c.halted = false }
+
 // Enqueue implements stack.MAC.
 func (c *CSMA) Enqueue(p stack.Packet) bool {
+	if c.halted {
+		c.drops++
+		return false
+	}
 	if len(c.queue) >= c.params.BufferCap {
 		c.drops++
 		return false

@@ -27,6 +27,7 @@ type TDMA struct {
 	params  TDMAParams
 	queue   []stack.Packet
 	pending bool
+	halted  bool
 	timer   stack.Canceler
 	drops   uint64
 	// fireFn is the slot callback, bound once at construction so arming a
@@ -53,8 +54,25 @@ func (t *TDMA) QueueLen() int { return len(t.queue) }
 // Drops returns the number of packets rejected due to buffer overflow.
 func (t *TDMA) Drops() uint64 { return t.drops }
 
+// Halt implements stack.MAC: it cancels the armed slot timer through the
+// des cancel path, flushes the buffer, and refuses traffic until Resume.
+func (t *TDMA) Halt() {
+	t.timer.Cancel()
+	t.pending = false
+	t.queue = t.queue[:0]
+	t.halted = true
+}
+
+// Resume implements stack.MAC: the protocol restarts from an empty
+// buffer; the next Enqueue re-arms the slot timer.
+func (t *TDMA) Resume() { t.halted = false }
+
 // Enqueue implements stack.MAC.
 func (t *TDMA) Enqueue(p stack.Packet) bool {
+	if t.halted {
+		t.drops++
+		return false
+	}
 	if len(t.queue) >= t.params.BufferCap {
 		t.drops++
 		return false

@@ -15,6 +15,7 @@ import (
 	"hiopt/internal/app"
 	"hiopt/internal/body"
 	"hiopt/internal/channel"
+	"hiopt/internal/fault"
 	"hiopt/internal/mac"
 	"hiopt/internal/phys"
 	"hiopt/internal/radio"
@@ -123,6 +124,14 @@ type Config struct {
 	// robustness studies): the node at the given body location stops
 	// transmitting, receiving, and generating at the given time.
 	Failures []NodeFailure
+	// Scenario, when non-nil, layers a timed fault schedule over the run:
+	// node hard-failures, node outage/recovery windows, per-link shadowing
+	// bursts, and battery-exhaustion acceleration (see internal/fault).
+	// Unlike Failures, faults referencing body locations absent from
+	// Locations are inert rather than invalid, so one scenario family can
+	// screen design candidates with differing topologies. An empty (or
+	// nil) scenario yields results bit-identical to no scenario at all.
+	Scenario *fault.Scenario
 
 	// Trace, when non-nil, receives a CSV event log of the run
 	// (time, event, node location, origin, dst, seq, detail) — the
@@ -233,6 +242,9 @@ func (c *Config) Validate() error {
 		if f.At < 0 {
 			return fmt.Errorf("netsim: failure time %g before simulation start", f.At)
 		}
+	}
+	if err := c.Scenario.Validate(); err != nil {
+		return fmt.Errorf("netsim: %v", err)
 	}
 	return nil
 }

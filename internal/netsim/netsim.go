@@ -8,6 +8,7 @@ import (
 	"hiopt/internal/app"
 	"hiopt/internal/channel"
 	"hiopt/internal/des"
+	"hiopt/internal/fault"
 	"hiopt/internal/mac"
 	"hiopt/internal/phys"
 	"hiopt/internal/rng"
@@ -44,12 +45,21 @@ type node struct {
 
 	transmitting bool
 	down         bool
-	aliveUntil   float64
-	txEnergyJ    float64
-	rxEnergyJ    float64
-	txCount      uint64
-	rxClean      uint64
-	rxCorrupt    uint64
+	// permanent marks a hard failure (no recovery); downAt is when the
+	// current down period began and downtime accumulates completed down
+	// periods (outage windows) for idle-listening energy accounting.
+	permanent bool
+	downAt    float64
+	downtime  float64
+	// drainScale, when positive, multiplies accounted radio energy in the
+	// battery-exhaustion check (fault.BatteryDrain acceleration).
+	drainScale float64
+	aliveUntil float64
+	txEnergyJ  float64
+	rxEnergyJ  float64
+	txCount    uint64
+	rxClean    uint64
+	rxCorrupt  uint64
 }
 
 // Network is one simulation instance.
@@ -68,7 +78,34 @@ type Network struct {
 	// txPool recycles transmission structs and their per-node slices so a
 	// steady-state run allocates nothing per packet on the medium.
 	txPool []*transmission
+
+	// outages holds merged per-pair link-outage windows from the fault
+	// scenario, keyed by canonical location pair; nil when the scenario
+	// schedules none, keeping the nominal transmit path untouched.
+	outages map[int]*outageWindows
 }
+
+// outageWindows is one location pair's sorted, merged outage windows with
+// a monotone cursor — transmit times never decrease, so lookups advance
+// the cursor instead of binary-searching.
+type outageWindows struct {
+	win [][2]float64
+	cur int
+}
+
+// pairKey canonicalizes an unordered location pair into a map key.
+func pairKey(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	return a<<8 | b
+}
+
+// outageExtraDB is the attenuation a link-outage burst layers on top of
+// the nominal path loss — far below any receiver sensitivity, while the
+// fading process still advances so scenario runs share random numbers
+// with the nominal run.
+const outageExtraDB phys.DB = 120
 
 // trace appends one event line to the configured trace writer. Hot call
 // sites guard on cfg.Trace != nil themselves so detail strings are only
@@ -151,7 +188,73 @@ func newWith(cfg Config, seed uint64, sim *des.Simulator) (*Network, error) {
 		// PDR estimate carries a small negative edge bias.
 		nd.app = app.New(nd, cfg.App, nd.rt, cfg.Duration-drainGuard(cfg.Duration))
 	}
+	if sc := cfg.Scenario; sc != nil {
+		if len(sc.Links) > 0 {
+			n.outages = buildOutageWindows(sc.Links)
+		}
+		for _, d := range sc.Drains {
+			if nd := n.nodeAt(d.Location); nd != nil {
+				nd.drainScale = d.Factor
+			}
+		}
+	}
 	return n, nil
+}
+
+// nodeAt returns the node at a body location, or nil when the topology
+// does not use it (scenario faults at absent locations are inert).
+func (n *Network) nodeAt(loc int) *node {
+	for _, nd := range n.nodes {
+		if nd.loc == loc {
+			return nd
+		}
+	}
+	return nil
+}
+
+// buildOutageWindows groups link outages by canonical pair, sorts each
+// pair's windows, and merges overlaps so the monotone cursor in
+// linkBlocked is sound.
+func buildOutageWindows(links []fault.LinkOutage) map[int]*outageWindows {
+	byPair := make(map[int][][2]float64)
+	for _, l := range links {
+		k := pairKey(l.LocA, l.LocB)
+		byPair[k] = append(byPair[k], [2]float64{l.Start, l.End})
+	}
+	out := make(map[int]*outageWindows, len(byPair))
+	for k, win := range byPair {
+		sort.Slice(win, func(i, j int) bool {
+			if win[i][0] != win[j][0] {
+				return win[i][0] < win[j][0]
+			}
+			return win[i][1] < win[j][1]
+		})
+		merged := win[:1]
+		for _, w := range win[1:] {
+			if last := &merged[len(merged)-1]; w[0] <= last[1] {
+				if w[1] > last[1] {
+					last[1] = w[1]
+				}
+			} else {
+				merged = append(merged, w)
+			}
+		}
+		out[k] = &outageWindows{win: merged}
+	}
+	return out
+}
+
+// linkBlocked reports whether the (a, b) link is inside an outage burst
+// at time t. Callers guarantee t is non-decreasing per run (DES order).
+func (n *Network) linkBlocked(a, b int, t float64) bool {
+	w := n.outages[pairKey(a, b)]
+	if w == nil {
+		return false
+	}
+	for w.cur < len(w.win) && t >= w.win[w.cur][1] {
+		w.cur++
+	}
+	return w.cur < len(w.win) && t >= w.win[w.cur][0]
 }
 
 // drainGuard returns the end-of-simulation quiet period during which no
@@ -254,6 +357,9 @@ func (n *Network) transmit(sender *node, p stack.Packet) {
 			continue
 		}
 		pl := n.ch.PathLossAt(now, sender.loc, r.loc)
+		if n.outages != nil && n.linkBlocked(sender.loc, r.loc, now) {
+			pl += outageExtraDB
+		}
 		tx.audible[r.id] = n.cfg.Radio.Receivable(n.cfg.TxMode, pl)
 		tx.rxDBm[r.id] = phys.ReceivedPower(txOut, pl)
 		if r.transmitting {
@@ -341,6 +447,9 @@ func (n *Network) finish(tx *transmission) {
 	sender.transmitting = false
 	sender.txCount++
 	sender.txEnergyJ += float64(n.cfg.Radio.TxModes[n.cfg.TxMode].ConsumptionMW) / 1000 * n.airtime
+	if sender.drainScale > 0 {
+		n.checkBattery(sender)
+	}
 
 	for _, r := range n.nodes {
 		if r == sender || !tx.audible[r.id] || r.down {
@@ -352,6 +461,15 @@ func (n *Network) finish(tx *transmission) {
 			continue
 		}
 		r.rxEnergyJ += float64(n.cfg.Radio.RxConsumptionMW) / 1000 * n.airtime
+		if r.drainScale > 0 {
+			n.checkBattery(r)
+			if r.down {
+				// The battery expired during this reception: the packet
+				// is lost with the radio.
+				r.rxCorrupt++
+				continue
+			}
+		}
 		if tx.corrupted[r.id] {
 			r.rxCorrupt++
 			if n.cfg.Trace != nil {
@@ -385,14 +503,108 @@ func (n *Network) Start() {
 		for _, nd := range n.nodes {
 			if nd.loc == f.Location {
 				nd := nd
-				at := f.At
-				n.sim.At(at, func() {
-					nd.down = true
-					nd.aliveUntil = at
-					nd.app.Stop()
-					n.trace("fail", nd, nil, "permanent")
-				})
+				n.sim.At(f.At, func() { n.failNode(nd, true) })
 			}
+		}
+	}
+	if sc := n.cfg.Scenario; sc != nil {
+		n.scheduleScenario(sc)
+	}
+}
+
+// scheduleScenario arms the timed faults of the configured scenario.
+// Faults at body locations the topology does not use are inert; drains
+// and link-outage windows are applied at construction.
+func (n *Network) scheduleScenario(sc *fault.Scenario) {
+	for _, f := range sc.Failures {
+		if nd := n.nodeAt(f.Location); nd != nil {
+			nd := nd
+			n.sim.At(f.At, func() { n.failNode(nd, true) })
+		}
+	}
+	for _, o := range sc.Outages {
+		if nd := n.nodeAt(o.Location); nd != nil {
+			nd := nd
+			n.sim.At(o.Start, func() { n.failNode(nd, false) })
+			n.sim.At(o.End, func() { n.recoverNode(nd) })
+		}
+	}
+}
+
+// failNode takes a node down: the application source stops, the MAC is
+// halted with its pending timers cancelled through the des cancel path,
+// and any packet this node has on the air loses its un-radiated tail.
+// A permanent failure additionally freezes aliveUntil for the energy
+// accounting; a non-permanent one is an outage recoverNode can undo.
+func (n *Network) failNode(nd *node, permanent bool) {
+	now := n.sim.Now()
+	if nd.down {
+		if permanent && !nd.permanent {
+			// A hard failure landing inside an outage window upgrades it:
+			// fold the open down period and pin the alive horizon.
+			nd.permanent = true
+			nd.downtime += now - nd.downAt
+			nd.downAt = now
+			nd.aliveUntil = now
+		}
+		return
+	}
+	nd.down = true
+	nd.permanent = permanent
+	nd.downAt = now
+	if permanent {
+		nd.aliveUntil = now
+	}
+	nd.app.Stop()
+	nd.mac.Halt()
+	if nd.transmitting {
+		// The radio dies mid-packet: every in-flight copy from this
+		// sender is truncated and lost at all receivers.
+		for _, tx := range n.active {
+			if tx.sender == nd {
+				for rid := range tx.corrupted {
+					tx.corrupted[rid] = true
+				}
+			}
+		}
+	}
+	if n.cfg.Trace != nil {
+		detail := "outage"
+		if permanent {
+			detail = "permanent"
+		}
+		n.trace("fail", nd, nil, detail)
+	}
+}
+
+// recoverNode ends an outage: the MAC and application resume from an
+// empty state (queued packets were lost with the outage) and the down
+// period is folded into the idle-listening downtime.
+func (n *Network) recoverNode(nd *node) {
+	if !nd.down || nd.permanent {
+		return
+	}
+	nd.down = false
+	nd.downtime += n.sim.Now() - nd.downAt
+	nd.mac.Resume()
+	nd.app.Resume()
+	if n.cfg.Trace != nil {
+		n.trace("recover", nd, nil, "")
+	}
+}
+
+// checkBattery fails a drain-accelerated node permanently once its scaled
+// radio energy exceeds the battery. The check uses the event-accounted
+// energy (idle-listening recomputation happens only at collection), which
+// is exactly the consumption a duty-cycled radio would have burned.
+func (n *Network) checkBattery(nd *node) {
+	if nd.down {
+		return
+	}
+	if phys.Joule((nd.txEnergyJ+nd.rxEnergyJ)*nd.drainScale) >= n.cfg.BatteryJ {
+		n.failNode(nd, true)
+		if n.cfg.Trace != nil {
+			n.trace("battery", nd, nil, "exhausted")
 		}
 	}
 }
@@ -455,9 +667,14 @@ func (n *Network) collectInto(res *Result, lats []float64) []float64 {
 		rxJ := nd.rxEnergyJ
 		if cfg.IdleListening {
 			// No wake-up receiver: the RX chain is on whenever the node
-			// is alive and not transmitting.
+			// is alive (not failed, not in an outage) and not transmitting.
+			downtime := nd.downtime
+			if nd.down && !nd.permanent {
+				// An outage window still open at the horizon.
+				downtime += cfg.Duration - nd.downAt
+			}
 			txTime := float64(nd.txCount) * n.airtime
-			rxJ = float64(cfg.Radio.RxConsumptionMW) / 1000 * (nd.aliveUntil - txTime)
+			rxJ = float64(cfg.Radio.RxConsumptionMW) / 1000 * (nd.aliveUntil - downtime - txTime)
 		}
 		pw := cfg.BaselineMW + phys.MilliWatt((nd.txEnergyJ+rxJ)/cfg.Duration*1000)
 		res.NodePower[i] = pw

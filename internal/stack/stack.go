@@ -117,6 +117,13 @@ type MAC interface {
 	OnReceive(p Packet)
 	// QueueLen returns the current transmit-buffer occupancy.
 	QueueLen() int
+	// Halt takes the protocol down (fault injection): pending timers are
+	// cancelled, the transmit buffer is flushed, and enqueues are refused
+	// until Resume.
+	Halt()
+	// Resume re-arms a halted protocol from an empty state (outage
+	// recovery). It is a no-op on a protocol that was never halted.
+	Resume()
 }
 
 // Routing is a network-layer protocol instance bound to one node.
