@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench-smoke robust-smoke
+.PHONY: check build test vet race bench-smoke robust-smoke milp-smoke
 
 check: build test vet race
 
@@ -20,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/fault/
+	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/fault/ ./internal/lp/ ./internal/milp/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -29,3 +29,11 @@ bench-smoke:
 # its 1-node-failure family at quick fidelity.
 robust-smoke:
 	$(GO) run ./cmd/hisim -locs 0,1,3,6 -routing star -mac tdma -tx 0 -duration 60 -faults knode=1
+
+# The warm-started MILP kernel gate: the warm-vs-cold equivalence property
+# tests (randomized bound/cut mutations in internal/lp, pool enumeration
+# across pruning cuts in internal/milp) plus the paper-chain pivot-budget
+# check in internal/core.
+milp-smoke:
+	$(GO) test -race -count=1 ./internal/lp/ ./internal/milp/
+	$(GO) test -count=1 -run 'TestPaperChainWarmMatchesCold|TestWarmPoolDeepChainComplete|TestRunWarmMatchesColdMILP' -v ./internal/core/

@@ -20,6 +20,7 @@
 package hiopt_test
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"testing"
@@ -556,6 +557,110 @@ func BenchmarkRobustEval(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(scenarios)+1), "sims/op")
+}
+
+// --- warm MILP kernel ---
+
+// milpPoolChain drives the first three Algorithm 1 oracle iterations —
+// SolvePool, prune cut, SolvePool — on the paper problem's MILP, either
+// on a persistent warm State or on the clone-based cold path, and
+// returns total simplex pivots and branch-and-bound nodes.
+func milpPoolChain(b *testing.B, warm bool) (pivots, nodes int) {
+	work, obj, err := core.CompileMILP(design.PaperProblem(0.9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st *milp.State
+	if warm {
+		st = milp.NewState(work, milp.Options{})
+	}
+	for iter := 0; iter < 3; iter++ {
+		var pool []milp.PoolSolution
+		var agg *milp.Solution
+		var err error
+		if warm {
+			pool, agg, err = st.SolvePool(0, 1e-6)
+		} else {
+			pool, agg, err = milp.SolvePool(work, milp.Options{}, 0, 1e-6)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Status != milp.Optimal || len(pool) == 0 {
+			b.Fatalf("iter %d: status %v, %d members", iter, agg.Status, len(pool))
+		}
+		pivots += agg.LPIterations
+		nodes += agg.Nodes
+		work.AddExprRow(fmt.Sprintf("prune_%d", iter), obj, linexpr.GE, agg.Objective+1e-4)
+	}
+	return pivots, nodes
+}
+
+// BenchmarkMILPSolvePool measures the full pooled-MILP chain of Algorithm
+// 1's first three iterations. The warm sub-benchmark keeps one persistent
+// solver state across iterations (dual-simplex re-solves, bound-diff
+// nodes, live no-good cuts); cold re-clones and re-solves from scratch
+// like the pre-warm-kernel code path. pivots/op is the acceptance metric:
+// warm must stay ≥2x below cold.
+func BenchmarkMILPSolvePool(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"warm", true}, {"cold", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var pivots, nodes int
+			for i := 0; i < b.N; i++ {
+				p, n := milpPoolChain(b, mode.warm)
+				pivots += p
+				nodes += n
+			}
+			b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+		})
+	}
+}
+
+// BenchmarkMILPCutResolve measures the LP unit the warm kernel exists
+// for: a pruning cut's right-hand side moves and the paper problem's
+// root relaxation re-solves from the incumbent basis instead of from
+// scratch. One op is a tighten + re-solve followed by a loosen +
+// re-solve, so the solver returns to its starting state every op.
+func BenchmarkMILPCutResolve(b *testing.B) {
+	work, obj, err := core.CompileMILP(design.PaperProblem(0.9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	work.AddExprRow("prune", obj, linexpr.GE, 0) // loose: power is positive
+	row := len(work.Rows) - 1
+	sv, err := lp.NewSolver(work)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sv.Solve()
+	if err != nil || s.Status != lp.Optimal {
+		b.Fatalf("root solve: %v %v", s.Status, err)
+	}
+	tight := s.Objective + 0.01
+	s0 := sv.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv.SetRowRHS(row, tight)
+		if r, err := sv.Solve(); err != nil || r.Status != lp.Optimal {
+			b.Fatalf("tight re-solve: %v %v", r.Status, err)
+		}
+		sv.SetRowRHS(row, 0)
+		if r, err := sv.Solve(); err != nil || r.Status != lp.Optimal {
+			b.Fatalf("loose re-solve: %v %v", r.Status, err)
+		}
+	}
+	b.StopTimer()
+	d := sv.Stats()
+	b.ReportMetric(float64(d.Pivots-s0.Pivots)/float64(b.N), "pivots/op")
+	if cold := d.ColdSolves - s0.ColdSolves; cold != 0 {
+		b.Fatalf("%d cold rebuilds in the warm re-solve loop", cold)
+	}
 }
 
 func BenchmarkMILPKnapsack(b *testing.B) {

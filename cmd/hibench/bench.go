@@ -10,8 +10,12 @@ import (
 
 	"hiopt/internal/body"
 	"hiopt/internal/channel"
+	"hiopt/internal/core"
 	"hiopt/internal/des"
+	"hiopt/internal/design"
 	"hiopt/internal/fault"
+	"hiopt/internal/linexpr"
+	"hiopt/internal/milp"
 	"hiopt/internal/netsim"
 	"hiopt/internal/phys"
 	"hiopt/internal/rng"
@@ -68,6 +72,8 @@ func writeBenchJSON(path string, expSeconds map[string]float64) error {
 			"netsim_one_second":   toEntry(testing.Benchmark(benchNetsimOneSecond)),
 			"channel_pathloss_at": toEntry(testing.Benchmark(benchChannelPathLossAt)),
 			"robust_eval":         toEntry(testing.Benchmark(benchRobustEval)),
+			"milp_pool":           toEntry(testing.Benchmark(benchMILPPoolWarm)),
+			"milp_pool_cold":      toEntry(testing.Benchmark(benchMILPPoolCold)),
 		},
 		ExperimentSeconds: expSeconds,
 	}
@@ -155,4 +161,60 @@ func benchChannelPathLossAt(b *testing.B) {
 	if sink == 0 && b.N > 0 {
 		fmt.Fprintln(os.Stderr, "benchChannelPathLossAt: implausible zero path loss sum")
 	}
+}
+
+// milpPoolChain mirrors the root-level milpPoolChain helper: the first
+// three Algorithm 1 oracle iterations (SolvePool, prune cut, SolvePool)
+// on the paper problem's MILP, warm (persistent solver state) or cold
+// (clone-based re-solve), returning total pivots and B&B nodes.
+func milpPoolChain(b *testing.B, warm bool) (pivots, nodes int) {
+	work, obj, err := core.CompileMILP(design.PaperProblem(0.9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st *milp.State
+	if warm {
+		st = milp.NewState(work, milp.Options{})
+	}
+	for iter := 0; iter < 3; iter++ {
+		var pool []milp.PoolSolution
+		var agg *milp.Solution
+		var err error
+		if warm {
+			pool, agg, err = st.SolvePool(0, 1e-6)
+		} else {
+			pool, agg, err = milp.SolvePool(work, milp.Options{}, 0, 1e-6)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Status != milp.Optimal || len(pool) == 0 {
+			b.Fatalf("iter %d: status %v, %d members", iter, agg.Status, len(pool))
+		}
+		pivots += agg.LPIterations
+		nodes += agg.Nodes
+		work.AddExprRow(fmt.Sprintf("prune_%d", iter), obj, linexpr.GE, agg.Objective+1e-4)
+	}
+	return pivots, nodes
+}
+
+// benchMILPPoolWarm mirrors BenchmarkMILPSolvePool/warm: the pooled-MILP
+// chain on the persistent warm kernel. pivots/op vs milp_pool_cold is the
+// recorded speedup of the warm-start work.
+func benchMILPPoolWarm(b *testing.B) { benchMILPPool(b, true) }
+
+// benchMILPPoolCold mirrors BenchmarkMILPSolvePool/cold: the same chain
+// on the clone-based cold path.
+func benchMILPPoolCold(b *testing.B) { benchMILPPool(b, false) }
+
+func benchMILPPool(b *testing.B, warm bool) {
+	b.ReportAllocs()
+	var pivots, nodes int
+	for i := 0; i < b.N; i++ {
+		p, n := milpPoolChain(b, warm)
+		pivots += p
+		nodes += n
+	}
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
 }

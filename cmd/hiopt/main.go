@@ -75,7 +75,8 @@ func main() {
 	fmt.Printf("status:       %s\n", out.Status)
 	fmt.Printf("iterations:   %d\n", len(out.Iterations))
 	fmt.Printf("evaluations:  %d configurations (%d simulator runs)\n", out.Evaluations, out.Simulations)
-	fmt.Printf("MILP effort:  %d B&B nodes, %d LP pivots\n", out.MILPNodes, out.LPIterations)
+	fmt.Printf("MILP effort:  %d B&B nodes, %d LP pivots (%d warm re-solves, %d cold rebuilds)\n",
+		out.MILPNodes, out.LPIterations, out.MILPWarmSolves, out.MILPColdSolves)
 	fmt.Printf("α-terminated: %v\n", out.TerminatedByAlpha)
 	fmt.Printf("wall time:    %s\n", elapsed.Round(time.Millisecond))
 	if out.Best == nil {

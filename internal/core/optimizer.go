@@ -97,9 +97,13 @@ type Outcome struct {
 	// fidelity-independent cost metric (a screening run contributes
 	// Duration/5, a full evaluation Duration × Runs).
 	SimulatedSeconds float64
-	// MILPNodes and LPIterations aggregate solver effort.
-	MILPNodes    int
-	LPIterations int
+	// MILPNodes and LPIterations aggregate solver effort. MILPWarmSolves
+	// and MILPColdSolves split the LP solves into warm dual-simplex
+	// re-starts vs cold tableau rebuilds (both zero under ColdMILP).
+	MILPNodes      int
+	LPIterations   int
+	MILPWarmSolves int
+	MILPColdSolves int
 	// TerminatedByAlpha reports whether the α bound (line 5 of
 	// Algorithm 1) stopped the search before MILP exhaustion.
 	TerminatedByAlpha bool
@@ -110,6 +114,11 @@ type Options struct {
 	// PoolLimit caps the MILP solution pool per iteration (0 =
 	// unlimited, the paper's behaviour).
 	PoolLimit int
+	// ColdMILP disables the warm-started persistent MILP state and
+	// solves every pool from scratch with the clone-based kernel. The
+	// result is identical; this exists for A/B benchmarking and as an
+	// escape hatch.
+	ColdMILP bool
 	// DisableAlphaBound turns off the line-5 early termination (used by
 	// the ablation study; the algorithm then runs until MILP exhaustion).
 	DisableAlphaBound bool
@@ -321,6 +330,13 @@ func (o *Optimizer) Run() (*Outcome, error) {
 	}
 	work := mm.model.Compile()
 	out := &Outcome{Status: Infeasible}
+	// The MILP oracle keeps one warm solver state across iterations: the
+	// pruning cuts appended by the Update step below are ingested into
+	// its live tableau instead of forcing a from-scratch tree.
+	var milpState *milp.State
+	if !o.Options.ColdMILP {
+		milpState = milp.NewState(work, milp.Options{})
+	}
 	pMin := math.Inf(1) // P̄_min: best simulated power of a feasible config
 	progress := o.Options.Progress
 	if progress == nil {
@@ -339,12 +355,21 @@ func (o *Optimizer) Run() (*Outcome, error) {
 			out.Status = StatusBudgetExceeded
 			break
 		}
-		pool, agg, err := milp.SolvePool(work, milp.Options{}, o.Options.PoolLimit, 1e-6)
+		var pool []milp.PoolSolution
+		var agg *milp.Solution
+		var err error
+		if milpState != nil {
+			pool, agg, err = milpState.SolvePool(o.Options.PoolLimit, 1e-6)
+		} else {
+			pool, agg, err = milp.SolvePool(work, milp.Options{}, o.Options.PoolLimit, 1e-6)
+		}
 		if err != nil {
 			return nil, err
 		}
 		out.MILPNodes += agg.Nodes
 		out.LPIterations += agg.LPIterations
+		out.MILPWarmSolves += agg.WarmSolves
+		out.MILPColdSolves += agg.ColdSolves
 
 		if agg.Status != milp.Optimal || len(pool) == 0 {
 			// Line 4/5: no further candidates. Either infeasible overall
@@ -724,6 +749,19 @@ func WriteRelaxationLP(pr *design.Problem, w io.Writer) error {
 	return mm.model.Compile().WriteLP(w)
 }
 
+// CompileMILP lowers a problem to its compiled MILP relaxation P̃ and
+// returns it with the Eq. (9) objective expression — the pair needed to
+// drive the raw Algorithm 1 oracle loop (SolvePool, then prune with
+// AddExprRow(objective ≥ P̄* + ε)) outside the optimizer, e.g. from the
+// MILP benchmarks.
+func CompileMILP(pr *design.Problem) (*linexpr.Compiled, linexpr.Expr, error) {
+	mm, err := buildMILP(pr)
+	if err != nil {
+		return nil, linexpr.Expr{}, err
+	}
+	return mm.model.Compile(), mm.objective, nil
+}
+
 // FirstPool returns the decoded MILP solution pool of Algorithm 1's first
 // iteration — the cheapest power class of the relaxed problem P̃ — without
 // running any simulations. It is useful for inspecting what the candidate
@@ -733,7 +771,7 @@ func FirstPool(pr *design.Problem) ([]design.Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool, agg, err := milp.SolvePool(mm.model.Compile(), milp.Options{}, 0, 1e-6)
+	pool, agg, err := milp.NewState(mm.model.Compile(), milp.Options{}).SolvePool(0, 1e-6)
 	if err != nil {
 		return nil, err
 	}

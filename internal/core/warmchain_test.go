@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"hiopt/internal/design"
+	"hiopt/internal/linexpr"
+	"hiopt/internal/milp"
+)
+
+// intKey fingerprints a pool member by its integer-variable assignment
+// (no-good enumeration distinguishes members exactly by these bits).
+func intKey(p *linexpr.Compiled, x []float64) string {
+	b := make([]byte, 0, p.NumVars)
+	for j := 0; j < p.NumVars; j++ {
+		if !p.Integer[j] {
+			continue
+		}
+		if x[j] > 0.5 {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
+	return string(b)
+}
+
+func sortedKeys(p *linexpr.Compiled, pool []milp.PoolSolution) []string {
+	keys := make([]string, len(pool))
+	for i, ps := range pool {
+		keys[i] = intKey(p, ps.X)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestPaperChainWarmMatchesCold drives the first three Algorithm 1 MILP
+// iterations of the paper problem — SolvePool, prune cut, SolvePool — on
+// the persistent warm State and on the clone-based cold path. Objectives
+// are pinned to the captured baseline, pools must match as sets, and the
+// warm path must spend at least 2x fewer simplex pivots (the tentpole
+// speedup this PR exists for).
+func TestPaperChainWarmMatchesCold(t *testing.T) {
+	wantObj := []float64{1.004296875, 1.02, 1.07265625}
+	wantPool := []int{16, 16, 16}
+
+	type chain struct {
+		obj    []float64
+		keys   [][]string
+		pivots int
+		nodes  int
+	}
+	runChain := func(warm bool) chain {
+		pr := design.PaperProblem(0.9)
+		mm, err := buildMILP(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := mm.model.Compile()
+		var st *milp.State
+		if warm {
+			st = milp.NewState(work, milp.Options{})
+			if st.Legacy() {
+				t.Fatal("paper problem fell back to legacy path")
+			}
+		}
+		var c chain
+		for iter := 0; iter < len(wantObj); iter++ {
+			var pool []milp.PoolSolution
+			var agg *milp.Solution
+			var err error
+			if warm {
+				pool, agg, err = st.SolvePool(0, 1e-6)
+			} else {
+				pool, agg, err = milp.SolvePool(work, milp.Options{}, 0, 1e-6)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if agg.Status != milp.Optimal {
+				t.Fatalf("warm=%v iter %d: status %v", warm, iter, agg.Status)
+			}
+			for i, ps := range pool {
+				if err := milp.CheckFeasible(work, ps.X, 1e-6); err != nil {
+					t.Fatalf("warm=%v iter %d member %d: %v", warm, iter, i, err)
+				}
+			}
+			c.obj = append(c.obj, agg.Objective)
+			c.keys = append(c.keys, sortedKeys(work, pool))
+			c.pivots += agg.LPIterations
+			c.nodes += agg.Nodes
+			work.AddExprRow(fmt.Sprintf("prune_%d", iter), mm.objective, linexpr.GE, agg.Objective+1e-4)
+		}
+		return c
+	}
+
+	cold := runChain(false)
+	warm := runChain(true)
+
+	for i := range wantObj {
+		if math.Abs(cold.obj[i]-wantObj[i]) > 1e-9 {
+			t.Errorf("iter %d: cold obj %.10g, pinned %.10g", i, cold.obj[i], wantObj[i])
+		}
+		if math.Abs(warm.obj[i]-wantObj[i]) > 1e-9 {
+			t.Errorf("iter %d: warm obj %.10g, pinned %.10g", i, warm.obj[i], wantObj[i])
+		}
+		if len(warm.keys[i]) != wantPool[i] || len(cold.keys[i]) != wantPool[i] {
+			t.Fatalf("iter %d: pool sizes warm=%d cold=%d, pinned %d",
+				i, len(warm.keys[i]), len(cold.keys[i]), wantPool[i])
+		}
+		for k := range warm.keys[i] {
+			if warm.keys[i][k] != cold.keys[i][k] {
+				t.Fatalf("iter %d: pool sets differ at %d: %s vs %s",
+					i, k, warm.keys[i][k], cold.keys[i][k])
+			}
+		}
+	}
+	if warm.pivots*2 > cold.pivots {
+		t.Errorf("warm chain used %d pivots vs cold %d: want >= 2x reduction",
+			warm.pivots, cold.pivots)
+	}
+	t.Logf("pivots: warm=%d cold=%d (%.1fx), nodes: warm=%d cold=%d",
+		warm.pivots, cold.pivots, float64(cold.pivots)/float64(warm.pivots),
+		warm.nodes, cold.nodes)
+}
+
+// TestWarmPoolDeepChainComplete drives the persistent warm state through
+// the PDRmin=1.0 prune chain — deep enough that accumulated tableau
+// drift once tripped mid-call stale rebuilds — and pins every pool size
+// against the clone-based baseline. Before warmPool discarded and redid
+// stale-marked calls, the iteration-7 pool silently lost 21 of its 132
+// slab members to subtrees a drifted basis falsely closed.
+func TestWarmPoolDeepChainComplete(t *testing.T) {
+	wantPool := []int{16, 16, 16, 72, 72, 72, 132, 132}
+	pr := design.PaperProblem(1.0)
+	mm, err := buildMILP(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := mm.model.Compile()
+	st := milp.NewState(work, milp.Options{})
+	if st.Legacy() {
+		t.Fatal("paper problem fell back to legacy path")
+	}
+	for iter, want := range wantPool {
+		pool, agg, err := st.SolvePool(0, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg.Status != milp.Optimal {
+			t.Fatalf("iter %d: status %v", iter, agg.Status)
+		}
+		if len(pool) != want {
+			t.Errorf("iter %d: pool size %d, want %d", iter, len(pool), want)
+		}
+		for i, ps := range pool {
+			if err := milp.CheckFeasible(work, ps.X, 1e-6); err != nil {
+				t.Fatalf("iter %d member %d: %v", iter, i, err)
+			}
+		}
+		work.AddExprRow(fmt.Sprintf("prune_%d", iter), mm.objective, linexpr.GE, agg.Objective+1e-4)
+	}
+}
+
+// TestRunWarmMatchesColdMILP runs full Algorithm 1 at reduced fidelity
+// with the warm persistent MILP state and with ColdMILP, and requires
+// bit-identical outcomes: same best point, same power, same iteration
+// trace.
+func TestRunWarmMatchesColdMILP(t *testing.T) {
+	run := func(cold bool) *Outcome {
+		out, err := NewOptimizer(fastProblem(0.7), Options{ColdMILP: cold}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	warm, cold := run(false), run(true)
+	if warm.Status != cold.Status {
+		t.Fatalf("status warm=%v cold=%v", warm.Status, cold.Status)
+	}
+	if warm.Best == nil || cold.Best == nil {
+		t.Fatalf("missing best: warm=%v cold=%v", warm.Best, cold.Best)
+	}
+	if warm.Best.Point != cold.Best.Point {
+		t.Errorf("best point warm=%+v cold=%+v", warm.Best.Point, cold.Best.Point)
+	}
+	if warm.Best.PowerMW != cold.Best.PowerMW {
+		t.Errorf("best power warm=%v cold=%v", warm.Best.PowerMW, cold.Best.PowerMW)
+	}
+	if warm.Evaluations != cold.Evaluations || len(warm.Iterations) != len(cold.Iterations) {
+		t.Errorf("trace differs: evals %d/%d, iters %d/%d",
+			warm.Evaluations, cold.Evaluations, len(warm.Iterations), len(cold.Iterations))
+	}
+	for i := range warm.Iterations {
+		// P̄* is a simplex tableau result: the warm pivot sequence rounds
+		// the last ~3 bits differently, which %.4f reporting and the
+		// 1e-4 mW prune margin both swallow. Everything discrete —
+		// pool sizes, feasible counts, chosen points — must match exactly.
+		w, c := warm.Iterations[i].PBarStar, cold.Iterations[i].PBarStar
+		if math.Abs(w-c) > 1e-9*(1+math.Abs(c)) {
+			t.Errorf("iter %d: P̄* warm=%v cold=%v", i, w, c)
+		}
+		if len(warm.Iterations[i].Candidates) != len(cold.Iterations[i].Candidates) ||
+			warm.Iterations[i].FeasibleCount != cold.Iterations[i].FeasibleCount {
+			t.Errorf("iter %d: candidates %d/%d feasible %d/%d",
+				i, len(warm.Iterations[i].Candidates), len(cold.Iterations[i].Candidates),
+				warm.Iterations[i].FeasibleCount, cold.Iterations[i].FeasibleCount)
+		}
+	}
+	if warm.MILPWarmSolves == 0 {
+		t.Error("warm run recorded no warm solves")
+	}
+	if cold.MILPWarmSolves != 0 || cold.MILPColdSolves != 0 {
+		t.Errorf("cold run recorded warm-state stats: %d/%d",
+			cold.MILPWarmSolves, cold.MILPColdSolves)
+	}
+}

@@ -82,6 +82,11 @@ type Solution struct {
 	Nodes int
 	// LPIterations accumulates simplex pivots over all nodes.
 	LPIterations int
+	// WarmSolves and ColdSolves count warm-started dual-simplex re-solves
+	// vs cold tableau rebuilds. Both stay zero on the clone-based path,
+	// which never warm-starts.
+	WarmSolves int
+	ColdSolves int
 }
 
 // node is one open branch-and-bound subproblem.
