@@ -1,14 +1,15 @@
 # Development entry points. `make check` is the full gate: the tier-1
-# build-and-test pass plus `go vet` and the race detector on the packages
-# with concurrent evaluation loops. `make bench-smoke` compiles and runs
-# every benchmark once — enough to catch bit-rot in the perf harness
-# without waiting for statistically meaningful timings.
+# build-and-test pass plus `go vet`, a gofmt cleanliness gate, and the
+# race detector on the packages with concurrent evaluation loops.
+# `make bench-smoke` compiles and runs every benchmark once — enough to
+# catch bit-rot in the perf harness without waiting for statistically
+# meaningful timings.
 
 GO ?= go
 
-.PHONY: check build test vet race bench-smoke robust-smoke milp-smoke
+.PHONY: check build test vet fmt race bench-smoke engine-smoke robust-smoke milp-smoke
 
-check: build test vet race
+check: build test vet race fmt
 
 build:
 	$(GO) build ./...
@@ -19,11 +20,22 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 race:
-	$(GO) test -race ./internal/core/ ./internal/netsim/ ./internal/fault/ ./internal/lp/ ./internal/milp/
+	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/exhaustive/ ./internal/netsim/ ./internal/fault/ ./internal/lp/ ./internal/milp/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The evaluation-engine gate: the determinism/dedup/worker-pool property
+# tests under the race detector, plus one pass of the engine benchmarks
+# (dispatch overhead and cache-hit path).
+engine-smoke:
+	$(GO) test -race -count=1 ./internal/engine/
+	$(GO) test -run=NONE -bench='BenchmarkEngine' -benchtime=1x .
 
 # A fast end-to-end robustness pass: one configuration evaluated against
 # its 1-node-failure family at quick fidelity.

@@ -30,6 +30,7 @@ import (
 	"hiopt/internal/core"
 	"hiopt/internal/des"
 	"hiopt/internal/design"
+	"hiopt/internal/engine"
 	"hiopt/internal/experiments"
 	"hiopt/internal/fault"
 	"hiopt/internal/linexpr"
@@ -557,6 +558,74 @@ func BenchmarkRobustEval(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(scenarios)+1), "sims/op")
+}
+
+// engineBatchRequests builds the engine-dispatched equivalent of
+// BenchmarkRobustEval's work: the 4-node star's nominal run plus its
+// 1-node-failure family, as one batch (keyed for the cache-hit variant).
+func engineBatchRequests(keyed bool) []engine.Request {
+	cfg := netsim.DefaultConfig([]int{0, 1, 3, 6}, netsim.TDMA, netsim.Star, 2)
+	cfg.Duration = 10
+	scenarios := fault.ScenarioGen{Seed: 1}.KNodeFailures(cfg.Locations, cfg.CoordinatorLoc, 1, cfg.Duration)
+	reqs := []engine.Request{{Cfg: cfg, Runs: 1, Seed: 1}}
+	for _, sc := range scenarios {
+		c := cfg
+		c.Scenario = sc
+		reqs = append(reqs, engine.Request{Cfg: c, Runs: 1, Seed: 1})
+	}
+	if keyed {
+		pk := design.Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<6, TxMode: 2,
+			MAC: netsim.TDMA, Routing: netsim.Star}.Key()
+		reqs[0].Key = engine.PointKey(pk)
+		for i, sc := range scenarios {
+			reqs[i+1].Key = engine.ScenarioKey(pk, sc.Key())
+		}
+	}
+	return reqs
+}
+
+func BenchmarkEngineBatch(b *testing.B) {
+	// BenchmarkRobustEval's family dispatched through the evaluation
+	// engine's worker pool, uncached (every op simulates afresh): ns/op vs
+	// BenchmarkRobustEval is the engine's dispatch overhead, which must
+	// stay negligible against the simulation itself.
+	eng, err := engine.New(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := engineBatchRequests(false)
+	if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "sims/op")
+}
+
+func BenchmarkEngineCacheHit(b *testing.B) {
+	// The same batch, keyed and pre-warmed: every op resolves from the
+	// unified cache without touching a simulator.
+	eng, err := engine.New(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := engineBatchRequests(true)
+	if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "hits/op")
 }
 
 // --- warm MILP kernel ---

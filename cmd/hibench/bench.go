@@ -13,6 +13,7 @@ import (
 	"hiopt/internal/core"
 	"hiopt/internal/des"
 	"hiopt/internal/design"
+	"hiopt/internal/engine"
 	"hiopt/internal/fault"
 	"hiopt/internal/linexpr"
 	"hiopt/internal/milp"
@@ -72,6 +73,8 @@ func writeBenchJSON(path string, expSeconds map[string]float64) error {
 			"netsim_one_second":   toEntry(testing.Benchmark(benchNetsimOneSecond)),
 			"channel_pathloss_at": toEntry(testing.Benchmark(benchChannelPathLossAt)),
 			"robust_eval":         toEntry(testing.Benchmark(benchRobustEval)),
+			"engine_batch":        toEntry(testing.Benchmark(benchEngineBatch)),
+			"engine_cache_hit":    toEntry(testing.Benchmark(benchEngineCacheHit)),
 			"milp_pool":           toEntry(testing.Benchmark(benchMILPPoolWarm)),
 			"milp_pool_cold":      toEntry(testing.Benchmark(benchMILPPoolCold)),
 		},
@@ -141,6 +144,74 @@ func benchRobustEval(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(scenarios)+1), "sims/op")
+}
+
+// engineBatchRequests builds the engine-dispatched equivalent of
+// benchRobustEval's work: the 4-node star's nominal run plus its
+// 1-node-failure family, as one batch.
+func engineBatchRequests(keyed bool) []engine.Request {
+	cfg := netsim.DefaultConfig([]int{0, 1, 3, 6}, netsim.TDMA, netsim.Star, 2)
+	cfg.Duration = 10
+	scenarios := fault.ScenarioGen{Seed: 1}.KNodeFailures(cfg.Locations, cfg.CoordinatorLoc, 1, cfg.Duration)
+	reqs := []engine.Request{{Cfg: cfg, Runs: 1, Seed: 1}}
+	for _, sc := range scenarios {
+		c := cfg
+		c.Scenario = sc
+		reqs = append(reqs, engine.Request{Cfg: c, Runs: 1, Seed: 1})
+	}
+	if keyed {
+		pk := design.Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<6, TxMode: 2,
+			MAC: netsim.TDMA, Routing: netsim.Star}.Key()
+		reqs[0].Key = engine.PointKey(pk)
+		for i, sc := range scenarios {
+			reqs[i+1].Key = engine.ScenarioKey(pk, sc.Key())
+		}
+	}
+	return reqs
+}
+
+// benchEngineBatch mirrors BenchmarkEngineBatch: benchRobustEval's robust
+// family dispatched through the evaluation engine's worker pool, uncached
+// (every op simulates). ns/op vs robust_eval is the engine's dispatch
+// overhead.
+func benchEngineBatch(b *testing.B) {
+	eng, err := engine.New(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := engineBatchRequests(false)
+	if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "sims/op")
+}
+
+// benchEngineCacheHit mirrors BenchmarkEngineCacheHit: the same batch,
+// keyed and pre-warmed, so every op resolves from the unified cache.
+func benchEngineCacheHit(b *testing.B) {
+	eng, err := engine.New(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := engineBatchRequests(true)
+	if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "hits/op")
 }
 
 // benchChannelPathLossAt mirrors BenchmarkChannelPathLossAt: one

@@ -77,6 +77,7 @@ func main() {
 	fmt.Printf("evaluations:  %d configurations (%d simulator runs)\n", out.Evaluations, out.Simulations)
 	fmt.Printf("MILP effort:  %d B&B nodes, %d LP pivots (%d warm re-solves, %d cold rebuilds)\n",
 		out.MILPNodes, out.LPIterations, out.MILPWarmSolves, out.MILPColdSolves)
+	fmt.Printf("engine:       %s\n", out.Engine)
 	fmt.Printf("α-terminated: %v\n", out.TerminatedByAlpha)
 	fmt.Printf("wall time:    %s\n", elapsed.Round(time.Millisecond))
 	if out.Best == nil {

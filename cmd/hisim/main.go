@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hiopt/internal/body"
+	"hiopt/internal/engine"
 	"hiopt/internal/fault"
 	"hiopt/internal/netsim"
 	"hiopt/internal/phys"
@@ -163,30 +164,61 @@ func parseFamily(cfg netsim.Config, spec string, seed uint64) ([]*fault.Scenario
 	}
 }
 
-// runRobust evaluates the configuration under the generated family and
+// runRobust evaluates the configuration under the generated family —
+// one engine batch: the nominal run plus one run per scenario — and
 // prints the nominal result, the per-scenario table, and the worst case.
 func runRobust(cfg netsim.Config, spec string, runs int, seed uint64) error {
 	scenarios, err := parseFamily(cfg, spec, seed)
 	if err != nil {
 		return err
 	}
-	t0 := time.Now()
-	rr, err := netsim.EvaluateRobust(cfg, runs, seed, scenarios)
+	workers := 0
+	if cfg.Trace != nil {
+		workers = 1 // keep event-trace writes serial
+	}
+	eng, err := engine.New(workers)
 	if err != nil {
 		return err
 	}
+	base := cfg
+	base.Scenario = nil
+	reqs := make([]engine.Request, 0, len(scenarios)+1)
+	reqs = append(reqs, engine.Request{Cfg: base, Runs: runs, Seed: seed, Label: "nominal"})
+	for _, sc := range scenarios {
+		c := base
+		c.Scenario = sc
+		reqs = append(reqs, engine.Request{Cfg: c, Runs: runs, Seed: seed, Label: sc.Label()})
+	}
+	t0 := time.Now()
+	results, err := eng.EvaluateBatch(reqs, nil)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+	nominal := results[0]
 	fmt.Printf("configuration: %s\n", cfg.Label())
 	fmt.Printf("simulated:     %.0f s × %d runs × %d scenarios (+nominal) in %s\n",
-		cfg.Duration, runs, len(scenarios), time.Since(t0).Round(time.Millisecond))
-	rows := [][]string{{"nominal", report.Pct(rr.Nominal.PDR), report.Days(rr.Nominal.NLTDays),
-		report.MW(float64(rr.Nominal.MaxPower))}}
-	for _, m := range rr.Scenarios {
-		rows = append(rows, []string{m.Scenario.Label(), report.Pct(m.PDR),
-			report.Days(m.NLTDays), report.MW(m.MaxPowerMW)})
+		cfg.Duration, runs, len(scenarios), elapsed.Round(time.Millisecond))
+	worstPDR, worstNLT := nominal.PDR, nominal.NLTDays
+	worstScenario := ""
+	rows := [][]string{{"nominal", report.Pct(nominal.PDR), report.Days(nominal.NLTDays),
+		report.MW(float64(nominal.MaxPower))}}
+	for i, sc := range scenarios {
+		r := results[i+1]
+		rows = append(rows, []string{sc.Label(), report.Pct(r.PDR),
+			report.Days(r.NLTDays), report.MW(float64(r.MaxPower))})
+		if i == 0 || r.PDR < worstPDR {
+			worstPDR = r.PDR
+			worstScenario = sc.Label()
+		}
+		if i == 0 || r.NLTDays < worstNLT {
+			worstNLT = r.NLTDays
+		}
 	}
 	report.Table(os.Stdout, []string{"scenario", "PDR", "lifetime", "worst node"}, rows)
 	fmt.Printf("worst case:    PDR %s, lifetime %s (scenario %s)\n",
-		report.Pct(rr.WorstPDR), report.Days(rr.WorstNLTDays), rr.WorstScenario)
+		report.Pct(worstPDR), report.Days(worstNLT), worstScenario)
+	fmt.Printf("engine:        %s\n", eng.Stats())
 	return nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"hiopt/internal/channel"
 	"hiopt/internal/core"
 	"hiopt/internal/design"
+	"hiopt/internal/engine"
 	"hiopt/internal/exhaustive"
 	"hiopt/internal/fault"
 	"hiopt/internal/netsim"
@@ -88,6 +89,23 @@ type (
 	// BodyLocation is a candidate on-body node placement.
 	BodyLocation = body.Location
 )
+
+// Evaluation-engine types.
+type (
+	// Engine is the unified evaluation service behind every search layer:
+	// a fixed worker pool over reusable simulation kernels with a shared
+	// (point, fidelity, scenario) result cache and in-flight
+	// deduplication. Share one engine across Optimize, ExhaustiveSearch,
+	// and Anneal (via their Options.Engine fields) to share its cache.
+	Engine = engine.Engine
+	// EngineStats are an engine's observability counters (submitted,
+	// simulated, cache hits, dedup hits, per-fidelity simulated seconds).
+	EngineStats = engine.Stats
+)
+
+// NewEngine builds an evaluation engine with the given worker-pool size
+// (0 selects GOMAXPROCS; negative counts are rejected).
+func NewEngine(workers int) (*Engine, error) { return engine.New(workers) }
 
 // Baseline types.
 type (

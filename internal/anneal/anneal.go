@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"hiopt/internal/design"
+	"hiopt/internal/engine"
 	"hiopt/internal/netsim"
 	"hiopt/internal/rng"
 )
@@ -38,6 +39,9 @@ type Options struct {
 	// Seed drives the annealer's own randomness (separate from the
 	// simulation seeds inside the problem).
 	Seed uint64
+	// Engine, when non-nil, is used instead of a private single-worker
+	// engine — sharing one engine across layers shares its result cache.
+	Engine *engine.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -91,38 +95,50 @@ type Outcome struct {
 	EvaluationsToBest int
 	// Trace holds the current energy after every step (diagnostics).
 	Trace []float64
+	// Stats snapshots the evaluation engine's counters over this run.
+	Stats engine.Stats
 }
 
 // Annealer carries the search state.
 type Annealer struct {
-	pr    *design.Problem
-	opts  Options
-	g     *rng.Stream
-	cache map[uint32]*Entry
-	evals int
-	// ev is the reusable simulation kernel; the walk is serial, so one
-	// suffices for the whole search.
-	ev *netsim.Evaluator
+	pr   *design.Problem
+	opts Options
+	g    *rng.Stream
+	// eng is the evaluation engine: its unified cache replaces the old
+	// private entry map, so revisited states cost no fresh simulation.
+	// The walk is serial, so a private engine gets a single worker.
+	eng  *engine.Engine
+	base engine.Stats
 }
 
 // New builds an annealer over a problem.
 func New(pr *design.Problem, opts Options) *Annealer {
 	o := opts.withDefaults()
+	eng := o.Engine
+	if eng == nil {
+		eng, _ = engine.New(1) // New only fails on negative worker counts
+	}
 	return &Annealer{
-		pr:    pr,
-		opts:  o,
-		g:     rng.NewSource(o.Seed).Stream("anneal"),
-		cache: make(map[uint32]*Entry),
-		ev:    netsim.NewEvaluator(),
+		pr:   pr,
+		opts: o,
+		g:    rng.NewSource(o.Seed).Stream("anneal"),
+		eng:  eng,
 	}
 }
 
+// evals counts the distinct configurations simulated since Run started.
+func (a *Annealer) evals() int {
+	return int(a.eng.Stats().Sub(a.base).Simulated)
+}
+
 // evaluate simulates (or recalls) a configuration and computes its energy.
+// The entry is a pure function of the simulation result and the problem
+// bound, so rebuilding it on a cache hit is deterministic.
 func (a *Annealer) evaluate(p design.Point) (*Entry, error) {
-	if e, ok := a.cache[p.Key()]; ok {
-		return e, nil
-	}
-	res, err := a.pr.EvaluateWith(a.ev, p)
+	res, err := a.eng.Evaluate(engine.Request{
+		Cfg: a.pr.Config(p), Runs: a.pr.Runs, Seed: a.pr.Seed,
+		Key: engine.PointKey(p.Key()), Label: fmt.Sprintf("%v", p),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -138,8 +154,6 @@ func (a *Annealer) evaluate(p design.Point) (*Entry, error) {
 		shortfall := a.pr.PDRMin - res.PDR
 		e.Energy += a.opts.PenaltyBaseMW + a.opts.PenaltyMW*shortfall
 	}
-	a.cache[p.Key()] = e
-	a.evals++
 	return e, nil
 }
 
@@ -198,6 +212,7 @@ func (a *Annealer) Run() (*Outcome, error) {
 		return nil, fmt.Errorf("anneal: need TMax > TMin > 0, have %v, %v", a.opts.TMax, a.opts.TMin)
 	}
 	out := &Outcome{}
+	a.base = a.eng.Stats()
 	cur, err := a.evaluate(a.initialState())
 	if err != nil {
 		return nil, err
@@ -205,7 +220,7 @@ func (a *Annealer) Run() (*Outcome, error) {
 	if cur.Feasible {
 		e := *cur
 		out.Best = &e
-		out.EvaluationsToBest = a.evals
+		out.EvaluationsToBest = a.evals()
 	}
 	tFactor := math.Log(a.opts.TMax / a.opts.TMin)
 	for step := 0; step < a.opts.Steps; step++ {
@@ -222,17 +237,18 @@ func (a *Annealer) Run() (*Outcome, error) {
 		if cur.Feasible && (out.Best == nil || cur.Energy < out.Best.Energy) {
 			e := *cur
 			out.Best = &e
-			out.EvaluationsToBest = a.evals
+			out.EvaluationsToBest = a.evals()
 		}
 		if cand.Feasible && (out.Best == nil || cand.Energy < out.Best.Energy) {
 			e := *cand
 			out.Best = &e
-			out.EvaluationsToBest = a.evals
+			out.EvaluationsToBest = a.evals()
 		}
 		out.Trace = append(out.Trace, cur.Energy)
 		out.Steps++
 	}
-	out.Evaluations = a.evals
-	out.Simulations = a.evals * max(1, a.pr.Runs)
+	out.Stats = a.eng.Stats().Sub(a.base)
+	out.Evaluations = int(out.Stats.Simulated)
+	out.Simulations = int(out.Stats.SimRuns)
 	return out, nil
 }

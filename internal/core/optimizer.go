@@ -1,16 +1,14 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"hiopt/internal/design"
+	"hiopt/internal/engine"
 	"hiopt/internal/fault"
 	"hiopt/internal/linexpr"
 	"hiopt/internal/milp"
@@ -97,6 +95,11 @@ type Outcome struct {
 	// fidelity-independent cost metric (a screening run contributes
 	// Duration/5, a full evaluation Duration × Runs).
 	SimulatedSeconds float64
+	// Engine snapshots the evaluation engine's counters over this run:
+	// fresh simulations vs cache and dedup hits, and the per-fidelity
+	// simulated time. With a shared engine (Options.Engine) it still
+	// covers only this run's traffic.
+	Engine engine.Stats
 	// MILPNodes and LPIterations aggregate solver effort. MILPWarmSolves
 	// and MILPColdSolves split the LP solves into warm dual-simplex
 	// re-starts vs cold tableau rebuilds (both zero under ColdMILP).
@@ -135,8 +138,15 @@ type Options struct {
 	// well below the smallest separation between distinct power classes
 	// (~15 µW for the CC2650 Tx modes); the default is 0.1 µW.
 	CutEpsilonMW float64
-	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	// Workers sizes the evaluation engine's worker pool (0 = GOMAXPROCS;
+	// negative values are rejected by Run). Ignored when Engine is set.
 	Workers int
+	// Engine, when non-nil, is a shared evaluation service to run all
+	// simulations on; its unified (point, fidelity, scenario) cache then
+	// spans every layer using it — e.g. an exhaustive sweep can warm-fill
+	// the optimizer's full-fidelity entries. When nil the optimizer owns
+	// a private engine with Workers workers.
+	Engine *engine.Engine
 	// TwoStage enables a cheap screening pass before the full-fidelity
 	// evaluation of each candidate: a single run at Duration/5 first,
 	// and only candidates within ScreenMargin of the reliability bound
@@ -199,9 +209,6 @@ func (o Options) withDefaults() Options {
 	if o.CutEpsilonMW == 0 {
 		o.CutEpsilonMW = 1e-4
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
 	if o.ScreenMargin == 0 {
 		o.ScreenMargin = 0.05
 	}
@@ -221,66 +228,38 @@ type Optimizer struct {
 	Problem *design.Problem
 	Options Options
 
-	// cache holds full-fidelity simulation results by point key so a
-	// configuration is never simulated twice within one optimizer's
-	// lifetime (including across a ParetoFront sweep). screenCache holds
-	// the cheap screening results separately — a point screened out at
-	// one bound may need a full evaluation at a looser bound.
-	// scenarioCache holds fault-scenario evaluations keyed by the
-	// combined (point key, scenario key) hash, so the robust family is
-	// simulated once per (candidate, scenario) even across bound sweeps.
-	cache         map[uint32]*netsim.Result
-	screenCache   map[uint32]*netsim.Result
-	scenarioCache map[uint64]*netsim.Result
-	mu            sync.Mutex
+	// eng is the evaluation service every simulation runs through. Its
+	// unified (point, fidelity, scenario) cache replaces the optimizer's
+	// former private caches: a configuration is never simulated twice
+	// within one optimizer's lifetime (including across a ParetoFront
+	// sweep), screening results live in their own fidelity namespace —
+	// a point screened out at one bound may need a full evaluation at a
+	// looser bound — and the robust family is simulated once per
+	// (candidate, scenario) even across bound sweeps. engErr defers an
+	// invalid Workers option to Run.
+	eng    *engine.Engine
+	engErr error
 
-	// evalHook, when non-nil, runs before each candidate's evaluation
-	// inside a simulateAll worker; tests use it to inject failures and
-	// panics.
+	// evalHook, when non-nil, runs before each candidate's fresh
+	// simulation (via engine.Request.Pre); tests use it to inject
+	// failures and panics.
 	evalHook func(design.Point)
-
-	// evPool recycles netsim evaluators (DES kernel + result scratch)
-	// across candidates and iterations, keeping the simulation hot path
-	// allocation-free. Each worker goroutine checks one out for the
-	// duration of a candidate's evaluation.
-	evPool sync.Pool
 }
 
 // NewOptimizer builds an optimizer with the given options.
 func NewOptimizer(pr *design.Problem, opts Options) *Optimizer {
-	return &Optimizer{
-		Problem:       pr,
-		Options:       opts.withDefaults(),
-		cache:         make(map[uint32]*netsim.Result),
-		screenCache:   make(map[uint32]*netsim.Result),
-		scenarioCache: make(map[uint64]*netsim.Result),
-		evPool:        sync.Pool{New: func() any { return netsim.NewEvaluator() }},
+	o := &Optimizer{Problem: pr, Options: opts.withDefaults()}
+	if o.Options.Engine != nil {
+		o.eng = o.Options.Engine
+	} else {
+		o.eng, o.engErr = engine.New(o.Options.Workers)
 	}
+	return o
 }
 
 // screenSeedOffset keeps screening runs on random streams disjoint from
 // the full evaluations'.
 const screenSeedOffset = 7777
-
-// screen runs (or recalls) the cheap screening simulation of a point.
-func (o *Optimizer) screen(ev *netsim.Evaluator, p design.Point) (*netsim.Result, bool, error) {
-	o.mu.Lock()
-	if r, ok := o.screenCache[p.Key()]; ok {
-		o.mu.Unlock()
-		return r, true, nil
-	}
-	o.mu.Unlock()
-	cfg := o.Problem.Config(p)
-	cfg.Duration /= 5
-	r, err := ev.RunAveraged(cfg, 1, o.Problem.Seed+screenSeedOffset)
-	if err != nil {
-		return nil, false, err
-	}
-	o.mu.Lock()
-	o.screenCache[p.Key()] = r
-	o.mu.Unlock()
-	return r, false, nil
-}
 
 // alpha is the paper's α(S*, PDR_min) = P̄/P̄_lb correction, where P̄_lb
 // is "the minimum power that a node must consume for the specified PDR
@@ -324,6 +303,10 @@ func (o *Optimizer) alpha(best design.Point) float64 {
 
 // Run executes Algorithm 1 and returns the outcome.
 func (o *Optimizer) Run() (*Outcome, error) {
+	if o.engErr != nil {
+		return nil, o.engErr
+	}
+	engStart := o.eng.Stats()
 	mm, err := buildMILP(o.Problem)
 	if err != nil {
 		return nil, err
@@ -451,6 +434,7 @@ func (o *Optimizer) Run() (*Outcome, error) {
 		// Line 11: Update(P̃, P̄ > P̄*) — prune the explored power class.
 		work.AddExprRow(fmt.Sprintf("prune_%d", iter), mm.objective, linexpr.GE, pStar+o.Options.CutEpsilonMW)
 	}
+	out.Engine = o.eng.Stats().Sub(engStart)
 	return out, nil
 }
 
@@ -480,150 +464,190 @@ type pointEval struct {
 	worstScenario string
 }
 
-// simulateAll evaluates a candidate set concurrently, consulting the
-// cross-iteration caches, the optional two-stage screening pass, and the
-// optional robust scenario family. It returns per-point evaluations and
-// the batch's fresh-simulation cost. Worker panics are recovered into
-// errors, every in-flight worker is drained before returning, and all
-// failures are reported via errors.Join.
+// simulateAll evaluates a candidate set through the engine in three
+// batched stages — the optional two-stage screening pass, the
+// full-fidelity evaluations, and the optional robust scenario families —
+// and returns per-point evaluations plus the batch's fresh-simulation
+// cost (measured as the engine's counter delta). Screening and robust
+// decisions are made once per distinct candidate; the engine's cache and
+// singleflight handle duplicates and cross-iteration reuse. Panics and
+// errors inside evaluations surface as the engine's deterministic joined
+// error.
 func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, error) {
-	evals := make([]pointEval, len(points))
-	// jobs maps each distinct key to the point indices wanting it, so
-	// within-batch duplicates are evaluated once. Points with a cached
-	// nominal result still pass through a worker when robust screening is
-	// on — their scenario family resolves from the scenario cache, and
-	// the feasibility statistic must be recomputed per call (the bound
-	// may have changed across a ParetoFront sweep).
-	jobs := make(map[uint32][]int)
-	o.mu.Lock()
+	var stats simStats
+	if o.engErr != nil {
+		return nil, stats, o.engErr
+	}
+	engStart := o.eng.Stats()
+	collect := func() {
+		d := o.eng.Stats().Sub(engStart)
+		stats.runs = int(d.SimRuns)
+		stats.seconds = d.SimSeconds()
+	}
+
+	// Distinct candidates in first-appearance order.
+	uniq := points[:0:0]
+	idxOf := make(map[uint32][]int, len(points))
 	for i, p := range points {
-		if r, ok := o.cache[p.Key()]; ok && !o.Options.Robust.Enabled {
-			evals[i] = pointEval{res: r}
-		} else {
-			jobs[p.Key()] = append(jobs[p.Key()], i)
+		k := p.Key()
+		if _, seen := idxOf[k]; !seen {
+			uniq = append(uniq, p)
+		}
+		idxOf[k] = append(idxOf[k], i)
+	}
+
+	pre := func(p design.Point) func() {
+		if o.evalHook == nil {
+			return nil
+		}
+		return func() { o.evalHook(p) }
+	}
+
+	// Stage 1 (TwoStage): cheap screening of candidates without a cached
+	// full-fidelity result; for the clearly infeasible ones the short
+	// estimate is final.
+	screened := make(map[uint32]*netsim.Result)
+	need := uniq
+	if o.Options.TwoStage {
+		var toScreen []design.Point
+		for _, p := range uniq {
+			if !o.eng.Cached(engine.PointKey(p.Key())) {
+				toScreen = append(toScreen, p)
+			}
+		}
+		reqs := make([]engine.Request, len(toScreen))
+		for i, p := range toScreen {
+			cfg := o.Problem.Config(p)
+			cfg.Duration /= 5
+			reqs[i] = engine.Request{
+				Cfg: cfg, Runs: 1, Seed: o.Problem.Seed + screenSeedOffset,
+				Key: engine.ScreenKey(p.Key()), Label: fmt.Sprintf("%v", p), Pre: pre(p),
+			}
+		}
+		srs, err := o.eng.EvaluateBatch(reqs, nil)
+		if err != nil {
+			collect()
+			return nil, stats, err
+		}
+		for i, p := range toScreen {
+			if srs[i].PDR < o.Problem.PDRMin-o.Options.ScreenMargin {
+				screened[p.Key()] = srs[i]
+				stats.screenedOut++
+			}
+		}
+		need = nil
+		for _, p := range uniq {
+			if _, out := screened[p.Key()]; !out {
+				need = append(need, p)
+			}
 		}
 	}
-	o.mu.Unlock()
 
-	var stats simStats
-	var statsMu sync.Mutex
-	var wg sync.WaitGroup
-	var errMu sync.Mutex
-	var errs []error
-	addErr := func(err error) {
-		errMu.Lock()
-		errs = append(errs, err)
-		errMu.Unlock()
+	// Stage 2: full-fidelity evaluation of the surviving candidates.
+	reqs := make([]engine.Request, len(need))
+	for i, p := range need {
+		reqs[i] = engine.Request{
+			Cfg: o.Problem.Config(p), Runs: o.Problem.Runs, Seed: o.Problem.Seed,
+			Key: engine.PointKey(p.Key()), Label: fmt.Sprintf("%v", p), Pre: pre(p),
+		}
 	}
-	hasErr := func() bool {
-		errMu.Lock()
-		defer errMu.Unlock()
-		return len(errs) > 0
+	frs, err := o.eng.EvaluateBatch(reqs, nil)
+	if err != nil {
+		collect()
+		return nil, stats, err
 	}
-	sem := make(chan struct{}, o.Options.Workers)
-	fullRuns := max(1, o.Problem.Runs)
-	for _, idxs := range jobs {
-		wg.Add(1)
-		go func(idxs []int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if hasErr() {
-				// A sibling already failed; the batch is doomed, so skip
-				// the remaining work and let Run surface the error.
-				return
+	full := make(map[uint32]*netsim.Result, len(need))
+	for i, p := range need {
+		full[p.Key()] = frs[i]
+	}
+
+	// Stage 3: the robust scenario families, as one flat batch reduced
+	// per candidate in family order. Only nominally feasible candidates
+	// face the adversary: the others are rejected either way, and the
+	// family costs |scenarios| full-fidelity evaluations each. The
+	// feasibility statistic is recomputed per call from the (cached)
+	// family results — the bound may have changed across a ParetoFront
+	// sweep.
+	robust := make(map[uint32]robustStats)
+	if o.Options.Robust.Enabled {
+		type famJob struct {
+			p         design.Point
+			scenarios []*fault.Scenario
+			base      int
+		}
+		var jobs []famJob
+		var rreqs []engine.Request
+		for _, p := range need {
+			if full[p.Key()].PDR < o.Problem.PDRMin-o.Options.FeasTol {
+				continue
 			}
-			p := points[idxs[0]]
-			ev := o.evPool.Get().(*netsim.Evaluator)
-			defer func() {
-				if r := recover(); r != nil {
-					// One bad candidate becomes an error, not a hung
-					// WaitGroup. The evaluator may be mid-run; drop it
-					// rather than returning it to the pool.
-					addErr(fmt.Errorf("core: evaluation of %s panicked: %v", p, r))
-					return
-				}
-				o.evPool.Put(ev)
-			}()
-			if o.evalHook != nil {
-				o.evalHook(p)
+			scs := o.scenariosFor(p)
+			jobs = append(jobs, famJob{p: p, scenarios: scs, base: len(rreqs)})
+			for _, sc := range scs {
+				cfg := o.Problem.Config(p)
+				cfg.Scenario = sc
+				rreqs = append(rreqs, engine.Request{
+					Cfg: cfg, Runs: o.Problem.Runs, Seed: o.Problem.Seed,
+					Key:   engine.ScenarioKey(p.Key(), sc.Key()),
+					Label: fmt.Sprintf("%v under %s", p, sc.Label()), Pre: pre(p),
+				})
 			}
-			if o.Options.TwoStage {
-				o.mu.Lock()
-				_, full := o.cache[p.Key()]
-				o.mu.Unlock()
-				if !full {
-					sr, cached, err := o.screen(ev, p)
-					if err != nil {
-						addErr(err)
-						return
+		}
+		rres, err := o.eng.EvaluateBatch(rreqs, nil)
+		if err != nil {
+			collect()
+			return nil, stats, err
+		}
+		for _, job := range jobs {
+			rs := robustStats{screenPDR: math.Inf(1), worstPDR: math.Inf(1)}
+			if len(job.scenarios) == 0 {
+				nominal := full[job.p.Key()]
+				rs.screenPDR, rs.worstPDR = nominal.PDR, nominal.PDR
+			} else {
+				pdrs := make([]float64, 0, len(job.scenarios))
+				for si, sc := range job.scenarios {
+					r := rres[job.base+si]
+					pdrs = append(pdrs, r.PDR)
+					if r.PDR < rs.worstPDR {
+						rs.worstPDR = r.PDR
+						rs.worstScenario = sc.Label()
 					}
-					statsMu.Lock()
-					if !cached {
-						stats.runs++
-						stats.seconds += o.Problem.Duration / 5
-					}
-					statsMu.Unlock()
-					if sr.PDR < o.Problem.PDRMin-o.Options.ScreenMargin {
-						// Clearly infeasible: the cheap estimate is final.
-						statsMu.Lock()
-						stats.screenedOut++
-						statsMu.Unlock()
-						for _, i := range idxs {
-							evals[i] = pointEval{res: sr}
-						}
-						return
-					}
 				}
+				sort.Float64s(pdrs)
+				idx := int(math.Floor(o.Options.Robust.Quantile * float64(len(pdrs))))
+				if idx >= len(pdrs) {
+					idx = len(pdrs) - 1
+				}
+				if idx < 0 {
+					idx = 0
+				}
+				rs.screenPDR = pdrs[idx]
 			}
-			o.mu.Lock()
-			r := o.cache[p.Key()]
-			o.mu.Unlock()
-			if r == nil {
-				rr, err := o.Problem.EvaluateWith(ev, p)
-				if err != nil {
-					addErr(err)
-					return
-				}
-				o.mu.Lock()
-				o.cache[p.Key()] = rr
-				o.mu.Unlock()
-				statsMu.Lock()
-				stats.runs += fullRuns
-				stats.seconds += o.Problem.Duration * float64(fullRuns)
-				statsMu.Unlock()
-				r = rr
-			}
-			pe := pointEval{res: r}
-			if o.Options.Robust.Enabled && r.PDR >= o.Problem.PDRMin-o.Options.FeasTol {
-				// Only nominally feasible candidates face the adversary:
-				// the others are rejected either way, and the family
-				// costs |scenarios| full-fidelity evaluations each.
-				re, fresh, err := o.robustEval(ev, p)
-				if err != nil {
-					addErr(err)
-					return
-				}
-				statsMu.Lock()
-				stats.runs += fresh * fullRuns
-				stats.seconds += o.Problem.Duration * float64(fresh*fullRuns)
-				statsMu.Unlock()
+			robust[job.p.Key()] = rs
+		}
+	}
+
+	// Fan the per-candidate outcomes back to every submitted index.
+	evals := make([]pointEval, len(points))
+	for _, p := range uniq {
+		k := p.Key()
+		var pe pointEval
+		if sr, isOut := screened[k]; isOut {
+			pe = pointEval{res: sr}
+		} else {
+			pe = pointEval{res: full[k]}
+			if rs, ok := robust[k]; ok {
 				pe.robust = true
-				pe.screenPDR = re.screenPDR
-				pe.worstPDR = re.worstPDR
-				pe.worstScenario = re.worstScenario
+				pe.screenPDR = rs.screenPDR
+				pe.worstPDR = rs.worstPDR
+				pe.worstScenario = rs.worstScenario
 			}
-			for _, i := range idxs {
-				evals[i] = pe
-			}
-		}(idxs)
+		}
+		for _, i := range idxOf[k] {
+			evals[i] = pe
+		}
 	}
-	wg.Wait()
-	if len(errs) > 0 {
-		// Deterministic order regardless of goroutine scheduling.
-		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
-		return nil, stats, errors.Join(errs...)
-	}
+	collect()
 	return evals, stats, nil
 }
 
@@ -632,58 +656,6 @@ type robustStats struct {
 	screenPDR     float64
 	worstPDR      float64
 	worstScenario string
-}
-
-// robustEval evaluates a candidate under its fault-scenario family,
-// consulting and filling the (point, scenario) cache. It returns the
-// family statistics and the number of fresh full-fidelity evaluations.
-func (o *Optimizer) robustEval(ev *netsim.Evaluator, p design.Point) (robustStats, int, error) {
-	scenarios := o.scenariosFor(p)
-	rs := robustStats{screenPDR: math.Inf(1), worstPDR: math.Inf(1)}
-	if len(scenarios) == 0 {
-		o.mu.Lock()
-		nominal := o.cache[p.Key()]
-		o.mu.Unlock()
-		rs.screenPDR = nominal.PDR
-		rs.worstPDR = nominal.PDR
-		return rs, 0, nil
-	}
-	fresh := 0
-	pdrs := make([]float64, 0, len(scenarios))
-	for _, sc := range scenarios {
-		key := fault.CombineKeys(uint64(p.Key()), sc.Key())
-		o.mu.Lock()
-		r := o.scenarioCache[key]
-		o.mu.Unlock()
-		if r == nil {
-			cfg := o.Problem.Config(p)
-			cfg.Scenario = sc
-			var err error
-			r, err = ev.RunAveraged(cfg, o.Problem.Runs, o.Problem.Seed)
-			if err != nil {
-				return rs, fresh, err
-			}
-			o.mu.Lock()
-			o.scenarioCache[key] = r
-			o.mu.Unlock()
-			fresh++
-		}
-		pdrs = append(pdrs, r.PDR)
-		if r.PDR < rs.worstPDR {
-			rs.worstPDR = r.PDR
-			rs.worstScenario = sc.Label()
-		}
-	}
-	sort.Float64s(pdrs)
-	idx := int(math.Floor(o.Options.Robust.Quantile * float64(len(pdrs))))
-	if idx >= len(pdrs) {
-		idx = len(pdrs) - 1
-	}
-	if idx < 0 {
-		idx = 0
-	}
-	rs.screenPDR = pdrs[idx]
-	return rs, fresh, nil
 }
 
 // scenariosFor returns the fault-scenario family a candidate is screened

@@ -234,30 +234,36 @@ func TestScenariosForFamily(t *testing.T) {
 // simulated once; repeating the robust evaluation costs zero fresh runs
 // even across a changed reliability bound.
 func TestScenarioCacheAvoidsResimulation(t *testing.T) {
-	pr := fastProblem(0.9)
+	// A low bound so the first-pool candidate is nominally feasible and
+	// its scenario family is actually evaluated.
+	pr := fastProblem(0.2)
 	o := NewOptimizer(pr, Options{Robust: RobustOptions{Enabled: true}})
 	points, err := FirstPool(pr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := points[0]
-	ev := netsim.NewEvaluator()
-	first, fresh1, err := o.robustEval(ev, p)
+	pts := points[:1]
+	first, stats1, err := o.simulateAll(pts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fresh1 == 0 {
-		t.Fatal("first robust evaluation reported no fresh runs")
+	if !first[0].robust {
+		t.Fatalf("candidate %v was not robust-evaluated (PDR %v)", pts[0], first[0].res.PDR)
 	}
-	pr.PDRMin = 0.6 // a bound sweep must not invalidate the scenario cache
-	second, fresh2, err := o.robustEval(ev, p)
+	if stats1.runs <= max(1, o.Problem.Runs) {
+		t.Fatalf("first robust evaluation ran only %d runs; no scenario family evaluated", stats1.runs)
+	}
+	o.Problem.PDRMin = 0.3 // a bound sweep must not invalidate the scenario cache
+	second, stats2, err := o.simulateAll(pts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fresh2 != 0 {
-		t.Fatalf("repeat robust evaluation ran %d fresh simulations", fresh2)
+	if stats2.runs != 0 {
+		t.Fatalf("repeat robust evaluation ran %d fresh simulations", stats2.runs)
 	}
-	if first != second {
-		t.Fatalf("cached robust stats diverged: %+v vs %+v", first, second)
+	if first[0].screenPDR != second[0].screenPDR ||
+		first[0].worstPDR != second[0].worstPDR ||
+		first[0].worstScenario != second[0].worstScenario {
+		t.Fatalf("cached robust stats diverged: %+v vs %+v", first[0], second[0])
 	}
 }

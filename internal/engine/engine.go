@@ -1,0 +1,407 @@
+// Package engine is the unified evaluation service behind every search
+// layer of the reproduction. Algorithm 1 (internal/core), the exhaustive
+// baseline, the simulated annealer, and the experiment suite all used to
+// carry private copies of the "evaluate a batch of design points"
+// machinery — semaphore worker spawns, sync.Pool evaluator recycling, and
+// three separately-keyed result caches. An Engine replaces all of them
+// with one service owning:
+//
+//   - a fixed-size worker pool: a batch spawns at most Workers goroutines
+//     (never one per item), each pulling request indices from a shared
+//     counter and writing results into per-index slots, so the returned
+//     slice is always in submission order regardless of scheduling;
+//   - one cache keyed by (point key, fidelity, scenario key) with
+//     in-flight deduplication (singleflight): concurrent requests for the
+//     same key simulate once, and the waiters share the leader's result;
+//   - a checked-out netsim.Evaluator per worker: exactly Workers reusable
+//     DES kernels exist, handed out through a channel for the duration of
+//     a batch (or a single Evaluate call) and replaced with a fresh one
+//     if an evaluation panics mid-run;
+//   - a Stats counter block (submitted, simulated, cache hits, dedup
+//     hits, per-fidelity simulated seconds) so every layer can report the
+//     cost and cache behaviour of its search.
+//
+// Determinism: a simulation's outcome depends only on (Config, Runs,
+// Seed) — netsim.Evaluator is bit-identical to one-shot construction —
+// and the reduction order is the submission order, so batch results are
+// bit-identical across worker counts and across repeated runs. Errors are
+// likewise scheduling-independent: after the first failure the remaining
+// requests are skipped, and all collected errors are sorted before being
+// joined.
+//
+// Sharing one Engine between layers shares its cache: an exhaustive sweep
+// can warm-fill the optimizer's full-fidelity entries, because both
+// describe the same simulation by the same key.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hiopt/internal/netsim"
+)
+
+// Fidelity distinguishes the cache namespaces of full-fidelity
+// evaluations and the optimizer's cheap two-stage screening runs: the two
+// simulate different configurations (Duration vs Duration/5) of the same
+// design point, so they must never answer for each other.
+type Fidelity uint8
+
+const (
+	// Full is the standard T_sim × Runs evaluation.
+	Full Fidelity = iota
+	// Screen is the short screening pass (core's TwoStage option).
+	Screen
+)
+
+func (f Fidelity) String() string {
+	switch f {
+	case Full:
+		return "full"
+	case Screen:
+		return "screen"
+	default:
+		return fmt.Sprintf("Fidelity(%d)", int(f))
+	}
+}
+
+// Key identifies a simulation in the unified cache: the design point's
+// packed key, the fidelity namespace, and the fault-scenario key (0 for
+// the nominal, fault-free run). The zero Key is reserved as "uncached":
+// requests carrying it always simulate fresh (used for one-off
+// configurations, e.g. ablation studies that vary parameters the point
+// key does not capture). Point keys are nonzero for every valid design
+// point — a point uses at least one location — so no real identity
+// collides with the reserved zero.
+type Key struct {
+	Point    uint32
+	Fidelity Fidelity
+	Scenario uint64
+}
+
+// PointKey is the cache identity of a point's nominal full-fidelity
+// evaluation.
+func PointKey(point uint32) Key { return Key{Point: point, Fidelity: Full} }
+
+// ScreenKey is the cache identity of a point's short screening run.
+func ScreenKey(point uint32) Key { return Key{Point: point, Fidelity: Screen} }
+
+// ScenarioKey is the cache identity of a point's full-fidelity evaluation
+// under a fault scenario (scenario keys are nonzero by construction; see
+// internal/fault).
+func ScenarioKey(point uint32, scenario uint64) Key {
+	return Key{Point: point, Fidelity: Full, Scenario: scenario}
+}
+
+// Cacheable reports whether the key participates in the cache (any
+// non-zero key does).
+func (k Key) Cacheable() bool { return k != Key{} }
+
+// Request describes one simulation to run.
+type Request struct {
+	// Cfg, Runs, and Seed define the simulation exactly as
+	// netsim.Evaluator.RunAveraged does (Runs < 1 counts as 1).
+	Cfg  netsim.Config
+	Runs int
+	Seed uint64
+	// Key is the request's cache identity; the zero Key bypasses the
+	// cache entirely. The caller owns the key contract: two requests with
+	// the same key must describe the same simulation.
+	Key Key
+	// Label names the request in error messages (usually the design
+	// point, optionally suffixed with the scenario).
+	Label string
+	// Pre, when non-nil, runs on the worker immediately before a fresh
+	// simulation (cache and dedup hits skip it). A panic in Pre or in the
+	// simulation itself is recovered into an error naming Label.
+	Pre func()
+}
+
+func (r *Request) label() string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return r.Cfg.Label()
+}
+
+// Stats counts an Engine's evaluation traffic. All counters are
+// cumulative over the engine's lifetime; use Sub to scope them to one
+// search.
+type Stats struct {
+	// Submitted counts requests received; Simulated counts the ones that
+	// ran a fresh simulation (the rest were answered by the cache or by a
+	// concurrent in-flight leader).
+	Submitted int64
+	Simulated int64
+	// SimRuns counts individual simulator runs (a fresh request
+	// contributes max(1, Runs)).
+	SimRuns int64
+	// CacheHits counts requests answered by a completed cache entry;
+	// DedupHits counts requests that waited on a concurrent in-flight
+	// evaluation of the same key (singleflight).
+	CacheHits int64
+	DedupHits int64
+	// FullSeconds and ScreenSeconds total the fresh simulated time per
+	// fidelity (Cfg.Duration × max(1, Runs) per fresh request).
+	FullSeconds   float64
+	ScreenSeconds float64
+}
+
+// SimSeconds is the total fresh simulated time across both fidelities.
+func (s Stats) SimSeconds() float64 { return s.FullSeconds + s.ScreenSeconds }
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Submitted:     s.Submitted - prev.Submitted,
+		Simulated:     s.Simulated - prev.Simulated,
+		SimRuns:       s.SimRuns - prev.SimRuns,
+		CacheHits:     s.CacheHits - prev.CacheHits,
+		DedupHits:     s.DedupHits - prev.DedupHits,
+		FullSeconds:   s.FullSeconds - prev.FullSeconds,
+		ScreenSeconds: s.ScreenSeconds - prev.ScreenSeconds,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d submitted, %d simulated (%d runs, %.6g s simulated), %d cache hits, %d dedup hits",
+		s.Submitted, s.Simulated, s.SimRuns, s.SimSeconds(), s.CacheHits, s.DedupHits)
+}
+
+// entry is one cache slot. done is closed when the leader finishes; res
+// and err are valid only after that. Failed entries are removed from the
+// map before done closes, so a mapped entry with a closed done channel
+// always carries a result.
+type entry struct {
+	done chan struct{}
+	res  *netsim.Result
+	err  error
+}
+
+// Engine is the shared evaluation service. It is safe for concurrent use;
+// nested use from inside a Request.Pre hook or an EvaluateBatch progress
+// callback would deadlock on the evaluator pool and is not supported.
+type Engine struct {
+	workers int
+	// evals holds the engine's reusable DES kernels: exactly `workers`
+	// evaluators exist, either parked here or checked out by a worker.
+	evals chan *netsim.Evaluator
+
+	mu    sync.Mutex
+	cache map[Key]*entry
+	stats Stats
+}
+
+// New builds an engine with the given worker count: 0 selects
+// GOMAXPROCS, negative counts are rejected.
+func New(workers int) (*Engine, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("engine: Workers must be >= 0 (0 selects GOMAXPROCS), got %d", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		workers: workers,
+		evals:   make(chan *netsim.Evaluator, workers),
+		cache:   make(map[Key]*entry),
+	}
+	for i := 0; i < workers; i++ {
+		e.evals <- netsim.NewEvaluator()
+	}
+	return e, nil
+}
+
+// Workers reports the fixed worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the engine's cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Cached reports whether a completed result for k is in the cache.
+func (e *Engine) Cached(k Key) bool {
+	if !k.Cacheable() {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	en := e.cache[k]
+	if en == nil {
+		return false
+	}
+	select {
+	case <-en.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Evaluate runs (or recalls) a single request on a checked-out evaluator.
+func (e *Engine) Evaluate(req Request) (*netsim.Result, error) {
+	ev := <-e.evals
+	res, err, poisoned := e.process(ev, req)
+	if poisoned {
+		// The evaluator panicked mid-run; its kernel state is suspect.
+		ev = netsim.NewEvaluator()
+	}
+	e.evals <- ev
+	return res, err
+}
+
+// EvaluateBatch evaluates every request on the fixed worker pool and
+// returns the results in submission order. onDone, when non-nil, is
+// called under a lock after each successful request with the completed
+// and total counts. After the first failure the remaining requests are
+// skipped; all collected errors are sorted and joined, so the reported
+// error does not depend on goroutine scheduling.
+func (e *Engine) EvaluateBatch(reqs []Request, onDone func(done, total int)) ([]*netsim.Result, error) {
+	results := make([]*netsim.Result, len(reqs))
+	if len(reqs) == 0 {
+		return results, nil
+	}
+	nw := e.workers
+	if nw > len(reqs) {
+		nw = len(reqs)
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex // guards errs and done
+		errs  []error
+		done  int
+		total = len(reqs)
+	)
+	next.Store(-1)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(errs) > 0
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := <-e.evals
+			defer func() { e.evals <- ev }()
+			for {
+				i := int(next.Add(1))
+				if i >= total {
+					return
+				}
+				if failed() {
+					// A sibling already failed; the batch is doomed, so
+					// skip the remaining work and let the caller surface
+					// the joined error.
+					continue
+				}
+				res, err, poisoned := e.process(ev, reqs[i])
+				if poisoned {
+					ev = netsim.NewEvaluator()
+				}
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
+				if onDone != nil {
+					mu.Lock()
+					done++
+					onDone(done, total)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return nil, errors.Join(errs...)
+	}
+	return results, nil
+}
+
+// process answers one request: cache lookup, singleflight coordination,
+// or a fresh simulation on ev. poisoned reports that ev panicked mid-run
+// and must not be reused.
+func (e *Engine) process(ev *netsim.Evaluator, req Request) (res *netsim.Result, err error, poisoned bool) {
+	e.mu.Lock()
+	e.stats.Submitted++
+	if !req.Key.Cacheable() {
+		e.mu.Unlock()
+		return e.simulate(ev, req)
+	}
+	if en, ok := e.cache[req.Key]; ok {
+		select {
+		case <-en.done:
+			// Completed entries in the map always succeeded (failed
+			// leaders remove theirs before closing done).
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			return en.res, nil, false
+		default:
+			// In flight: wait for the leader instead of re-simulating.
+			e.stats.DedupHits++
+			e.mu.Unlock()
+			<-en.done
+			return en.res, en.err, false
+		}
+	}
+	// This request leads: register the in-flight entry, simulate, then
+	// publish. On failure the entry is removed so a later request retries.
+	en := &entry{done: make(chan struct{})}
+	e.cache[req.Key] = en
+	e.mu.Unlock()
+	res, err, poisoned = e.simulate(ev, req)
+	e.mu.Lock()
+	en.res, en.err = res, err
+	if err != nil {
+		delete(e.cache, req.Key)
+	}
+	e.mu.Unlock()
+	close(en.done)
+	return res, err, poisoned
+}
+
+// simulate runs a fresh evaluation of req on ev, recovering panics (from
+// the Pre hook or the simulator) into errors.
+func (e *Engine) simulate(ev *netsim.Evaluator, req Request) (res *netsim.Result, err error, poisoned bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("engine: evaluation of %s panicked: %v", req.label(), r)
+			poisoned = true
+		}
+	}()
+	if req.Pre != nil {
+		req.Pre()
+	}
+	res, err = ev.RunAveraged(req.Cfg, req.Runs, req.Seed)
+	if err != nil {
+		return nil, err, false
+	}
+	runs := req.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	e.mu.Lock()
+	e.stats.Simulated++
+	e.stats.SimRuns += int64(runs)
+	secs := req.Cfg.Duration * float64(runs)
+	if req.Key.Fidelity == Screen {
+		e.stats.ScreenSeconds += secs
+	} else {
+		e.stats.FullSeconds += secs
+	}
+	e.mu.Unlock()
+	return res, nil, false
+}

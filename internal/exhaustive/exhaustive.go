@@ -7,12 +7,11 @@
 package exhaustive
 
 import (
-	"runtime"
+	"fmt"
 	"sort"
-	"sync"
 
 	"hiopt/internal/design"
-	"hiopt/internal/netsim"
+	"hiopt/internal/engine"
 )
 
 // Entry is one evaluated configuration.
@@ -38,75 +37,67 @@ type Result struct {
 	// runs (Evaluations × Runs).
 	Evaluations int
 	Simulations int
+	// Stats snapshots the evaluation engine's counters over this sweep.
+	// With a shared engine (Options.Engine warm from another layer) the
+	// cache-hit counters expose cross-layer reuse.
+	Stats engine.Stats
 }
 
 // Options tune the search.
 type Options struct {
 	// FeasTol relaxes the reliability check (see core.Options.FeasTol).
 	FeasTol float64
-	// Workers bounds parallelism (0 = GOMAXPROCS).
+	// Workers sizes the evaluation engine's worker pool (0 = GOMAXPROCS;
+	// negative values are rejected). Ignored when Engine is set.
 	Workers int
+	// Engine, when non-nil, is used instead of a private engine — sharing
+	// one engine across layers shares its result cache.
+	Engine *engine.Engine
 	// Progress, when non-nil, is called after every k completed
 	// evaluations with (done, total).
 	Progress func(done, total int)
 }
 
-// Search evaluates the entire feasible design space of the problem.
+// Search evaluates the entire feasible design space of the problem. The
+// sweep runs through the evaluation engine's fixed worker pool — the
+// hottest loop of the reproduction (the Fig. 3 scatter simulates the
+// whole design space) — so results are deterministic regardless of
+// worker count and repeated sweeps resolve from the cache.
 func Search(pr *design.Problem, opts Options) (*Result, error) {
 	if opts.FeasTol == 0 {
 		opts.FeasTol = 0.001
 	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
+	eng := opts.Engine
+	if eng == nil {
+		var err error
+		if eng, err = engine.New(opts.Workers); err != nil {
+			return nil, err
+		}
 	}
+	start := eng.Stats()
 	points := pr.Points()
-	entries := make([]Entry, len(points))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	errCh := make(chan error, 1)
-	var done int64
-	var mu sync.Mutex
-	// Each worker slot reuses one simulation kernel across the points it
-	// evaluates; the sweep is the hottest loop of the reproduction (the
-	// Fig. 3 scatter simulates the whole design space).
-	evPool := sync.Pool{New: func() any { return netsim.NewEvaluator() }}
-	for i := range points {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			ev := evPool.Get().(*netsim.Evaluator)
-			defer evPool.Put(ev)
-			res, err := pr.EvaluateWith(ev, points[i])
-			if err != nil {
-				select {
-				case errCh <- err:
-				default:
-				}
-				return
-			}
-			entries[i] = Entry{
-				Point:      points[i],
-				AnalyticMW: pr.AnalyticPower(points[i]),
-				PDR:        res.PDR,
-				PowerMW:    float64(res.MaxPower),
-				NLTDays:    res.NLTDays,
-				Feasible:   res.PDR >= pr.PDRMin-opts.FeasTol,
-			}
-			if opts.Progress != nil {
-				mu.Lock()
-				done++
-				opts.Progress(int(done), len(points))
-				mu.Unlock()
-			}
-		}(i)
+	reqs := make([]engine.Request, len(points))
+	for i, p := range points {
+		reqs[i] = engine.Request{
+			Cfg: pr.Config(p), Runs: pr.Runs, Seed: pr.Seed,
+			Key: engine.PointKey(p.Key()), Label: fmt.Sprintf("%v", p),
+		}
 	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+	results, err := eng.EvaluateBatch(reqs, opts.Progress)
+	if err != nil {
 		return nil, err
-	default:
+	}
+	entries := make([]Entry, len(points))
+	for i, p := range points {
+		res := results[i]
+		entries[i] = Entry{
+			Point:      p,
+			AnalyticMW: pr.AnalyticPower(p),
+			PDR:        res.PDR,
+			PowerMW:    float64(res.MaxPower),
+			NLTDays:    res.NLTDays,
+			Feasible:   res.PDR >= pr.PDRMin-opts.FeasTol,
+		}
 	}
 
 	sort.SliceStable(entries, func(a, b int) bool { return entries[a].PowerMW < entries[b].PowerMW })
@@ -114,6 +105,7 @@ func Search(pr *design.Problem, opts Options) (*Result, error) {
 		All:         entries,
 		Evaluations: len(points),
 		Simulations: len(points) * max(1, pr.Runs),
+		Stats:       eng.Stats().Sub(start),
 	}
 	for i := range entries {
 		if entries[i].Feasible {

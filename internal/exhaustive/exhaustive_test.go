@@ -1,9 +1,13 @@
 package exhaustive
 
 import (
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"hiopt/internal/design"
+	"hiopt/internal/engine"
 )
 
 // smallProblem restricts to 4-node topologies at low fidelity so the full
@@ -97,6 +101,72 @@ func TestProgressCallback(t *testing.T) {
 	}
 	if calls != len(pr.Points()) || last != len(pr.Points()) {
 		t.Errorf("progress calls = %d, last done = %d", calls, last)
+	}
+}
+
+// TestNegativeWorkersRejected: the engine's Workers contract surfaces
+// through Search instead of silently misbehaving.
+func TestNegativeWorkersRejected(t *testing.T) {
+	_, err := Search(smallProblem(0.5), Options{Workers: -2})
+	if err == nil {
+		t.Fatal("Search accepted a negative worker count")
+	}
+	if !strings.Contains(err.Error(), "Workers") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestGoroutineCountStaysBounded: the sweep must run on the engine's
+// fixed worker pool — O(Workers) goroutines, not O(points).
+func TestGoroutineCountStaysBounded(t *testing.T) {
+	pr := smallProblem(0.5)
+	pr.Duration = 5
+	const workers = 2
+	base := int64(runtime.NumGoroutine())
+	var peak atomic.Int64
+	_, err := Search(pr, Options{Workers: workers, Progress: func(done, total int) {
+		g := int64(runtime.NumGoroutine())
+		for {
+			p := peak.Load()
+			if g <= p || peak.CompareAndSwap(p, g) {
+				break
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Goroutine-per-point would add ~len(points) = 96; the fixed pool adds
+	// at most `workers` plus runtime/test slack.
+	if p := peak.Load(); p > base+workers+8 {
+		t.Fatalf("goroutine peak %d vs baseline %d: sweep is not O(Workers)", p, base)
+	}
+}
+
+// TestSharedEngineReusesCache: a second sweep through the same engine
+// must resolve entirely from the cache.
+func TestSharedEngineReusesCache(t *testing.T) {
+	eng, err := engine.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := smallProblem(0.5)
+	first, err := Search(pr, Options{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Simulated != int64(len(pr.Points())) {
+		t.Fatalf("first sweep simulated %d of %d points", first.Stats.Simulated, len(pr.Points()))
+	}
+	second, err := Search(pr, Options{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Simulated != 0 || second.Stats.CacheHits != int64(len(pr.Points())) {
+		t.Fatalf("second sweep was not fully cached: %+v", second.Stats)
+	}
+	if first.Best.Point != second.Best.Point {
+		t.Fatalf("cached sweep changed the optimum: %v vs %v", first.Best.Point, second.Best.Point)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"hiopt/internal/channel"
 	"hiopt/internal/core"
 	"hiopt/internal/design"
+	"hiopt/internal/engine"
 	"hiopt/internal/exhaustive"
 	"hiopt/internal/netsim"
 	"hiopt/internal/report"
@@ -61,17 +62,19 @@ type Suite struct {
 	sweep     *exhaustive.Result
 	sweepProb *design.Problem
 	alg1Cache map[float64]*core.Outcome
-	// ev is the shared simulation kernel for the suite's serial
-	// evaluation loops (suite methods never run concurrently).
-	ev *netsim.Evaluator
+	// eng is the suite's shared evaluation engine: the exhaustive sweep
+	// and the extension studies run through it. Algorithm 1 runs keep
+	// their private engines so the reported simulation counts stay those
+	// of a standalone run.
+	eng *engine.Engine
 }
 
-// evaluator returns the suite's reusable simulation kernel.
-func (s *Suite) evaluator() *netsim.Evaluator {
-	if s.ev == nil {
-		s.ev = netsim.NewEvaluator()
+// engine returns the suite's shared evaluation engine.
+func (s *Suite) engine() *engine.Engine {
+	if s.eng == nil {
+		s.eng, _ = engine.New(0) // New only fails on negative worker counts
 	}
-	return s.ev
+	return s.eng
 }
 
 // NewSuite builds an experiment suite writing to w (os.Stdout if nil).
@@ -202,6 +205,7 @@ func (s *Suite) Fig3(csvPath string) ([]Fig3Row, error) {
 		len(rows), s.Fid.Duration, s.Fid.Runs)
 	fmt.Fprintf(s.W, "  PDR span: %s .. %s   (paper: 0 .. 100%%)\n", report.Pct(minPDR), report.Pct(maxPDR))
 	fmt.Fprintf(s.W, "  NLT span: %s .. %s  (paper: ~2 days .. >1 month)\n", report.Days(minNLT), report.Days(maxNLT))
+	fmt.Fprintf(s.W, "  engine: %s\n", res.Stats)
 
 	// The scatter itself, star vs mesh — the terminal rendition of Fig. 3.
 	var star, mesh report.ScatterSeries
@@ -266,7 +270,7 @@ func (s *Suite) exhaustiveSweep() (*exhaustive.Result, error) {
 		return s.sweep, nil
 	}
 	pr := s.problem(0.5) // PDRmin irrelevant for the sweep itself
-	res, err := exhaustive.Search(pr, exhaustive.Options{})
+	res, err := exhaustive.Search(pr, exhaustive.Options{Engine: s.engine()})
 	if err != nil {
 		return nil, err
 	}
@@ -586,7 +590,10 @@ func (s *Suite) A3() ([]A3Row, error) {
 		pr.NHops = h
 		p := design.Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<5 | 1<<7,
 			TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Mesh}
-		res, err := pr.EvaluateWith(s.evaluator(), p)
+		res, err := s.engine().Evaluate(engine.Request{
+			Cfg: pr.Config(p), Runs: pr.Runs, Seed: pr.Seed,
+			Label: fmt.Sprintf("A3 h=%d", h),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -621,7 +628,10 @@ func (s *Suite) A4() ([]A4Row, error) {
 		pr.SlotSeconds = slotMS / 1000
 		p := design.Point{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<5 | 1<<7,
 			TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Mesh}
-		res, err := s.evaluator().RunAveraged(pr.Config(p), pr.Runs, pr.Seed)
+		res, err := s.engine().Evaluate(engine.Request{
+			Cfg: pr.Config(p), Runs: pr.Runs, Seed: pr.Seed,
+			Label: fmt.Sprintf("A4 slot=%vms", slotMS),
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -7,7 +7,10 @@ import (
 	"strings"
 	"testing"
 
+	"hiopt/internal/core"
 	"hiopt/internal/design"
+	"hiopt/internal/engine"
+	"hiopt/internal/exhaustive"
 )
 
 // testFid is a minimal-cost fidelity for experiment plumbing tests; the
@@ -392,5 +395,44 @@ func TestRBNominalVsRobust(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "nominal choice") || !strings.Contains(b.String(), "robust choice") {
 		t.Fatalf("RB table missing design-rule rows:\n%s", b.String())
+	}
+}
+
+// TestCrossLayerCacheSharing: an exhaustive sweep warm-fills a shared
+// engine so a subsequent Algorithm 1 run over the same space resolves
+// every candidate from the cache — the cross-layer reuse the unified
+// engine exists for.
+func TestCrossLayerCacheSharing(t *testing.T) {
+	eng, err := engine.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkProblem := func() *design.Problem {
+		pr := design.PaperProblem(0.5)
+		pr.Duration = testFid.Duration
+		pr.Runs = testFid.Runs
+		pr.Seed = testFid.Seed
+		pr.Constraints.MaxNodes = 4
+		return pr
+	}
+	sweep, err := exhaustive.Search(mkProblem(), exhaustive.Options{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Stats.Simulated == 0 {
+		t.Fatal("sweep did not warm the shared engine")
+	}
+	out, err := core.NewOptimizer(mkProblem(), core.Options{Engine: eng}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Engine.Simulated != 0 {
+		t.Fatalf("optimizer re-simulated %d points despite the warm shared cache", out.Engine.Simulated)
+	}
+	if out.Engine.CacheHits == 0 {
+		t.Fatal("optimizer reported no cache hits against the warm engine")
+	}
+	if out.Best == nil || sweep.Best == nil || out.Best.Point != sweep.Best.Point {
+		t.Fatalf("shared-cache optimum diverged: alg1 %+v vs sweep %+v", out.Best, sweep.Best)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"hiopt/internal/body"
 	"hiopt/internal/core"
 	"hiopt/internal/design"
+	"hiopt/internal/engine"
+	"hiopt/internal/exhaustive"
 	"hiopt/internal/fault"
 	"hiopt/internal/mac"
 	"hiopt/internal/netsim"
@@ -80,7 +82,10 @@ func (s *Suite) A6() ([]A6Row, error) {
 	var tbl [][]string
 	for _, p := range corners {
 		pr := s.problem(0.9)
-		res, err := pr.EvaluateWith(s.evaluator(), p)
+		res, err := s.engine().Evaluate(engine.Request{
+			Cfg: pr.Config(p), Runs: pr.Runs, Seed: pr.Seed,
+			Label: "A6 " + pointLabel(p),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -127,12 +132,16 @@ func (s *Suite) A7() ([]A7Row, error) {
 		pr := s.problem(0.9)
 		p := design.Point{Topology: 0b11001011, TxMode: 2, MAC: netsim.TDMA, Routing: sc.routing}
 		cfg := pr.Config(p)
-		healthy, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
+		healthy, err := s.engine().Evaluate(engine.Request{
+			Cfg: cfg, Runs: pr.Runs, Seed: pr.Seed, Label: "A7 healthy " + sc.label,
+		})
 		if err != nil {
 			return nil, err
 		}
 		cfg.Failures = []netsim.NodeFailure{{Location: sc.fail, At: cfg.Duration / 4}}
-		failed, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
+		failed, err := s.engine().Evaluate(engine.Request{
+			Cfg: cfg, Runs: pr.Runs, Seed: pr.Seed, Label: "A7 failed " + sc.label,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -159,12 +168,16 @@ func (s *Suite) A8() (*A8Result, error) {
 	pr := s.problem(0.9)
 	p := design.Point{Topology: 0b1001011, TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Star}
 	cfg := pr.Config(p)
-	duty, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
+	duty, err := s.engine().Evaluate(engine.Request{
+		Cfg: cfg, Runs: pr.Runs, Seed: pr.Seed, Label: "A8 duty-cycled",
+	})
 	if err != nil {
 		return nil, err
 	}
 	cfg.IdleListening = true
-	idle, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
+	idle, err := s.engine().Evaluate(engine.Request{
+		Cfg: cfg, Runs: pr.Runs, Seed: pr.Seed, Label: "A8 idle-listening",
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +254,9 @@ func (s *Suite) A10() ([]A10Row, error) {
 		p := design.Point{Topology: 0b10101011, TxMode: 2, MAC: netsim.CSMA, Routing: netsim.Mesh}
 		cfg := pr.Config(p)
 		cfg.CSMAParams.AccessMode = m.am
-		res, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
+		res, err := s.engine().Evaluate(engine.Request{
+			Cfg: cfg, Runs: pr.Runs, Seed: pr.Seed, Label: "A10 " + m.label,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -273,7 +288,9 @@ func (s *Suite) A11() ([]A11Row, error) {
 		p := design.Point{Topology: 0b10101011, TxMode: 2, MAC: netsim.TDMA, Routing: netsim.Mesh}
 		cfg := pr.Config(p)
 		cfg.TDMABuffer = cap
-		res, err := s.evaluator().RunAveraged(cfg, pr.Runs, pr.Seed)
+		res, err := s.engine().Evaluate(engine.Request{
+			Cfg: cfg, Runs: pr.Runs, Seed: pr.Seed, Label: fmt.Sprintf("A11 B=%d", cap),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -363,12 +380,23 @@ func (s *Suite) RB(ks []int, pdrMin float64, csvPath string) ([]*RBResult, error
 	}
 	pr := s.sweepProb
 	gen := fault.ScenarioGen{Seed: s.Fid.Seed}
-	ev := s.evaluator()
+	eng := s.engine()
+	engStart := eng.Stats()
 	fmt.Fprintf(s.W, "RB — extension: nominal vs robust design under k-node failures (PDRmin=%s)\n", report.Pct(pdrMin))
 	var results []*RBResult
 	var csvRows [][]string
 	for _, k := range ks {
 		res := &RBResult{K: k, PDRMin: pdrMin}
+		// One batched engine pass per k: every nominally feasible entry's
+		// scenario family, flattened, then reduced per entry in family
+		// order (identical to a serial per-scenario walk).
+		type rbJob struct {
+			e         *exhaustive.Entry
+			scenarios []*fault.Scenario
+			base      int
+		}
+		var jobs []rbJob
+		var reqs []engine.Request
 		for i := range sweep.All {
 			e := &sweep.All[i]
 			if e.PDR < pdrMin-tol {
@@ -381,19 +409,31 @@ func (s *Suite) RB(ks []int, pdrMin float64, csvPath string) ([]*RBResult, error
 				exclude = cfg.CoordinatorLoc
 			}
 			scenarios := gen.KNodeFailures(e.Point.Locations(), exclude, k, pr.Duration)
+			jobs = append(jobs, rbJob{e: e, scenarios: scenarios, base: len(reqs)})
+			for _, sc := range scenarios {
+				c := cfg
+				c.Scenario = sc
+				reqs = append(reqs, engine.Request{
+					Cfg: c, Runs: pr.Runs, Seed: pr.Seed,
+					Key:   engine.ScenarioKey(e.Point.Key(), sc.Key()),
+					Label: fmt.Sprintf("%v under %s", e.Point, sc.Label()),
+				})
+			}
+		}
+		rres, err := eng.EvaluateBatch(reqs, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, job := range jobs {
+			e := job.e
 			row := RBRow{
 				K: k, Point: e.Point,
 				NominalPDR: e.PDR, WorstPDR: e.PDR,
 				NominalNLTDays: e.NLTDays, WorstNLTDays: e.NLTDays,
 				PowerMW: e.PowerMW,
 			}
-			for _, sc := range scenarios {
-				c := cfg
-				c.Scenario = sc
-				r, err := ev.RunAveraged(c, pr.Runs, pr.Seed)
-				if err != nil {
-					return nil, err
-				}
+			for si, sc := range job.scenarios {
+				r := rres[job.base+si]
 				if r.PDR < row.WorstPDR {
 					row.WorstPDR = r.PDR
 					row.WorstScenario = sc.Label()
@@ -444,6 +484,7 @@ func (s *Suite) RB(ks []int, pdrMin float64, csvPath string) ([]*RBResult, error
 		describe("robust choice", res.RobustBest)
 		report.Table(s.W, []string{"design rule", "configuration", "nominal PDR", "worst PDR", "worst scenario"}, tbl)
 	}
+	fmt.Fprintf(s.W, "  engine: %s\n", eng.Stats().Sub(engStart))
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
 		if err != nil {
