@@ -3,11 +3,13 @@
 # race detector on the packages with concurrent evaluation loops.
 # `make bench-smoke` compiles and runs every benchmark once — enough to
 # catch bit-rot in the perf harness without waiting for statistically
-# meaningful timings.
+# meaningful timings. `make benchcmp` re-measures the micro-benchmarks
+# and diffs them against the checked-in BENCH_simcore.json baseline,
+# failing on >10% ns/op regressions.
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench-smoke engine-smoke robust-smoke milp-smoke
+.PHONY: check build test vet fmt race bench-smoke benchcmp engine-smoke robust-smoke milp-smoke
 
 check: build test vet race fmt
 
@@ -29,6 +31,14 @@ race:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The perf-regression gate: re-measure the simulator micro-benchmarks
+# in-process (hibench -benchjson) and diff against the checked-in
+# baseline. Fails when any benchmark's ns/op regressed by more than 10%.
+# Skips the slow experiment wall-time section via -exp t1.
+benchcmp:
+	$(GO) run ./cmd/hibench -exp t1 -benchjson /tmp/hibench-new.json > /dev/null
+	$(GO) run ./cmd/hibench -cmp BENCH_simcore.json /tmp/hibench-new.json
 
 # The evaluation-engine gate: the determinism/dedup/worker-pool property
 # tests under the race detector, plus one pass of the engine benchmarks

@@ -24,6 +24,7 @@ import (
 	"io"
 	"math"
 	"testing"
+	"time"
 
 	"hiopt/internal/body"
 	"hiopt/internal/channel"
@@ -626,6 +627,100 @@ func BenchmarkEngineCacheHit(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(reqs)), "hits/op")
+}
+
+// engineRepBatchRequests builds 16 distinct configurations, each
+// requesting 8 replications of a 2-second horizon — the workload of the
+// replication-granularity scheduler benchmarks.
+func engineRepBatchRequests() []engine.Request {
+	locSets := [][]int{{0, 1, 3, 6}, {0, 2, 4, 6}, {0, 1, 5, 7}, {0, 3, 6, 9}}
+	var reqs []engine.Request
+	for _, locs := range locSets {
+		for _, m := range []netsim.MACKind{netsim.CSMA, netsim.TDMA} {
+			for _, rt := range []netsim.RoutingKind{netsim.Star, netsim.Mesh} {
+				cfg := netsim.DefaultConfig(locs, m, rt, 2)
+				cfg.Duration = 2
+				reqs = append(reqs, engine.Request{Cfg: cfg, Runs: 8, Seed: 1})
+			}
+		}
+	}
+	return reqs
+}
+
+func BenchmarkEngineRepsParallel(b *testing.B) {
+	// 16 points × 8 replications at Workers = GOMAXPROCS, scheduled at
+	// replication granularity (each replication is its own sub-task, so a
+	// single point's 8 replications spread across the pool). The
+	// sequential-replication baseline — one evaluator, replications in
+	// seed order — is timed inside the benchmark; speedup_vs_sequential
+	// records the wall-clock ratio: ≈1 on a single-core box, approaching
+	// min(GOMAXPROCS, reps) with cores.
+	reqs := engineRepBatchRequests()
+	ev := netsim.NewEvaluator()
+	for _, r := range reqs { // warm the allocator before timing the baseline
+		if _, err := ev.RunAveraged(r.Cfg, r.Runs, r.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	t0 := time.Now()
+	for _, r := range reqs {
+		if _, err := ev.RunAveraged(r.Cfg, r.Runs, r.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seq := time.Since(t0)
+	eng, err := engine.New(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	par := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(seq.Seconds()/par, "speedup_vs_sequential")
+	b.ReportMetric(float64(len(reqs)*8), "reps/op")
+}
+
+func BenchmarkEngineAdaptiveScreen(b *testing.B) {
+	// The screening-style adaptive workload: the same 16 points with the
+	// 8×2 s budget split into confidence-gated blocks against a bound
+	// every candidate is decisively clear of, so the gate stops most
+	// replication budgets early. reps_saved/op and saved_frac record the
+	// avoided work (the requests are keyless, so every op simulates
+	// afresh — a warm cache would measure nothing).
+	reqs := engineRepBatchRequests()
+	gate := &netsim.Gate{PDRMin: 0.5, Margin: 0.05, Confidence: 0.9}
+	for i := range reqs {
+		reqs[i].Adaptive = gate
+	}
+	eng, err := engine.New(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	start := eng.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	d := eng.Stats().Sub(start)
+	b.ReportMetric(float64(d.RepsSaved)/float64(b.N), "reps_saved/op")
+	if total := d.SimSeconds() + d.SavedSeconds; total > 0 {
+		b.ReportMetric(d.SavedSeconds/total, "saved_frac")
+	}
 }
 
 // --- warm MILP kernel ---

@@ -59,6 +59,24 @@ func toEntry(r testing.BenchmarkResult) benchEntry {
 	return e
 }
 
+// benchRepeats is how many times measure runs each benchmark. Recording
+// the fastest of three keeps BENCH_simcore.json (and the `make benchcmp`
+// gate that diffs against it) stable against transient machine noise —
+// the minimum is the classic low-variance estimator for "how fast can
+// this code run", and real regressions slow the minimum down too.
+const benchRepeats = 3
+
+// measure runs f benchRepeats times and keeps the fastest measurement.
+func measure(f func(*testing.B)) benchEntry {
+	best := toEntry(testing.Benchmark(f))
+	for i := 1; i < benchRepeats; i++ {
+		if e := toEntry(testing.Benchmark(f)); e.NsPerOp < best.NsPerOp {
+			best = e
+		}
+	}
+	return best
+}
+
 // writeBenchJSON measures the simulation-core micro-benchmarks and writes
 // them, with the experiment wall times, to path.
 func writeBenchJSON(path string, expSeconds map[string]float64) error {
@@ -69,14 +87,16 @@ func writeBenchJSON(path string, expSeconds map[string]float64) error {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		Benchmarks: map[string]benchEntry{
-			"des_steady_state":    toEntry(testing.Benchmark(benchDESSteadyState)),
-			"netsim_one_second":   toEntry(testing.Benchmark(benchNetsimOneSecond)),
-			"channel_pathloss_at": toEntry(testing.Benchmark(benchChannelPathLossAt)),
-			"robust_eval":         toEntry(testing.Benchmark(benchRobustEval)),
-			"engine_batch":        toEntry(testing.Benchmark(benchEngineBatch)),
-			"engine_cache_hit":    toEntry(testing.Benchmark(benchEngineCacheHit)),
-			"milp_pool":           toEntry(testing.Benchmark(benchMILPPoolWarm)),
-			"milp_pool_cold":      toEntry(testing.Benchmark(benchMILPPoolCold)),
+			"des_steady_state":       measure(benchDESSteadyState),
+			"netsim_one_second":      measure(benchNetsimOneSecond),
+			"channel_pathloss_at":    measure(benchChannelPathLossAt),
+			"robust_eval":            measure(benchRobustEval),
+			"engine_batch":           measure(benchEngineBatch),
+			"engine_cache_hit":       measure(benchEngineCacheHit),
+			"engine_reps_parallel":   measure(benchEngineRepsParallel),
+			"engine_adaptive_screen": measure(benchEngineAdaptiveScreen),
+			"milp_pool":              measure(benchMILPPoolWarm),
+			"milp_pool_cold":         measure(benchMILPPoolCold),
 		},
 		ExperimentSeconds: expSeconds,
 	}
@@ -212,6 +232,95 @@ func benchEngineCacheHit(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(reqs)), "hits/op")
+}
+
+// engineRepBatchRequests mirrors the root-level helper: 16 distinct
+// configurations, each requesting 8 replications of a 2-second horizon.
+func engineRepBatchRequests() []engine.Request {
+	locSets := [][]int{{0, 1, 3, 6}, {0, 2, 4, 6}, {0, 1, 5, 7}, {0, 3, 6, 9}}
+	var reqs []engine.Request
+	for _, locs := range locSets {
+		for _, m := range []netsim.MACKind{netsim.CSMA, netsim.TDMA} {
+			for _, rt := range []netsim.RoutingKind{netsim.Star, netsim.Mesh} {
+				cfg := netsim.DefaultConfig(locs, m, rt, 2)
+				cfg.Duration = 2
+				reqs = append(reqs, engine.Request{Cfg: cfg, Runs: 8, Seed: 1})
+			}
+		}
+	}
+	return reqs
+}
+
+// benchEngineRepsParallel mirrors BenchmarkEngineRepsParallel: 16 points
+// × 8 replications scheduled at replication granularity across
+// Workers = GOMAXPROCS, with the sequential-replication wall clock
+// measured in-benchmark and reported as speedup_vs_sequential (≈1 on a
+// single core, approaching min(GOMAXPROCS, reps) with cores).
+func benchEngineRepsParallel(b *testing.B) {
+	reqs := engineRepBatchRequests()
+	ev := netsim.NewEvaluator()
+	for _, r := range reqs {
+		if _, err := ev.RunAveraged(r.Cfg, r.Runs, r.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	t0 := time.Now()
+	for _, r := range reqs {
+		if _, err := ev.RunAveraged(r.Cfg, r.Runs, r.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seq := time.Since(t0)
+	eng, err := engine.New(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	par := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(seq.Seconds()/par, "speedup_vs_sequential")
+	b.ReportMetric(float64(len(reqs)*8), "reps/op")
+}
+
+// benchEngineAdaptiveScreen mirrors BenchmarkEngineAdaptiveScreen: the
+// same workload confidence-gated against a bound every candidate is
+// decisively clear of; reps_saved/op and saved_frac record the avoided
+// work.
+func benchEngineAdaptiveScreen(b *testing.B) {
+	reqs := engineRepBatchRequests()
+	gate := &netsim.Gate{PDRMin: 0.5, Margin: 0.05, Confidence: 0.9}
+	for i := range reqs {
+		reqs[i].Adaptive = gate
+	}
+	eng, err := engine.New(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	start := eng.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	d := eng.Stats().Sub(start)
+	b.ReportMetric(float64(d.RepsSaved)/float64(b.N), "reps_saved/op")
+	if total := d.SimSeconds() + d.SavedSeconds; total > 0 {
+		b.ReportMetric(d.SavedSeconds/total, "saved_frac")
+	}
 }
 
 // benchChannelPathLossAt mirrors BenchmarkChannelPathLossAt: one

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// regressionThreshold is the relative ns_per_op increase over the old
+// baseline that compareBench flags as a regression (10%). Micro-benchmark
+// noise on a quiet machine sits well under this; anything above it is a
+// real slowdown worth a look.
+const regressionThreshold = 0.10
+
+// readBenchFile loads one -benchjson output (e.g. BENCH_simcore.json).
+func readBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return &bf, nil
+}
+
+// compareBench diffs two -benchjson files benchmark by benchmark and
+// writes a delta table to w. It returns the names of the benchmarks whose
+// ns_per_op regressed by more than regressionThreshold. Benchmarks
+// present in only one file are reported but never counted as regressions
+// (additions and removals are deliberate).
+func compareBench(oldBF, newBF *benchFile, w io.Writer) []string {
+	names := make([]string, 0, len(newBF.Benchmarks))
+	for name := range newBF.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressed []string
+	fmt.Fprintf(w, "%-24s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		ne := newBF.Benchmarks[name]
+		oe, ok := oldBF.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %14s %14.0f %8s\n", name, "—", ne.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if oe.NsPerOp > 0 {
+			delta = ne.NsPerOp/oe.NsPerOp - 1
+		}
+		mark := ""
+		if delta > regressionThreshold {
+			mark = "  REGRESSION"
+			regressed = append(regressed, name)
+		}
+		fmt.Fprintf(w, "%-24s %14.0f %14.0f %+7.1f%%%s\n", name, oe.NsPerOp, ne.NsPerOp, 100*delta, mark)
+	}
+	var dropped []string
+	for name := range oldBF.Benchmarks {
+		if _, ok := newBF.Benchmarks[name]; !ok {
+			dropped = append(dropped, name)
+		}
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Fprintf(w, "%-24s %14.0f %14s %8s\n", name, oldBF.Benchmarks[name].NsPerOp, "—", "gone")
+	}
+	return regressed
+}
+
+// runBenchCmp is the -cmp entry point: diff OLD and NEW benchmark JSON
+// files and exit non-zero when any ns_per_op regressed beyond the
+// threshold.
+func runBenchCmp(oldPath, newPath string) {
+	oldBF, err := readBenchFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hibench -cmp:", err)
+		os.Exit(1)
+	}
+	newBF, err := readBenchFile(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hibench -cmp:", err)
+		os.Exit(1)
+	}
+	regressed := compareBench(oldBF, newBF, os.Stdout)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "hibench -cmp: %d benchmark(s) regressed by more than %.0f%%: %v\n",
+			len(regressed), 100*regressionThreshold, regressed)
+		os.Exit(1)
+	}
+	fmt.Printf("no ns/op regressions beyond %.0f%%\n", 100*regressionThreshold)
+}

@@ -14,7 +14,13 @@
 // Performance tooling: -cpuprofile/-memprofile write pprof profiles of
 // the run, and -benchjson measures the simulator micro-benchmarks
 // in-process and emits them (with per-experiment wall times) as JSON —
-// the generator of the checked-in BENCH_simcore.json.
+// the generator of the checked-in BENCH_simcore.json. Two such files are
+// diffed with
+//
+//	hibench -cmp OLD.json NEW.json
+//
+// which prints a delta table and exits non-zero when any benchmark's
+// ns_per_op regressed by more than 10% (the `make benchcmp` gate).
 package main
 
 import (
@@ -39,8 +45,18 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON  = flag.String("benchjson", "", "measure the simulator micro-benchmarks and write BENCH_simcore.json-style output to this file")
+		cmp        = flag.Bool("cmp", false, "compare two -benchjson files: hibench -cmp OLD NEW (exits non-zero on >10% ns/op regressions)")
 	)
 	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "hibench -cmp: want exactly two arguments: OLD NEW")
+			os.Exit(1)
+		}
+		runBenchCmp(flag.Arg(0), flag.Arg(1))
+		return
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {

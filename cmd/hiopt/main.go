@@ -29,6 +29,7 @@ func main() {
 		pool     = flag.Int("pool", 0, "MILP solution-pool cap per iteration (0 = unlimited)")
 		noAlpha  = flag.Bool("noalpha", false, "disable the α-bound early termination (ablation)")
 		twoStage = flag.Bool("twostage", false, "screen clearly-infeasible candidates with short simulations")
+		adaptive = flag.Bool("adaptive", false, "confidence-gated early replication stopping in the screening and robust stages (savings shown in the engine stats)")
 		verbose  = flag.Bool("v", false, "print per-iteration progress")
 		lpOut    = flag.String("lp", "", "write the MILP relaxation P̃ in CPLEX LP format to this file and exit")
 	)
@@ -58,7 +59,7 @@ func main() {
 		return
 	}
 
-	opts := core.Options{PoolLimit: *pool, DisableAlphaBound: *noAlpha, TwoStage: *twoStage}
+	opts := core.Options{PoolLimit: *pool, DisableAlphaBound: *noAlpha, TwoStage: *twoStage, AdaptiveReps: *adaptive}
 	if *verbose {
 		opts.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -56,6 +56,8 @@ func main() {
 		trace    = flag.String("trace", "", "write a CSV event trace of the (first) run to this file")
 		scenario = flag.String("scenario", "", "inject a fault scenario, e.g. \"fail:6@15,out:1@5-12,link:0-3@10-30,drain:3x100\"")
 		faults   = flag.String("faults", "", "robust evaluation against a generated scenario family, e.g. \"knode=1\" or \"coord-outage\"")
+		adaptive = flag.Bool("adaptive", false, "confidence-gated replication stopping in the -faults evaluation (scenarios decisively clear of -pdrmin stop early)")
+		pdrMinF  = flag.Float64("pdrmin", 0.9, "reliability bound the -adaptive gate tests scenario PDRs against")
 	)
 	flag.Parse()
 
@@ -107,7 +109,11 @@ func main() {
 	}
 
 	if *faults != "" {
-		fatalIf(runRobust(cfg, *faults, *runs, *seed))
+		var gate *netsim.Gate
+		if *adaptive {
+			gate = &netsim.Gate{PDRMin: *pdrMinF, Margin: 0.001}
+		}
+		fatalIf(runRobust(cfg, *faults, *runs, *seed, gate))
 		return
 	}
 
@@ -167,7 +173,9 @@ func parseFamily(cfg netsim.Config, spec string, seed uint64) ([]*fault.Scenario
 // runRobust evaluates the configuration under the generated family —
 // one engine batch: the nominal run plus one run per scenario — and
 // prints the nominal result, the per-scenario table, and the worst case.
-func runRobust(cfg netsim.Config, spec string, runs int, seed uint64) error {
+// A non-nil gate replication-gates the scenario runs (the nominal run
+// keeps its full budget); the engine stats line then shows the savings.
+func runRobust(cfg netsim.Config, spec string, runs int, seed uint64, gate *netsim.Gate) error {
 	scenarios, err := parseFamily(cfg, spec, seed)
 	if err != nil {
 		return err
@@ -187,7 +195,7 @@ func runRobust(cfg netsim.Config, spec string, runs int, seed uint64) error {
 	for _, sc := range scenarios {
 		c := base
 		c.Scenario = sc
-		reqs = append(reqs, engine.Request{Cfg: c, Runs: runs, Seed: seed, Label: sc.Label()})
+		reqs = append(reqs, engine.Request{Cfg: c, Runs: runs, Seed: seed, Label: sc.Label(), Adaptive: gate})
 	}
 	t0 := time.Now()
 	results, err := eng.EvaluateBatch(reqs, nil)

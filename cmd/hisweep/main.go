@@ -32,6 +32,7 @@ func main() {
 		kfail      = flag.String("kfail", "1,2", "comma-separated failure counts k for -robust")
 		pdrMin     = flag.Float64("pdrmin", 0.9, "reliability bound of the -robust comparison")
 		robustCSV  = flag.String("robustcsv", "", "write the -robust comparison to this CSV file")
+		adaptive   = flag.Bool("adaptive", false, "confidence-gated adaptive evaluation in the -robust comparison (short-circuits decisively infeasible scenario families)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -50,6 +51,7 @@ func main() {
 	}
 	t0 := time.Now()
 	suite := experiments.NewSuite(fid, os.Stdout)
+	suite.Adaptive = *adaptive
 	if _, err := suite.Fig3(*csvPath); err != nil {
 		fmt.Fprintln(os.Stderr, "hisweep:", err)
 		os.Exit(1)

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// feasibilityMap flattens an Outcome's per-candidate verdicts to
+// point-key → Feasible for cross-run comparison.
+func feasibilityMap(out *Outcome) map[uint32]bool {
+	m := map[uint32]bool{}
+	for _, it := range out.Iterations {
+		for _, c := range it.Candidates {
+			m[c.Point.Key()] = c.Feasible
+		}
+	}
+	return m
+}
+
+// sameVerdicts fails the test unless both runs visited the same candidates
+// and agreed on every feasibility verdict and on the selected optimum.
+func sameVerdicts(t *testing.T, base, adaptive *Outcome) {
+	t.Helper()
+	if base.Status != adaptive.Status {
+		t.Fatalf("status diverged: %v vs %v", base.Status, adaptive.Status)
+	}
+	if (base.Best == nil) != (adaptive.Best == nil) {
+		t.Fatalf("optimum existence diverged: %v vs %v", base.Best, adaptive.Best)
+	}
+	if base.Best != nil && base.Best.Point != adaptive.Best.Point {
+		t.Fatalf("optimum moved: %v vs %v", base.Best.Point, adaptive.Best.Point)
+	}
+	bm, am := feasibilityMap(base), feasibilityMap(adaptive)
+	if len(bm) != len(am) {
+		t.Fatalf("candidate sets diverged: %d vs %d points", len(bm), len(am))
+	}
+	for k, f := range bm {
+		af, ok := am[k]
+		if !ok {
+			t.Fatalf("point key %d evaluated only in the baseline run", k)
+		}
+		if af != f {
+			t.Fatalf("feasibility verdict flipped for point key %d: %v vs %v", k, f, af)
+		}
+	}
+}
+
+// TestAdaptiveScreeningSavesWork: with AdaptiveReps on, the two-stage
+// screening pass must spend at least 25% fewer simulated seconds (the
+// confidence gate cuts clearly-infeasible candidates short) while leaving
+// the final optimum and every feasibility verdict unchanged, and the
+// avoided work must be surfaced through the saved-replication counters.
+// The bound sits far from every candidate's PDR, so the resampled
+// block-mean screen statistic cannot flip any verdict.
+func TestAdaptiveScreeningSavesWork(t *testing.T) {
+	base, err := NewOptimizer(fastProblem(0.6), Options{TwoStage: true}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := NewOptimizer(fastProblem(0.6), Options{TwoStage: true, AdaptiveReps: true}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVerdicts(t, base, adaptive)
+	if base.RepsSaved != 0 || base.SavedSeconds != 0 {
+		t.Fatalf("baseline reported savings without AdaptiveReps: %d reps, %v s",
+			base.RepsSaved, base.SavedSeconds)
+	}
+	if adaptive.RepsSaved <= 0 {
+		t.Fatal("adaptive screening saved no replications")
+	}
+	if adaptive.Engine.ScreenSeconds > 0.75*base.Engine.ScreenSeconds {
+		t.Fatalf("screening spent %.6g s adaptively vs %.6g s exhaustively — less than 25%% saved",
+			adaptive.Engine.ScreenSeconds, base.Engine.ScreenSeconds)
+	}
+	// Identical trajectory: spent + saved must reconstruct the baseline's
+	// screening budget exactly (the block split is an exact division of
+	// the fast problem's Duration).
+	if got, want := adaptive.Engine.ScreenSeconds+adaptive.SavedSeconds, base.Engine.ScreenSeconds; got != want {
+		t.Fatalf("screen spent+saved = %v s, want the exhaustive budget %v s", got, want)
+	}
+	if !strings.Contains(adaptive.Engine.String(), "reps saved") {
+		t.Fatalf("engine stats line does not surface the savings: %s", adaptive.Engine.String())
+	}
+}
+
+// TestAdaptiveScreeningKeepsPowerClass: at a bound that cuts through the
+// candidate PDR distribution (0.9 leaves some classes within the screen
+// band), the adaptive screen's block-mean statistic is a fresh draw of
+// the same-noise estimator the exhaustive screen uses, so borderline
+// candidates may legitimately land on the other side of the band — but
+// the selected power class must not move (the same guarantee the
+// two-stage screen itself gives versus the single-stage run).
+func TestAdaptiveScreeningKeepsPowerClass(t *testing.T) {
+	base, err := NewOptimizer(fastProblem(0.9), Options{TwoStage: true}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := NewOptimizer(fastProblem(0.9), Options{TwoStage: true, AdaptiveReps: true}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Status != adaptive.Status {
+		t.Fatalf("status diverged: %v vs %v", base.Status, adaptive.Status)
+	}
+	if base.Best == nil || adaptive.Best == nil {
+		t.Fatalf("missing optimum: base %v, adaptive %v", base.Best, adaptive.Best)
+	}
+	if base.Best.AnalyticMW != adaptive.Best.AnalyticMW {
+		t.Fatalf("adaptive screening changed the optimum class: %v vs %v mW",
+			adaptive.Best.AnalyticMW, base.Best.AnalyticMW)
+	}
+	if adaptive.RepsSaved <= 0 {
+		t.Fatal("adaptive screening saved no replications")
+	}
+}
+
+// TestAdaptiveRobustSavesWork: with AdaptiveReps on, the robust stage's
+// family short-circuit must skip scenario evaluations on families already
+// pinned infeasible, with the skipped work credited at full budget so
+// spent + saved reconstructs the exhaustive cost exactly — and at
+// Runs = 1 the surviving families' results are bit-identical, so every
+// verdict and the optimum must match the exhaustive run.
+func TestAdaptiveRobustSavesWork(t *testing.T) {
+	// A bound low enough that nominally feasible candidates exist (so the
+	// robust stage runs) yet tight enough that single-node failures breach
+	// it and trip the short-circuit.
+	opts := func(adaptive bool) Options {
+		return Options{
+			Robust:       RobustOptions{Enabled: true, KFailures: 1},
+			AdaptiveReps: adaptive,
+		}
+	}
+	base, err := NewOptimizer(fastProblem(0.6), opts(false)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := NewOptimizer(fastProblem(0.6), opts(true)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVerdicts(t, base, adaptive)
+	if adaptive.RepsSaved <= 0 {
+		t.Fatal("adaptive robust stage saved no scenario evaluations")
+	}
+	// With identical verdicts both runs submit the same work, so the
+	// adaptive run's fresh simulated seconds plus its credited savings
+	// must equal the exhaustive run's fresh simulated seconds.
+	if got, want := adaptive.SimulatedSeconds+adaptive.SavedSeconds, base.SimulatedSeconds; got != want {
+		t.Fatalf("spent+saved = %v s, want the exhaustive total %v s", got, want)
+	}
+	if best := adaptive.Best; best != nil && best.WorstPDR != base.Best.WorstPDR {
+		t.Fatalf("optimum's worst-case PDR diverged: %v vs %v", best.WorstPDR, base.Best.WorstPDR)
+	}
+	t.Logf("robust chain: %d reps saved, %.4g of %.4g simulated seconds avoided (%.1f%%)",
+		adaptive.RepsSaved, adaptive.SavedSeconds, base.SimulatedSeconds,
+		100*adaptive.SavedSeconds/base.SimulatedSeconds)
+}
+
+// TestAdaptiveChainSavesWork runs the full quick chain — two-stage
+// screening plus robust screening, both gated — and checks the combined
+// savings while the optimum and verdicts match the exhaustive chain.
+func TestAdaptiveChainSavesWork(t *testing.T) {
+	opts := func(adaptive bool) Options {
+		return Options{
+			TwoStage:     true,
+			Robust:       RobustOptions{Enabled: true, KFailures: 1},
+			AdaptiveReps: adaptive,
+		}
+	}
+	base, err := NewOptimizer(fastProblem(0.6), opts(false)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := NewOptimizer(fastProblem(0.6), opts(true)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVerdicts(t, base, adaptive)
+	if adaptive.RepsSaved <= 0 {
+		t.Fatal("adaptive chain saved no replications")
+	}
+	if adaptive.Engine.ScreenSeconds >= base.Engine.ScreenSeconds {
+		t.Fatalf("screening stage saved nothing: %v vs %v seconds",
+			adaptive.Engine.ScreenSeconds, base.Engine.ScreenSeconds)
+	}
+	if got, want := adaptive.SimulatedSeconds+adaptive.SavedSeconds, base.SimulatedSeconds; got != want {
+		t.Fatalf("spent+saved = %v s, want the exhaustive total %v s", got, want)
+	}
+	t.Logf("chain: %d reps saved, %.4g of %.4g simulated seconds avoided (%.1f%%)",
+		adaptive.RepsSaved, adaptive.SavedSeconds, base.SimulatedSeconds,
+		100*adaptive.SavedSeconds/base.SimulatedSeconds)
+}

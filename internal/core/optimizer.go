@@ -110,6 +110,13 @@ type Outcome struct {
 	// TerminatedByAlpha reports whether the α bound (line 5 of
 	// Algorithm 1) stopped the search before MILP exhaustion.
 	TerminatedByAlpha bool
+	// RepsSaved counts the simulator runs AdaptiveReps avoided: gated
+	// replications stopped early by the confidence test plus robust
+	// scenario evaluations short-circuited at family level (each credited
+	// at its full replication budget). SavedSeconds is their
+	// simulated-time equivalent. Both are 0 with AdaptiveReps off.
+	RepsSaved    int
+	SavedSeconds float64
 }
 
 // Options tune Algorithm 1.
@@ -158,6 +165,22 @@ type Options struct {
 	// ScreenMargin is the rejection band of the screening pass (default
 	// 0.05 — roughly 3σ of the short run's PDR estimator).
 	ScreenMargin float64
+	// AdaptiveReps enables confidence-gated early stopping in the stages
+	// whose evaluations only feed a binary decision. The screening pass
+	// (requires TwoStage) splits its Duration/5 budget into
+	// adaptiveScreenBlocks equal blocks and stops as soon as the
+	// block-PDR confidence interval settles against PDRMin ± ScreenMargin;
+	// the robust stage (requires Robust.Enabled) gates each scenario's
+	// replications against PDRMin ± FeasTol and short-circuits a family
+	// once enough scenarios breach the bound to pin its Quantile order
+	// statistic below it. Full-fidelity nominal evaluations always keep
+	// their whole budget — their metrics are the reported ones — so the
+	// final optimum is driven by the same estimates as with the flag off.
+	// The avoided work is surfaced in Outcome.RepsSaved/SavedSeconds (and
+	// the engine's reps-saved counters). Adaptive screening changes what
+	// a Screen-fidelity cache entry holds, so don't share one engine
+	// between adaptive and non-adaptive optimizers.
+	AdaptiveReps bool
 	// MaxIterations caps the RunMILP → RunSim rounds of one Run (0 =
 	// unlimited). When the cap is hit the Outcome carries the best-so-far
 	// incumbent with StatusBudgetExceeded.
@@ -260,6 +283,15 @@ func NewOptimizer(pr *design.Problem, opts Options) *Optimizer {
 // screenSeedOffset keeps screening runs on random streams disjoint from
 // the full evaluations'.
 const screenSeedOffset = 7777
+
+// adaptiveScreenBlocks splits the screening pass's Duration/5 budget into
+// equal confidence-gated blocks under Options.AdaptiveReps. Eight blocks
+// let a clear-cut candidate stop after 3–4 (saving half the budget or
+// more — the t-quantile is still wide at 2 samples, so 2-block stops are
+// rare); a borderline one still gets the whole thing. Fewer, longer
+// blocks would cap the attainable savings: with 4 blocks the earliest
+// realistic stop is block 3, saving only 25%.
+const adaptiveScreenBlocks = 8
 
 // alpha is the paper's α(S*, PDR_min) = P̄/P̄_lb correction, where P̄_lb
 // is "the minimum power that a node must consume for the specified PDR
@@ -390,6 +422,8 @@ func (o *Optimizer) Run() (*Outcome, error) {
 		out.Simulations += stats.runs
 		out.ScreenedOut += stats.screenedOut
 		out.SimulatedSeconds += stats.seconds
+		out.RepsSaved += stats.savedRuns
+		out.SavedSeconds += stats.savedSeconds
 
 		it := Iteration{PBarStar: pStar}
 		for i, p := range points {
@@ -446,6 +480,11 @@ type simStats struct {
 	screenedOut int
 	// seconds totals fresh simulated time.
 	seconds float64
+	// savedRuns and savedSeconds count the work AdaptiveReps avoided:
+	// the engine's gated-replication savings plus robust scenario
+	// evaluations skipped by the family short-circuit.
+	savedRuns    int
+	savedSeconds float64
 }
 
 // pointEval is one candidate's evaluation outcome: the nominal result
@@ -479,10 +518,17 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, e
 		return nil, stats, o.engErr
 	}
 	engStart := o.eng.Stats()
+	// skippedRuns/skippedSeconds accumulate the robust stage's
+	// family-short-circuit savings; the engine delta contributes the
+	// replication-gate savings on the runs that did start.
+	var skippedRuns int
+	var skippedSeconds float64
 	collect := func() {
 		d := o.eng.Stats().Sub(engStart)
 		stats.runs = int(d.SimRuns)
 		stats.seconds = d.SimSeconds()
+		stats.savedRuns = int(d.RepsSaved) + skippedRuns
+		stats.savedSeconds = d.SavedSeconds + skippedSeconds
 	}
 
 	// Distinct candidates in first-appearance order.
@@ -523,6 +569,23 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, e
 				Cfg: cfg, Runs: 1, Seed: o.Problem.Seed + screenSeedOffset,
 				Key: engine.ScreenKey(p.Key()), Label: fmt.Sprintf("%v", p), Pre: pre(p),
 			}
+			if o.Options.AdaptiveReps {
+				// Same Duration/5 worst-case budget, split into equal
+				// blocks the confidence gate can cut short. Screening runs
+				// are fault-free, so shortening the horizon is safe (fault
+				// times scale with Duration and would move otherwise). The
+				// 90% gate confidence is deliberate: the exhaustive screen
+				// decides from a raw point estimate with no confidence
+				// test at all, so any gated stop is more protective, and
+				// the looser quantile lets clear-cut candidates stop
+				// blocks earlier.
+				reqs[i].Cfg.Duration /= adaptiveScreenBlocks
+				reqs[i].Runs = adaptiveScreenBlocks
+				reqs[i].Adaptive = &netsim.Gate{
+					PDRMin: o.Problem.PDRMin, Margin: o.Options.ScreenMargin,
+					Confidence: 0.9,
+				}
+			}
 		}
 		srs, err := o.eng.EvaluateBatch(reqs, nil)
 		if err != nil {
@@ -561,69 +624,30 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, e
 		full[p.Key()] = frs[i]
 	}
 
-	// Stage 3: the robust scenario families, as one flat batch reduced
-	// per candidate in family order. Only nominally feasible candidates
-	// face the adversary: the others are rejected either way, and the
-	// family costs |scenarios| full-fidelity evaluations each. The
-	// feasibility statistic is recomputed per call from the (cached)
+	// Stage 3: the robust scenario families. Only nominally feasible
+	// candidates face the adversary: the others are rejected either way,
+	// and the family costs |scenarios| full-fidelity evaluations each.
+	// The feasibility statistic is recomputed per call from the (cached)
 	// family results — the bound may have changed across a ParetoFront
 	// sweep.
 	robust := make(map[uint32]robustStats)
 	if o.Options.Robust.Enabled {
-		type famJob struct {
-			p         design.Point
-			scenarios []*fault.Scenario
-			base      int
-		}
 		var jobs []famJob
-		var rreqs []engine.Request
 		for _, p := range need {
 			if full[p.Key()].PDR < o.Problem.PDRMin-o.Options.FeasTol {
 				continue
 			}
-			scs := o.scenariosFor(p)
-			jobs = append(jobs, famJob{p: p, scenarios: scs, base: len(rreqs)})
-			for _, sc := range scs {
-				cfg := o.Problem.Config(p)
-				cfg.Scenario = sc
-				rreqs = append(rreqs, engine.Request{
-					Cfg: cfg, Runs: o.Problem.Runs, Seed: o.Problem.Seed,
-					Key:   engine.ScenarioKey(p.Key(), sc.Key()),
-					Label: fmt.Sprintf("%v under %s", p, sc.Label()), Pre: pre(p),
-				})
-			}
+			jobs = append(jobs, famJob{p: p, scenarios: o.scenariosFor(p)})
 		}
-		rres, err := o.eng.EvaluateBatch(rreqs, nil)
+		var err error
+		if o.Options.AdaptiveReps {
+			err = o.robustAdaptive(jobs, full, pre, robust, &skippedRuns, &skippedSeconds)
+		} else {
+			err = o.robustExhaustive(jobs, full, pre, robust)
+		}
 		if err != nil {
 			collect()
 			return nil, stats, err
-		}
-		for _, job := range jobs {
-			rs := robustStats{screenPDR: math.Inf(1), worstPDR: math.Inf(1)}
-			if len(job.scenarios) == 0 {
-				nominal := full[job.p.Key()]
-				rs.screenPDR, rs.worstPDR = nominal.PDR, nominal.PDR
-			} else {
-				pdrs := make([]float64, 0, len(job.scenarios))
-				for si, sc := range job.scenarios {
-					r := rres[job.base+si]
-					pdrs = append(pdrs, r.PDR)
-					if r.PDR < rs.worstPDR {
-						rs.worstPDR = r.PDR
-						rs.worstScenario = sc.Label()
-					}
-				}
-				sort.Float64s(pdrs)
-				idx := int(math.Floor(o.Options.Robust.Quantile * float64(len(pdrs))))
-				if idx >= len(pdrs) {
-					idx = len(pdrs) - 1
-				}
-				if idx < 0 {
-					idx = 0
-				}
-				rs.screenPDR = pdrs[idx]
-			}
-			robust[job.p.Key()] = rs
 		}
 	}
 
@@ -656,6 +680,168 @@ type robustStats struct {
 	screenPDR     float64
 	worstPDR      float64
 	worstScenario string
+}
+
+// famJob is one nominally feasible candidate's fault-scenario family in
+// the robust stage.
+type famJob struct {
+	p         design.Point
+	scenarios []*fault.Scenario
+}
+
+// quantileIndex is the order-statistic index the Quantile bound is
+// enforced on over an n-scenario family — equivalently, the number of
+// breaching scenarios the family tolerates before its verdict is sealed.
+func (o *Optimizer) quantileIndex(n int) int {
+	idx := int(math.Floor(o.Options.Robust.Quantile * float64(n)))
+	if idx >= n {
+		idx = n - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// robustExhaustive evaluates every family in full, as one flat batch
+// reduced per candidate in family order.
+func (o *Optimizer) robustExhaustive(jobs []famJob, full map[uint32]*netsim.Result, pre func(design.Point) func(), robust map[uint32]robustStats) error {
+	var rreqs []engine.Request
+	base := make([]int, len(jobs))
+	for ji, job := range jobs {
+		base[ji] = len(rreqs)
+		for _, sc := range job.scenarios {
+			cfg := o.Problem.Config(job.p)
+			cfg.Scenario = sc
+			rreqs = append(rreqs, engine.Request{
+				Cfg: cfg, Runs: o.Problem.Runs, Seed: o.Problem.Seed,
+				Key:   engine.ScenarioKey(job.p.Key(), sc.Key()),
+				Label: fmt.Sprintf("%v under %s", job.p, sc.Label()), Pre: pre(job.p),
+			})
+		}
+	}
+	rres, err := o.eng.EvaluateBatch(rreqs, nil)
+	if err != nil {
+		return err
+	}
+	for ji, job := range jobs {
+		rs := robustStats{screenPDR: math.Inf(1), worstPDR: math.Inf(1)}
+		if len(job.scenarios) == 0 {
+			nominal := full[job.p.Key()]
+			rs.screenPDR, rs.worstPDR = nominal.PDR, nominal.PDR
+		} else {
+			pdrs := make([]float64, 0, len(job.scenarios))
+			for si, sc := range job.scenarios {
+				r := rres[base[ji]+si]
+				pdrs = append(pdrs, r.PDR)
+				if r.PDR < rs.worstPDR {
+					rs.worstPDR = r.PDR
+					rs.worstScenario = sc.Label()
+				}
+			}
+			sort.Float64s(pdrs)
+			rs.screenPDR = pdrs[o.quantileIndex(len(pdrs))]
+		}
+		robust[job.p.Key()] = rs
+	}
+	return nil
+}
+
+// robustAdaptive evaluates the families wave by wave — wave w submits the
+// w-th scenario of every still-undecided family as one batch — and stops
+// a family as soon as its breach count exceeds what the Quantile order
+// statistic tolerates: the verdict is then sealed infeasible whatever the
+// remaining scenarios measure, so they are skipped (credited to the
+// savings counters at their full replication budget). Each scenario
+// request also carries the confidence gate, letting its replications stop
+// early against PDRMin ± FeasTol. A family that stays undecided runs
+// exhaustively and reduces to the same order statistic as
+// robustExhaustive; a sealed family reports the order statistic over its
+// evaluated prefix, which the breach count already pins below the bound.
+func (o *Optimizer) robustAdaptive(jobs []famJob, full map[uint32]*netsim.Result, pre func(design.Point) func(), robust map[uint32]robustStats, skippedRuns *int, skippedSeconds *float64) error {
+	bound := o.Problem.PDRMin - o.Options.FeasTol
+	gate := &netsim.Gate{PDRMin: o.Problem.PDRMin, Margin: o.Options.FeasTol}
+	type famState struct {
+		job       famJob
+		pdrs      []float64
+		breaches  int
+		decided   bool
+		worstPDR  float64
+		worstScen string
+	}
+	var states []*famState
+	maxFam := 0
+	for _, job := range jobs {
+		if len(job.scenarios) == 0 {
+			nominal := full[job.p.Key()]
+			robust[job.p.Key()] = robustStats{screenPDR: nominal.PDR, worstPDR: nominal.PDR}
+			continue
+		}
+		states = append(states, &famState{job: job, worstPDR: math.Inf(1)})
+		if len(job.scenarios) > maxFam {
+			maxFam = len(job.scenarios)
+		}
+	}
+	for wave := 0; wave < maxFam; wave++ {
+		var reqs []engine.Request
+		var active []*famState
+		for _, fs := range states {
+			if fs.decided || wave >= len(fs.job.scenarios) {
+				continue
+			}
+			sc := fs.job.scenarios[wave]
+			cfg := o.Problem.Config(fs.job.p)
+			cfg.Scenario = sc
+			reqs = append(reqs, engine.Request{
+				Cfg: cfg, Runs: o.Problem.Runs, Seed: o.Problem.Seed,
+				Key:      engine.ScenarioKey(fs.job.p.Key(), sc.Key()),
+				Label:    fmt.Sprintf("%v under %s", fs.job.p, sc.Label()),
+				Pre:      pre(fs.job.p),
+				Adaptive: gate,
+			})
+			active = append(active, fs)
+		}
+		if len(reqs) == 0 {
+			break
+		}
+		res, err := o.eng.EvaluateBatch(reqs, nil)
+		if err != nil {
+			return err
+		}
+		for i, fs := range active {
+			r := res[i]
+			fs.pdrs = append(fs.pdrs, r.PDR)
+			if r.PDR < fs.worstPDR {
+				fs.worstPDR = r.PDR
+				fs.worstScen = fs.job.scenarios[wave].Label()
+			}
+			if r.PDR < bound {
+				fs.breaches++
+			}
+			if fs.breaches > o.quantileIndex(len(fs.job.scenarios)) {
+				fs.decided = true
+			}
+		}
+	}
+	runs := max(1, o.Problem.Runs)
+	for _, fs := range states {
+		if skipped := len(fs.job.scenarios) - len(fs.pdrs); skipped > 0 {
+			*skippedRuns += skipped * runs
+			*skippedSeconds += float64(skipped*runs) * o.Problem.Duration
+		}
+		sorted := append([]float64(nil), fs.pdrs...)
+		sort.Float64s(sorted)
+		idx := o.quantileIndex(len(fs.job.scenarios))
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		robust[fs.job.p.Key()] = robustStats{
+			screenPDR:     sorted[idx],
+			worstPDR:      fs.worstPDR,
+			worstScenario: fs.worstScen,
+		}
+	}
+	return nil
 }
 
 // scenariosFor returns the fault-scenario family a candidate is screened

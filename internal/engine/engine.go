@@ -6,10 +6,13 @@
 // three separately-keyed result caches. An Engine replaces all of them
 // with one service owning:
 //
-//   - a fixed-size worker pool: a batch spawns at most Workers goroutines
-//     (never one per item), each pulling request indices from a shared
-//     counter and writing results into per-index slots, so the returned
-//     slice is always in submission order regardless of scheduling;
+//   - a fixed-size worker pool scheduling at replication granularity: a
+//     batch expands every fresh request into one sub-task per replication
+//     (seed, seed+1, ...), spawns at most Workers goroutines (never one
+//     per item), and each worker pulls sub-task indices from a shared
+//     counter — so a single replication-heavy request can occupy the
+//     whole pool, and parallelism is capped by total replications, not by
+//     the number of points;
 //   - one cache keyed by (point key, fidelity, scenario key) with
 //     in-flight deduplication (singleflight): concurrent requests for the
 //     same key simulate once, and the waiters share the leader's result;
@@ -17,17 +20,24 @@
 //     DES kernels exist, handed out through a channel for the duration of
 //     a batch (or a single Evaluate call) and replaced with a fresh one
 //     if an evaluation panics mid-run;
+//   - an opt-in confidence-gated adaptive mode (Request.Adaptive): the
+//     request's Runs become a budget, replications run sequentially and
+//     stop once the PDR confidence interval settles against the gate's
+//     band, and the saved replications are counted in Stats;
 //   - a Stats counter block (submitted, simulated, cache hits, dedup
-//     hits, per-fidelity simulated seconds) so every layer can report the
-//     cost and cache behaviour of its search.
+//     hits, per-fidelity simulated seconds, adaptive savings) so every
+//     layer can report the cost and cache behaviour of its search.
 //
 // Determinism: a simulation's outcome depends only on (Config, Runs,
 // Seed) — netsim.Evaluator is bit-identical to one-shot construction —
-// and the reduction order is the submission order, so batch results are
-// bit-identical across worker counts and across repeated runs. Errors are
-// likewise scheduling-independent: after the first failure the remaining
-// requests are skipped, and all collected errors are sorted before being
-// joined.
+// and per-replication partial Results are merged in replication order
+// with netsim's Accumulate/Finalize API, which performs the same
+// floating-point operations in the same order as the sequential
+// RunAveraged. Batch results are therefore bit-identical across worker
+// counts and across repeated runs. Errors are likewise
+// scheduling-independent: after the first failure the remaining sub-tasks
+// are skipped, each failed request reports its lowest-replication error,
+// and all collected errors are sorted before being joined.
 //
 // Sharing one Engine between layers shares its cache: an exhaustive sweep
 // can warm-fill the optimizer's full-fidelity entries, because both
@@ -116,9 +126,18 @@ type Request struct {
 	// point, optionally suffixed with the scenario).
 	Label string
 	// Pre, when non-nil, runs on the worker immediately before a fresh
-	// simulation (cache and dedup hits skip it). A panic in Pre or in the
+	// simulation (cache and dedup hits skip it; it runs exactly once per
+	// request, before the first replication). A panic in Pre or in the
 	// simulation itself is recovered into an error naming Label.
 	Pre func()
+	// Adaptive, when non-nil, turns Runs into a replication budget: the
+	// replications run sequentially (netsim.Evaluator.RunAdaptive) and
+	// stop as soon as the gate's confidence interval settles which side
+	// of its reliability band the PDR is on. The saved replications are
+	// counted in Stats.RepsSaved/SavedSeconds. Adaptive requests are one
+	// scheduling unit — their replication count is decided at run time —
+	// while non-adaptive requests fan out one sub-task per replication.
+	Adaptive *netsim.Gate
 }
 
 func (r *Request) label() string {
@@ -138,7 +157,8 @@ type Stats struct {
 	Submitted int64
 	Simulated int64
 	// SimRuns counts individual simulator runs (a fresh request
-	// contributes max(1, Runs)).
+	// contributes the replications it actually ran: max(1, Runs), or
+	// fewer when an adaptive gate stopped early).
 	SimRuns int64
 	// CacheHits counts requests answered by a completed cache entry;
 	// DedupHits counts requests that waited on a concurrent in-flight
@@ -146,9 +166,15 @@ type Stats struct {
 	CacheHits int64
 	DedupHits int64
 	// FullSeconds and ScreenSeconds total the fresh simulated time per
-	// fidelity (Cfg.Duration × max(1, Runs) per fresh request).
+	// fidelity (Cfg.Duration × replications actually run).
 	FullSeconds   float64
 	ScreenSeconds float64
+	// RepsSaved counts replications skipped by adaptive early stopping
+	// (a gated request contributes its budget minus the replications it
+	// ran); SavedSeconds totals the simulated time those replications
+	// would have cost.
+	RepsSaved    int64
+	SavedSeconds float64
 }
 
 // SimSeconds is the total fresh simulated time across both fidelities.
@@ -164,12 +190,18 @@ func (s Stats) Sub(prev Stats) Stats {
 		DedupHits:     s.DedupHits - prev.DedupHits,
 		FullSeconds:   s.FullSeconds - prev.FullSeconds,
 		ScreenSeconds: s.ScreenSeconds - prev.ScreenSeconds,
+		RepsSaved:     s.RepsSaved - prev.RepsSaved,
+		SavedSeconds:  s.SavedSeconds - prev.SavedSeconds,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d submitted, %d simulated (%d runs, %.6g s simulated), %d cache hits, %d dedup hits",
+	msg := fmt.Sprintf("%d submitted, %d simulated (%d runs, %.6g s simulated), %d cache hits, %d dedup hits",
 		s.Submitted, s.Simulated, s.SimRuns, s.SimSeconds(), s.CacheHits, s.DedupHits)
+	if s.RepsSaved > 0 {
+		msg += fmt.Sprintf(", %d reps saved (%.6g s)", s.RepsSaved, s.SavedSeconds)
+	}
+	return msg
 }
 
 // entry is one cache slot. done is closed when the leader finishes; res
@@ -181,6 +213,13 @@ type entry struct {
 	res  *netsim.Result
 	err  error
 }
+
+// errAborted marks in-flight cache entries whose leading batch failed
+// before they ran: the evaluation was skipped, not attempted. Waiters in
+// the failing batch fold it into the root cause; waiters from other
+// batches surface it (their key became retryable the moment the entry
+// was unregistered).
+var errAborted = errors.New("evaluation aborted: batch failed")
 
 // Engine is the shared evaluation service. It is safe for concurrent use;
 // nested use from inside a Request.Pre hook or an EvaluateBatch progress
@@ -245,163 +284,327 @@ func (e *Engine) Cached(k Key) bool {
 	}
 }
 
-// Evaluate runs (or recalls) a single request on a checked-out evaluator.
+// Evaluate runs (or recalls) a single request: a one-request batch, so a
+// replication-heavy or adaptive request still uses the scheduler.
 func (e *Engine) Evaluate(req Request) (*netsim.Result, error) {
-	ev := <-e.evals
-	res, err, poisoned := e.process(ev, req)
-	if poisoned {
-		// The evaluator panicked mid-run; its kernel state is suspect.
-		ev = netsim.NewEvaluator()
+	res, err := e.EvaluateBatch([]Request{req}, nil)
+	if err != nil {
+		return nil, err
 	}
-	e.evals <- ev
-	return res, err
+	return res[0], nil
+}
+
+// job tracks one batch request that must simulate fresh: its in-flight
+// cache entry (when cacheable), the per-replication partial Results, and
+// the completion state shared by its sub-tasks.
+type job struct {
+	req  *Request
+	idx  int // index into the batch's request slice
+	runs int // replication budget, max(1, req.Runs)
+	en   *entry
+
+	pre     sync.Once
+	reps    []*netsim.Result // partials, indexed by replication
+	pending int              // sub-tasks not yet completed
+	ran     int              // replications actually simulated
+	err     error            // lowest-replication error
+	errRep  int
+	aborted bool // a sub-task was skipped after the batch failed
+}
+
+// task is one schedulable unit of a batch: one replication of a job
+// (j != nil), or a wait on another batch's in-flight evaluation of the
+// same key (wait != nil).
+type task struct {
+	j    *job
+	rep  int
+	idx  int
+	wait *entry
+}
+
+// batch is the shared state of one EvaluateBatch call.
+type batch struct {
+	e       *Engine
+	results []*netsim.Result
+	onDone  func(done, total int)
+	total   int
+	tasks   []task
+
+	failed atomic.Bool
+	mu     sync.Mutex // guards results/done reporting, errs, and job state
+	errs   []error
+	done   int
 }
 
 // EvaluateBatch evaluates every request on the fixed worker pool and
-// returns the results in submission order. onDone, when non-nil, is
-// called under a lock after each successful request with the completed
-// and total counts. After the first failure the remaining requests are
-// skipped; all collected errors are sorted and joined, so the reported
-// error does not depend on goroutine scheduling.
+// returns the results in submission order. Fresh requests are expanded
+// into per-replication sub-tasks, so parallelism is bounded by the total
+// replication count, not the request count; the partials are merged in
+// replication order, keeping results bit-identical to sequential
+// evaluation for any Workers value. onDone, when non-nil, is called under
+// a lock after each completed request with the completed and total
+// counts. After the first failure the remaining sub-tasks are skipped;
+// all collected errors are sorted and joined, so the reported error does
+// not depend on goroutine scheduling.
 func (e *Engine) EvaluateBatch(reqs []Request, onDone func(done, total int)) ([]*netsim.Result, error) {
-	results := make([]*netsim.Result, len(reqs))
+	b := &batch{
+		e:       e,
+		results: make([]*netsim.Result, len(reqs)),
+		onDone:  onDone,
+		total:   len(reqs),
+	}
 	if len(reqs) == 0 {
-		return results, nil
+		return b.results, nil
 	}
-	nw := e.workers
-	if nw > len(reqs) {
-		nw = len(reqs)
-	}
-	var (
-		next  atomic.Int64
-		wg    sync.WaitGroup
-		mu    sync.Mutex // guards errs and done
-		errs  []error
-		done  int
-		total = len(reqs)
-	)
-	next.Store(-1)
-	failed := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return len(errs) > 0
-	}
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ev := <-e.evals
-			defer func() { e.evals <- ev }()
-			for {
-				i := int(next.Add(1))
-				if i >= total {
-					return
-				}
-				if failed() {
-					// A sibling already failed; the batch is doomed, so
-					// skip the remaining work and let the caller surface
-					// the joined error.
-					continue
-				}
-				res, err, poisoned := e.process(ev, reqs[i])
-				if poisoned {
-					ev = netsim.NewEvaluator()
-				}
-				if err != nil {
-					mu.Lock()
-					errs = append(errs, err)
-					mu.Unlock()
-					continue
-				}
-				results[i] = res
-				if onDone != nil {
-					mu.Lock()
-					done++
-					onDone(done, total)
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if len(errs) > 0 {
-		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
-		return nil, errors.Join(errs...)
-	}
-	return results, nil
-}
 
-// process answers one request: cache lookup, singleflight coordination,
-// or a fresh simulation on ev. poisoned reports that ev panicked mid-run
-// and must not be reused.
-func (e *Engine) process(ev *netsim.Evaluator, req Request) (res *netsim.Result, err error, poisoned bool) {
+	// Resolution pass, sequential under the cache lock: answer completed
+	// cache entries, enlist on in-flight ones (dedup), register this
+	// batch's leaders, and expand everything that must simulate into
+	// per-replication sub-tasks. Resolving before any worker starts makes
+	// the hit/dedup/leader assignment — and so the stats — independent of
+	// goroutine scheduling.
+	var hits []int
 	e.mu.Lock()
-	e.stats.Submitted++
-	if !req.Key.Cacheable() {
-		e.mu.Unlock()
-		return e.simulate(ev, req)
-	}
-	if en, ok := e.cache[req.Key]; ok {
-		select {
-		case <-en.done:
-			// Completed entries in the map always succeeded (failed
-			// leaders remove theirs before closing done).
-			e.stats.CacheHits++
-			e.mu.Unlock()
-			return en.res, nil, false
-		default:
-			// In flight: wait for the leader instead of re-simulating.
-			e.stats.DedupHits++
-			e.mu.Unlock()
-			<-en.done
-			return en.res, en.err, false
+	for i := range reqs {
+		req := &reqs[i]
+		e.stats.Submitted++
+		j := &job{req: req, idx: i, runs: max(1, req.Runs)}
+		if req.Key.Cacheable() {
+			if en, ok := e.cache[req.Key]; ok {
+				select {
+				case <-en.done:
+					// Completed entries in the map always succeeded
+					// (failed leaders remove theirs before closing done).
+					e.stats.CacheHits++
+					b.results[i] = en.res
+					hits = append(hits, i)
+				default:
+					e.stats.DedupHits++
+					b.tasks = append(b.tasks, task{idx: i, wait: en})
+				}
+				continue
+			}
+			j.en = &entry{done: make(chan struct{})}
+			e.cache[req.Key] = j.en
+		}
+		if req.Adaptive != nil || j.runs == 1 {
+			// One scheduling unit: a single run, or an adaptive loop whose
+			// replication count is decided at run time.
+			j.pending = 1
+			j.reps = make([]*netsim.Result, 1)
+			b.tasks = append(b.tasks, task{j: j})
+		} else {
+			j.pending = j.runs
+			j.reps = make([]*netsim.Result, j.runs)
+			for r := 0; r < j.runs; r++ {
+				b.tasks = append(b.tasks, task{j: j, rep: r})
+			}
 		}
 	}
-	// This request leads: register the in-flight entry, simulate, then
-	// publish. On failure the entry is removed so a later request retries.
-	en := &entry{done: make(chan struct{})}
-	e.cache[req.Key] = en
 	e.mu.Unlock()
-	res, err, poisoned = e.simulate(ev, req)
-	e.mu.Lock()
-	en.res, en.err = res, err
-	if err != nil {
-		delete(e.cache, req.Key)
+	for _, i := range hits {
+		b.finish(i, b.results[i])
 	}
-	e.mu.Unlock()
-	close(en.done)
-	return res, err, poisoned
+
+	if len(b.tasks) > 0 {
+		nw := min(e.workers, len(b.tasks))
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.worker(&next)
+			}()
+		}
+		wg.Wait()
+	}
+
+	if len(b.errs) > 0 {
+		sort.Slice(b.errs, func(i, j int) bool { return b.errs[i].Error() < b.errs[j].Error() })
+		return nil, errors.Join(b.errs...)
+	}
+	return b.results, nil
 }
 
-// simulate runs a fresh evaluation of req on ev, recovering panics (from
-// the Pre hook or the simulator) into errors.
-func (e *Engine) simulate(ev *netsim.Evaluator, req Request) (res *netsim.Result, err error, poisoned bool) {
+// finish records one completed request and reports progress.
+func (b *batch) finish(i int, res *netsim.Result) {
+	b.mu.Lock()
+	b.results[i] = res
+	b.done++
+	if b.onDone != nil {
+		b.onDone(b.done, b.total)
+	}
+	b.mu.Unlock()
+}
+
+// worker drains sub-tasks from the shared counter on one checked-out
+// evaluator. Deadlock-freedom with dedup waits: a leader's replication
+// sub-tasks always precede its same-batch waiters in task order and the
+// counter is monotone, so by the time a worker blocks on a wait, every
+// leader sub-task is either done or actively running on another worker
+// (a worker never holds an unfinished sub-task while blocked).
+func (b *batch) worker(next *atomic.Int64) {
+	e := b.e
+	ev := <-e.evals
+	defer func() { e.evals <- ev }()
+	for {
+		t := int(next.Add(1))
+		if t >= len(b.tasks) {
+			return
+		}
+		tk := b.tasks[t]
+		if tk.wait != nil {
+			if b.failed.Load() {
+				// The batch is doomed; don't block on a foreign leader.
+				continue
+			}
+			<-tk.wait.done
+			if err := tk.wait.err; err != nil {
+				// An abort caused by this batch's own failure is already
+				// accounted for by its root cause.
+				if !errors.Is(err, errAborted) || !b.failed.Load() {
+					b.failed.Store(true)
+					b.mu.Lock()
+					b.errs = append(b.errs, err)
+					b.mu.Unlock()
+				}
+				continue
+			}
+			b.finish(tk.idx, tk.wait.res)
+			continue
+		}
+		if b.failed.Load() {
+			// Skip the work but still complete the sub-task, so the job
+			// finalizes (releasing any waiters) and the batch drains.
+			b.completeTask(tk.j, tk.rep, nil, 0, nil, true)
+			continue
+		}
+		res, ran, err, poisoned := b.runTask(ev, tk.j, tk.rep)
+		if poisoned {
+			// The evaluator panicked mid-run; its kernel state is suspect.
+			ev = netsim.NewEvaluator()
+		}
+		if err != nil {
+			b.failed.Store(true)
+		}
+		b.completeTask(tk.j, tk.rep, res, ran, err, false)
+	}
+}
+
+// runTask executes one replication sub-task — or, for an adaptive
+// request, the whole gated replication loop — on ev, recovering panics
+// (from the Pre hook or the simulator) into errors. ran is the number of
+// simulator runs performed.
+func (b *batch) runTask(ev *netsim.Evaluator, j *job, rep int) (res *netsim.Result, ran int, err error, poisoned bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("engine: evaluation of %s panicked: %v", req.label(), r)
+			res, ran, err = nil, 0, fmt.Errorf("engine: evaluation of %s panicked: %v", j.req.label(), r)
 			poisoned = true
 		}
 	}()
-	if req.Pre != nil {
-		req.Pre()
+	j.pre.Do(func() {
+		if j.req.Pre != nil {
+			j.req.Pre()
+		}
+	})
+	if j.req.Adaptive != nil {
+		res, ran, err = ev.RunAdaptive(j.req.Cfg, j.runs, j.req.Seed, *j.req.Adaptive)
+		if err != nil {
+			return nil, 0, err, false
+		}
+		return res, ran, nil, false
 	}
-	res, err = ev.RunAveraged(req.Cfg, req.Runs, req.Seed)
+	res, err = ev.Run(j.req.Cfg, j.req.Seed+uint64(rep))
 	if err != nil {
-		return nil, err, false
+		return nil, 0, err, false
 	}
-	runs := req.Runs
-	if runs < 1 {
-		runs = 1
+	return res, 1, nil, false
+}
+
+// completeTask folds one finished (or skipped) sub-task into its job and
+// finalizes the job when it was the last one outstanding.
+func (b *batch) completeTask(j *job, rep int, res *netsim.Result, ran int, err error, skipped bool) {
+	b.mu.Lock()
+	switch {
+	case skipped:
+		j.aborted = true
+	case err != nil:
+		// Keep the lowest-replication error so a multi-replication
+		// failure reports deterministically.
+		if j.err == nil || rep < j.errRep {
+			j.err, j.errRep = err, rep
+		}
+	default:
+		j.reps[rep] = res
+		j.ran += ran
 	}
-	e.mu.Lock()
-	e.stats.Simulated++
-	e.stats.SimRuns += int64(runs)
-	secs := req.Cfg.Duration * float64(runs)
-	if req.Key.Fidelity == Screen {
-		e.stats.ScreenSeconds += secs
-	} else {
-		e.stats.FullSeconds += secs
+	j.pending--
+	last := j.pending == 0
+	b.mu.Unlock()
+	if last {
+		b.finalizeJob(j)
 	}
-	e.mu.Unlock()
-	return res, nil, false
+}
+
+// finalizeJob publishes a completed job. On success it merges the
+// per-replication partials in replication order (netsim's
+// Accumulate/Finalize — bit-identical to the sequential RunAveraged),
+// records the stats, fills the cache entry, and reports the result. On
+// failure or abort it unregisters the in-flight entry so a later request
+// can retry, and releases waiters with the error.
+func (b *batch) finalizeJob(j *job) {
+	e := b.e
+	if j.err == nil && !j.aborted {
+		res := j.reps[0]
+		if j.req.Adaptive == nil && j.runs > 1 {
+			pdrs := make([]float64, j.runs)
+			for r, pr := range j.reps {
+				pdrs[r] = pr.PDR
+			}
+			for r := 1; r < j.runs; r++ {
+				res.Accumulate(j.reps[r])
+			}
+			res.Finalize(j.runs, j.req.Cfg.BatteryJ, pdrs)
+		}
+		secs := j.req.Cfg.Duration
+		e.mu.Lock()
+		e.stats.Simulated++
+		e.stats.SimRuns += int64(j.ran)
+		if j.req.Key.Fidelity == Screen {
+			e.stats.ScreenSeconds += secs * float64(j.ran)
+		} else {
+			e.stats.FullSeconds += secs * float64(j.ran)
+		}
+		if saved := j.runs - j.ran; saved > 0 {
+			e.stats.RepsSaved += int64(saved)
+			e.stats.SavedSeconds += secs * float64(saved)
+		}
+		if j.en != nil {
+			j.en.res = res
+		}
+		e.mu.Unlock()
+		if j.en != nil {
+			close(j.en.done)
+		}
+		b.finish(j.idx, res)
+		return
+	}
+	err := j.err
+	if err == nil {
+		err = fmt.Errorf("engine: evaluation of %s skipped: %w", j.req.label(), errAborted)
+	}
+	if j.en != nil {
+		e.mu.Lock()
+		delete(e.cache, j.req.Key)
+		j.en.err = err
+		e.mu.Unlock()
+		close(j.en.done)
+	}
+	if j.err != nil {
+		b.mu.Lock()
+		b.errs = append(b.errs, j.err)
+		b.mu.Unlock()
+	}
 }

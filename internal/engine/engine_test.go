@@ -292,6 +292,205 @@ func TestWorkerPoolIsFixedSize(t *testing.T) {
 	}
 }
 
+// TestRepParallelMergeMatchesRunAveraged is the tentpole's bit-identity
+// property: a multi-replication request fanned out across the worker pool
+// must merge to exactly the sequential netsim.RunAveraged answer, for
+// every worker count (also exercised under -race by `make race`).
+func TestRepParallelMergeMatchesRunAveraged(t *testing.T) {
+	const runs, seed = 3, 9
+	cfgs := testConfigs()
+	want := make([]*netsim.Result, len(cfgs))
+	for i, cfg := range cfgs {
+		var err error
+		want[i], err = netsim.RunAveraged(cfg, runs, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		e, err := New(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := make([]Request, len(cfgs))
+		for i, cfg := range cfgs {
+			reqs[i] = Request{Cfg: cfg, Runs: runs, Seed: seed}
+		}
+		got, err := e.EvaluateBatch(reqs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cfgs {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d: request %d diverged from sequential RunAveraged:\n got  %+v\nwant %+v",
+					workers, i, got[i], want[i])
+			}
+		}
+		if s := e.Stats(); s.SimRuns != int64(runs*len(cfgs)) {
+			t.Fatalf("workers=%d: SimRuns = %d, want %d", workers, s.SimRuns, runs*len(cfgs))
+		}
+	}
+}
+
+// TestReplicationFanOutOccupiesWorkers is the Workers-plumbing
+// regression: a single-point batch with runs=8 must fan its replications
+// across up to 8 workers (peak goroutines reach base + workers, like
+// exhaustive's O(Workers) test), instead of serializing inside one.
+func TestReplicationFanOutOccupiesWorkers(t *testing.T) {
+	const workers, runs = 8, 8
+	e, err := New(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfigs()[0]
+	cfg.Duration = 400 // long enough for the monitor to observe the pool
+	base := int64(runtime.NumGoroutine())
+	var peakG atomic.Int64
+	stop := make(chan struct{})
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := int64(runtime.NumGoroutine())
+			for {
+				p := peakG.Load()
+				if g <= p || peakG.CompareAndSwap(p, g) {
+					break
+				}
+			}
+			runtime.Gosched()
+		}
+	}()
+	res, err := e.EvaluateBatch([]Request{{Cfg: cfg, Runs: runs, Seed: 1}}, nil)
+	close(stop)
+	<-monitorDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base + the monitor itself + the `workers` pool goroutines.
+	if p := peakG.Load(); p < base+1+workers {
+		t.Fatalf("goroutine peak %d vs baseline %d: 8 replications did not occupy %d workers", p, base, workers)
+	}
+	if s := e.Stats(); s.Simulated != 1 || s.SimRuns != runs {
+		t.Fatalf("stats = %+v, want 1 simulated / %d runs", s, runs)
+	}
+	want, err := netsim.RunAveraged(cfg, runs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res[0], want) {
+		t.Fatal("fanned-out single request diverged from sequential RunAveraged")
+	}
+}
+
+// TestDedupWithReplications: duplicate multi-replication keys still
+// simulate once, and every duplicate shares the merged result.
+func TestDedupWithReplications(t *testing.T) {
+	e, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfigs()[0]
+	const n, runs = 6, 3
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Cfg: cfg, Runs: runs, Seed: 1, Key: PointKey(5)}
+	}
+	res, err := e.EvaluateBatch(reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Simulated != 1 || s.SimRuns != runs {
+		t.Fatalf("stats = %+v, want 1 simulated / %d runs", s, runs)
+	}
+	for i := 1; i < n; i++ {
+		if res[i] != res[0] {
+			t.Fatalf("duplicate request %d got a distinct result", i)
+		}
+	}
+	want, err := netsim.RunAveraged(cfg, runs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res[0], want) {
+		t.Fatal("deduplicated merged result diverged from sequential RunAveraged")
+	}
+}
+
+// TestAdaptiveUndecidedMatchesNonAdaptive: a gate that cannot decide
+// within the budget must spend it all and reproduce the non-adaptive
+// result bit-for-bit with zero recorded savings.
+func TestAdaptiveUndecidedMatchesNonAdaptive(t *testing.T) {
+	cfg := testConfigs()[0]
+	const runs, seed = 4, 3
+	want, err := netsim.RunAveraged(cfg, runs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	never := &netsim.Gate{MinRuns: runs + 1}
+	got, err := e.Evaluate(Request{Cfg: cfg, Runs: runs, Seed: seed, Adaptive: never})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("undecided adaptive request diverged from RunAveraged")
+	}
+	if s := e.Stats(); s.SimRuns != runs || s.RepsSaved != 0 || s.SavedSeconds != 0 {
+		t.Fatalf("stats = %+v, want %d runs and no savings", s, runs)
+	}
+}
+
+// TestAdaptiveEarlyStopSavesReps: a decisive gate stops a clearly-passing
+// configuration early, the savings land in the stats (and their String
+// rendering), and the truncated average matches RunAdaptive directly.
+func TestAdaptiveEarlyStopSavesReps(t *testing.T) {
+	cfg := testConfigs()[2] // highest CSMA tx mode: comfortably above a loose bound
+	const budget, seed = 6, 3
+	gate := &netsim.Gate{PDRMin: 0.05, Margin: 0.01, Confidence: 0.95}
+	e, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Evaluate(Request{Cfg: cfg, Runs: budget, Seed: seed, Key: PointKey(9), Adaptive: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ran, err := netsim.NewEvaluator().RunAdaptive(cfg, budget, seed, *gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran >= budget {
+		t.Fatalf("gate did not stop early (ran %d of %d); pick a clearer config", ran, budget)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("engine adaptive result diverged from RunAdaptive")
+	}
+	s := e.Stats()
+	if s.SimRuns != int64(ran) || s.RepsSaved != int64(budget-ran) {
+		t.Fatalf("stats = %+v, want %d runs and %d saved", s, ran, budget-ran)
+	}
+	if want := cfg.Duration * float64(budget-ran); s.SavedSeconds != want {
+		t.Fatalf("SavedSeconds = %v, want %v", s.SavedSeconds, want)
+	}
+	if msg := s.String(); !strings.Contains(msg, "reps saved") {
+		t.Fatalf("Stats.String() = %q, missing the reps-saved clause", msg)
+	}
+	// The adaptive result is cached under its key like any other.
+	if !e.Cached(PointKey(9)) {
+		t.Fatal("adaptive result was not cached")
+	}
+}
+
 func TestProgressCallback(t *testing.T) {
 	e, err := New(2)
 	if err != nil {

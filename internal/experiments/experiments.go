@@ -58,6 +58,17 @@ type Suite struct {
 	// modified design space (tests use it to shrink the space; users can
 	// use it to add constraints or swap components).
 	Mutate func(*design.Problem)
+	// Adaptive enables confidence-gated evaluation in the studies whose
+	// simulations feed binary decisions — currently the RB robustness
+	// study: scenario replications stop early once the PDR confidence
+	// interval settles against the bound, and a configuration's scenario
+	// family short-circuits as soon as one scenario decisively breaches
+	// it. Feasibility verdicts match the exhaustive run; a
+	// short-circuited row's WorstPDR/WorstScenario report the decisive
+	// witness rather than the exhaustive minimum. Gated results land in
+	// the suite's shared result cache, so don't reuse one suite across
+	// adaptive and exhaustive runs of the same study.
+	Adaptive bool
 
 	sweep     *exhaustive.Result
 	sweepProb *design.Problem

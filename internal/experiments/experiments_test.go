@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"hiopt/internal/design"
 	"hiopt/internal/engine"
 	"hiopt/internal/exhaustive"
+	"hiopt/internal/netsim"
 )
 
 // testFid is a minimal-cost fidelity for experiment plumbing tests; the
@@ -339,6 +341,92 @@ func TestR1TableRendersSelections(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "Star") {
 		t.Errorf("R1 output missing the selected topology:\n%s", b.String())
+	}
+}
+
+// TestRBAdaptiveMatchesExhaustiveVerdicts: the adaptive RB study must
+// reach the same nominal/robust feasibility verdicts as the exhaustive
+// one (at Runs = 1 the rep gate never fires, so evaluated scenarios are
+// bit-identical and only the family short-circuit differs) while
+// skipping at least a quarter of the scenario-family simulated seconds.
+func TestRBAdaptiveMatchesExhaustiveVerdicts(t *testing.T) {
+	ex, _ := newTestSuite()
+	exRes, err := ex.RB([]int{1}, 0.9, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, adBuf := newTestSuite()
+	ad.Adaptive = true
+	adRes, err := ad.RB([]int{1}, 0.9, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exRes) != 1 || len(adRes) != 1 {
+		t.Fatalf("want one result each, got %d and %d", len(exRes), len(adRes))
+	}
+	e, a := exRes[0], adRes[0]
+	if e.NominallyFeasible != a.NominallyFeasible || e.RobustFeasible != a.RobustFeasible {
+		t.Fatalf("verdict counts diverged: exhaustive %d/%d, adaptive %d/%d",
+			e.RobustFeasible, e.NominallyFeasible, a.RobustFeasible, a.NominallyFeasible)
+	}
+	if len(e.Rows) != len(a.Rows) {
+		t.Fatalf("row counts diverged: %d vs %d", len(e.Rows), len(a.Rows))
+	}
+	totalScen, evaluated := 0, 0
+	for i := range e.Rows {
+		er, ar := e.Rows[i], a.Rows[i]
+		if er.Point != ar.Point {
+			t.Fatalf("row %d: points diverged: %v vs %v", i, er.Point, ar.Point)
+		}
+		if er.RobustFeasible != ar.RobustFeasible {
+			t.Fatalf("row %d (%v): robust verdict flipped: %v vs %v",
+				i, er.Point, er.RobustFeasible, ar.RobustFeasible)
+		}
+		// A surviving family was evaluated in full, so its envelope is
+		// bit-identical; a sealed one reports a decisive witness, which
+		// must itself breach the bound.
+		if ar.RobustFeasible && (ar.WorstPDR != er.WorstPDR || ar.WorstScenario != er.WorstScenario) {
+			t.Fatalf("row %d (%v): surviving family's envelope diverged: %.6f/%q vs %.6f/%q",
+				i, er.Point, ar.WorstPDR, ar.WorstScenario, er.WorstPDR, er.WorstScenario)
+		}
+		if !ar.RobustFeasible && ar.WorstPDR >= 0.9-0.001 {
+			t.Fatalf("row %d (%v): sealed without a breaching witness (worst %.6f)", i, er.Point, ar.WorstPDR)
+		}
+		// k = 1 family size: one scenario per non-coordinator node.
+		n := er.Point.N()
+		if er.Point.Routing == netsim.Star {
+			n--
+		}
+		totalScen += n
+	}
+	if e.RobustBest == nil != (a.RobustBest == nil) {
+		t.Fatalf("robust choice existence diverged: %v vs %v", e.RobustBest, a.RobustBest)
+	}
+	if a.RobustBest != nil && a.RobustBest.Point != e.RobustBest.Point {
+		t.Fatalf("robust choice moved: %v vs %v", a.RobustBest.Point, e.RobustBest.Point)
+	}
+	out := adBuf.String()
+	if !strings.Contains(out, "scenario evaluations skipped") {
+		t.Fatalf("adaptive RB output missing the savings line:\n%s", out)
+	}
+	var skipped, runs int
+	var seconds float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "scenario evaluations skipped") {
+			if _, err := fmt.Sscanf(strings.TrimSpace(line),
+				"adaptive: %d scenario evaluations skipped — %d runs (%g s simulated) avoided",
+				&skipped, &runs, &seconds); err != nil {
+				t.Fatalf("cannot parse savings line %q: %v", line, err)
+			}
+		}
+	}
+	evaluated = totalScen - skipped
+	if skipped <= 0 || seconds <= 0 {
+		t.Fatalf("adaptive RB skipped nothing: %d scenarios, %g s", skipped, seconds)
+	}
+	if frac := float64(skipped) / float64(totalScen); frac < 0.25 {
+		t.Fatalf("adaptive RB skipped only %.1f%% of %d scenario evaluations (%d evaluated)",
+			100*frac, totalScen, evaluated)
 	}
 }
 

@@ -358,6 +358,14 @@ type RBResult struct {
 	RobustBest  *RBRow
 }
 
+// rbJob is one nominally feasible configuration's scenario family in the
+// RB comparison.
+type rbJob struct {
+	e         *exhaustive.Entry
+	cfg       netsim.Config
+	scenarios []*fault.Scenario
+}
+
 // RB runs the nominal-vs-robust Fig. 3-style comparison: every nominally
 // feasible configuration of the exhaustive sweep is re-simulated under
 // the k-node-failure scenario family (hard failures at a quarter of the
@@ -365,7 +373,10 @@ type RBResult struct {
 // energy storage) and judged on its worst-case PDR. The csvPath, when
 // non-empty, receives one row per (k, configuration). The k values
 // default to {1, 2} — the D'Andreagiovanni-style question "which nominal
-// designs survive one or two node losses?".
+// designs survive one or two node losses?". With Suite.Adaptive the
+// families are evaluated wave by wave and short-circuited on the first
+// decisive breach (see the Adaptive field's caveats); the avoided work is
+// reported alongside the engine stats.
 func (s *Suite) RB(ks []int, pdrMin float64, csvPath string) ([]*RBResult, error) {
 	if len(ks) == 0 {
 		ks = []int{1, 2}
@@ -385,18 +396,11 @@ func (s *Suite) RB(ks []int, pdrMin float64, csvPath string) ([]*RBResult, error
 	fmt.Fprintf(s.W, "RB — extension: nominal vs robust design under k-node failures (PDRmin=%s)\n", report.Pct(pdrMin))
 	var results []*RBResult
 	var csvRows [][]string
+	var skippedScen, skippedRuns int
+	var skippedSeconds float64
 	for _, k := range ks {
 		res := &RBResult{K: k, PDRMin: pdrMin}
-		// One batched engine pass per k: every nominally feasible entry's
-		// scenario family, flattened, then reduced per entry in family
-		// order (identical to a serial per-scenario walk).
-		type rbJob struct {
-			e         *exhaustive.Entry
-			scenarios []*fault.Scenario
-			base      int
-		}
 		var jobs []rbJob
-		var reqs []engine.Request
 		for i := range sweep.All {
 			e := &sweep.All[i]
 			if e.PDR < pdrMin-tol {
@@ -409,38 +413,21 @@ func (s *Suite) RB(ks []int, pdrMin float64, csvPath string) ([]*RBResult, error
 				exclude = cfg.CoordinatorLoc
 			}
 			scenarios := gen.KNodeFailures(e.Point.Locations(), exclude, k, pr.Duration)
-			jobs = append(jobs, rbJob{e: e, scenarios: scenarios, base: len(reqs)})
-			for _, sc := range scenarios {
-				c := cfg
-				c.Scenario = sc
-				reqs = append(reqs, engine.Request{
-					Cfg: c, Runs: pr.Runs, Seed: pr.Seed,
-					Key:   engine.ScenarioKey(e.Point.Key(), sc.Key()),
-					Label: fmt.Sprintf("%v under %s", e.Point, sc.Label()),
-				})
-			}
+			jobs = append(jobs, rbJob{e: e, cfg: cfg, scenarios: scenarios})
 		}
-		rres, err := eng.EvaluateBatch(reqs, nil)
+		var rows []RBRow
+		var err error
+		if s.Adaptive {
+			rows, err = s.rbAdaptive(eng, pr, jobs, k, pdrMin, tol, &skippedScen, &skippedRuns, &skippedSeconds)
+		} else {
+			rows, err = s.rbExhaustive(eng, pr, jobs, k, pdrMin, tol)
+		}
 		if err != nil {
 			return nil, err
 		}
-		for _, job := range jobs {
-			e := job.e
-			row := RBRow{
-				K: k, Point: e.Point,
-				NominalPDR: e.PDR, WorstPDR: e.PDR,
-				NominalNLTDays: e.NLTDays, WorstNLTDays: e.NLTDays,
-				PowerMW: e.PowerMW,
-			}
-			for si, sc := range job.scenarios {
-				r := rres[job.base+si]
-				if r.PDR < row.WorstPDR {
-					row.WorstPDR = r.PDR
-					row.WorstScenario = sc.Label()
-				}
-				row.WorstNLTDays = minF(row.WorstNLTDays, r.NLTDays)
-			}
-			row.RobustFeasible = row.WorstPDR >= pdrMin-tol
+		for ji := range rows {
+			row := rows[ji]
+			e := jobs[ji].e
 			if row.RobustFeasible {
 				res.RobustFeasible++
 			}
@@ -484,6 +471,10 @@ func (s *Suite) RB(ks []int, pdrMin float64, csvPath string) ([]*RBResult, error
 		describe("robust choice", res.RobustBest)
 		report.Table(s.W, []string{"design rule", "configuration", "nominal PDR", "worst PDR", "worst scenario"}, tbl)
 	}
+	if s.Adaptive {
+		fmt.Fprintf(s.W, "  adaptive: %d scenario evaluations skipped — %d runs (%.6g s simulated) avoided\n",
+			skippedScen, skippedRuns, skippedSeconds)
+	}
 	fmt.Fprintf(s.W, "  engine: %s\n", eng.Stats().Sub(engStart))
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
@@ -499,4 +490,122 @@ func (s *Suite) RB(ks []int, pdrMin float64, csvPath string) ([]*RBResult, error
 		fmt.Fprintf(s.W, "  nominal-vs-robust comparison written to %s\n", csvPath)
 	}
 	return results, nil
+}
+
+// rbRow seeds one configuration's comparison row with its nominal
+// metrics.
+func rbRow(k int, e *exhaustive.Entry) RBRow {
+	return RBRow{
+		K: k, Point: e.Point,
+		NominalPDR: e.PDR, WorstPDR: e.PDR,
+		NominalNLTDays: e.NLTDays, WorstNLTDays: e.NLTDays,
+		PowerMW: e.PowerMW,
+	}
+}
+
+// fold merges one scenario result into the row's worst-case envelope.
+func (row *RBRow) fold(sc *fault.Scenario, r *netsim.Result) {
+	if r.PDR < row.WorstPDR {
+		row.WorstPDR = r.PDR
+		row.WorstScenario = sc.Label()
+	}
+	row.WorstNLTDays = minF(row.WorstNLTDays, r.NLTDays)
+}
+
+// rbExhaustive evaluates every family in full as one flat engine batch,
+// then reduces per family in scenario order — identical to a serial
+// per-scenario walk.
+func (s *Suite) rbExhaustive(eng *engine.Engine, pr *design.Problem, jobs []rbJob, k int, pdrMin, tol float64) ([]RBRow, error) {
+	var reqs []engine.Request
+	base := make([]int, len(jobs))
+	for ji, job := range jobs {
+		base[ji] = len(reqs)
+		for _, sc := range job.scenarios {
+			c := job.cfg
+			c.Scenario = sc
+			reqs = append(reqs, engine.Request{
+				Cfg: c, Runs: pr.Runs, Seed: pr.Seed,
+				Key:   engine.ScenarioKey(job.e.Point.Key(), sc.Key()),
+				Label: fmt.Sprintf("%v under %s", job.e.Point, sc.Label()),
+			})
+		}
+	}
+	rres, err := eng.EvaluateBatch(reqs, nil)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RBRow, len(jobs))
+	for ji, job := range jobs {
+		row := rbRow(k, job.e)
+		for si, sc := range job.scenarios {
+			row.fold(sc, rres[base[ji]+si])
+		}
+		row.RobustFeasible = row.WorstPDR >= pdrMin-tol
+		rows[ji] = row
+	}
+	return rows, nil
+}
+
+// rbAdaptive evaluates the families wave by wave: wave w batches every
+// undecided family's w-th scenario, each replication-gated against the
+// bound, and a family short-circuits as soon as one scenario decisively
+// breaches it — its remaining scenarios can only deepen a worst case
+// that is already below the bound, so the feasibility verdict matches
+// rbExhaustive's. Skipped scenarios are credited at the full replication
+// budget through the skipped counters.
+func (s *Suite) rbAdaptive(eng *engine.Engine, pr *design.Problem, jobs []rbJob, k int, pdrMin, tol float64,
+	skippedScen, skippedRuns *int, skippedSeconds *float64) ([]RBRow, error) {
+	rows := make([]RBRow, len(jobs))
+	sealed := make([]bool, len(jobs))
+	for ji, job := range jobs {
+		rows[ji] = rbRow(k, job.e)
+	}
+	gate := &netsim.Gate{PDRMin: pdrMin, Margin: tol}
+	runs := max(1, pr.Runs)
+	maxFam := 0
+	for _, job := range jobs {
+		maxFam = max(maxFam, len(job.scenarios))
+	}
+	for wave := 0; wave < maxFam; wave++ {
+		var reqs []engine.Request
+		var idxs []int
+		for ji, job := range jobs {
+			if sealed[ji] || wave >= len(job.scenarios) {
+				continue
+			}
+			sc := job.scenarios[wave]
+			c := job.cfg
+			c.Scenario = sc
+			reqs = append(reqs, engine.Request{
+				Cfg: c, Runs: pr.Runs, Seed: pr.Seed,
+				Key:      engine.ScenarioKey(job.e.Point.Key(), sc.Key()),
+				Label:    fmt.Sprintf("%v under %s", job.e.Point, sc.Label()),
+				Adaptive: gate,
+			})
+			idxs = append(idxs, ji)
+		}
+		if len(reqs) == 0 {
+			break
+		}
+		rres, err := eng.EvaluateBatch(reqs, nil)
+		if err != nil {
+			return nil, err
+		}
+		for ri, ji := range idxs {
+			job := jobs[ji]
+			sc := job.scenarios[wave]
+			rows[ji].fold(sc, rres[ri])
+			if rres[ri].PDR < pdrMin-tol {
+				sealed[ji] = true
+				skip := len(job.scenarios) - wave - 1
+				*skippedScen += skip
+				*skippedRuns += skip * runs
+				*skippedSeconds += float64(skip*runs) * pr.Duration
+			}
+		}
+	}
+	for ji := range rows {
+		rows[ji].RobustFeasible = rows[ji].WorstPDR >= pdrMin-tol
+	}
+	return rows, nil
 }

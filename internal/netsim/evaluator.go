@@ -1,10 +1,7 @@
 package netsim
 
 import (
-	"math"
-
 	"hiopt/internal/des"
-	"hiopt/internal/phys"
 )
 
 // Evaluator amortizes simulation infrastructure across runs: it owns one
@@ -70,43 +67,39 @@ func (ev *Evaluator) RunAveraged(cfg Config, runs int, seed uint64) (*Result, er
 		if err := ev.runInto(cfg, seed+uint64(r), &ev.scratch); err != nil {
 			return nil, err
 		}
-		res := &ev.scratch
-		ev.pdrs = append(ev.pdrs, res.PDR)
-		acc.PDR += res.PDR
-		for i := range acc.NodePDR {
-			acc.NodePDR[i] += res.NodePDR[i]
-			acc.NodePower[i] += res.NodePower[i]
-		}
-		acc.MaxPower += res.MaxPower
-		acc.Sent += res.Sent
-		acc.Delivered += res.Delivered
-		acc.TxCount += res.TxCount
-		acc.RxClean += res.RxClean
-		acc.RxCorrupt += res.RxCorrupt
-		acc.Collisions += res.Collisions
-		acc.MACDrops += res.MACDrops
-		acc.Events += res.Events
-		acc.MeanLatency += res.MeanLatency
-		acc.P95Latency = math.Max(acc.P95Latency, res.P95Latency)
-		acc.MaxLatency = math.Max(acc.MaxLatency, res.MaxLatency)
+		ev.pdrs = append(ev.pdrs, ev.scratch.PDR)
+		acc.Accumulate(&ev.scratch)
 	}
-	if runs > 1 {
-		f := 1 / float64(runs)
-		acc.PDR *= f
-		for i := range acc.NodePDR {
-			acc.NodePDR[i] *= f
-			acc.NodePower[i] = phys.MilliWatt(float64(acc.NodePower[i]) * f)
-		}
-		acc.MaxPower = phys.MilliWatt(float64(acc.MaxPower) * f)
-		acc.NLTSeconds = phys.LifetimeSeconds(cfg.BatteryJ, acc.MaxPower)
-		acc.NLTDays = phys.Days(acc.NLTSeconds)
-		acc.MeanLatency *= f
-		var sq float64
-		for _, p := range ev.pdrs {
-			d := p - acc.PDR
-			sq += d * d
-		}
-		acc.PDRStdDev = math.Sqrt(sq / float64(runs-1))
-	}
+	acc.Finalize(runs, cfg.BatteryJ, ev.pdrs)
 	return acc, nil
+}
+
+// RunAdaptive runs the configuration like RunAveraged but treats `runs`
+// as a replication *budget*: after each replication (from the gate's
+// MinRuns on) the accumulated PDR samples are tested against the gate,
+// and the loop stops as soon as the confidence interval settles which
+// side of the gate's band the configuration is on. Replications keep the
+// sequential derived seeds (seed, seed+1, ...), so a gate that never
+// decides reproduces RunAveraged bit-for-bit. Returns the averaged
+// Result over however many replications actually ran, and that count.
+func (ev *Evaluator) RunAdaptive(cfg Config, runs int, seed uint64, gate Gate) (*Result, int, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	acc, err := ev.Run(cfg, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	ev.pdrs = append(ev.pdrs[:0], acc.PDR)
+	ran := 1
+	for r := 1; r < runs && !gate.Decided(ev.pdrs); r++ {
+		if err := ev.runInto(cfg, seed+uint64(r), &ev.scratch); err != nil {
+			return nil, 0, err
+		}
+		ev.pdrs = append(ev.pdrs, ev.scratch.PDR)
+		acc.Accumulate(&ev.scratch)
+		ran++
+	}
+	acc.Finalize(ran, cfg.BatteryJ, ev.pdrs)
+	return acc, ran, nil
 }

@@ -653,6 +653,7 @@ func (n *Network) collectInto(res *Result, lats []float64) []float64 {
 	*res = Result{
 		Locations:  append(res.Locations[:0], cfg.Locations...),
 		Duration:   cfg.Duration,
+		Runs:       1,
 		NodePDR:    nodePDR[:N],
 		NodePower:  nodePower[:N],
 		Collisions: n.collisions,
@@ -758,6 +759,10 @@ type Result struct {
 	// callers judge whether a configuration sits within noise of a
 	// reliability bound.
 	PDRStdDev float64
+	// Runs is the number of replications averaged into this Result (1 for
+	// a single simulation); with PDRStdDev it sizes the confidence
+	// interval of PDRHalfWidth.
+	Runs int
 }
 
 // Run is the convenience one-shot: build a network and run it.
