@@ -27,7 +27,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/exhaustive/ ./internal/netsim/ ./internal/fault/ ./internal/lp/ ./internal/milp/
+	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/exhaustive/ ./internal/netsim/ ./internal/fault/ ./internal/lp/ ./internal/lp/presolve/ ./internal/milp/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -53,9 +53,12 @@ robust-smoke:
 	$(GO) run ./cmd/hisim -locs 0,1,3,6 -routing star -mac tdma -tx 0 -duration 60 -faults knode=1
 
 # The warm-started MILP kernel gate: the warm-vs-cold equivalence property
-# tests (randomized bound/cut mutations in internal/lp, pool enumeration
-# across pruning cuts in internal/milp) plus the paper-chain pivot-budget
-# check in internal/core.
+# tests on BOTH kernels (randomized bound/cut mutations in internal/lp,
+# pool enumeration across pruning cuts in internal/milp), the presolve
+# pool-preservation property, the parallel-dive determinism tests under
+# the race detector, plus the paper-chain pivot-budget check in
+# internal/core.
 milp-smoke:
-	$(GO) test -race -count=1 ./internal/lp/ ./internal/milp/
-	$(GO) test -count=1 -run 'TestPaperChainWarmMatchesCold|TestWarmPoolDeepChainComplete|TestRunWarmMatchesColdMILP' -v ./internal/core/
+	$(GO) test -race -count=1 ./internal/lp/ ./internal/lp/presolve/ ./internal/milp/
+	$(GO) test -race -count=1 -run 'TestParallelPool' -v ./internal/milp/
+	$(GO) test -count=1 -run 'TestPaperChainWarmMatchesCold|TestWarmPoolDeepChainComplete|TestRunWarmMatchesColdMILP|TestPaperChainKernelModes' -v ./internal/core/

@@ -16,6 +16,7 @@ import (
 	"hiopt/internal/engine"
 	"hiopt/internal/fault"
 	"hiopt/internal/linexpr"
+	"hiopt/internal/lp/presolve"
 	"hiopt/internal/milp"
 	"hiopt/internal/netsim"
 	"hiopt/internal/phys"
@@ -97,6 +98,10 @@ func writeBenchJSON(path string, expSeconds map[string]float64) error {
 			"engine_adaptive_screen": measure(benchEngineAdaptiveScreen),
 			"milp_pool":              measure(benchMILPPoolWarm),
 			"milp_pool_cold":         measure(benchMILPPoolCold),
+			"milp_sparse_pool":       measure(benchMILPSparsePool),
+			"milp_dense_m40":         measure(benchMILPDenseM40),
+			"milp_presolve":          measure(benchMILPPresolve),
+			"milp_parallel_bb":       measure(benchMILPParallelBB),
 		},
 		ExperimentSeconds: expSeconds,
 	}
@@ -396,5 +401,88 @@ func benchMILPPool(b *testing.B, warm bool) {
 		nodes += n
 	}
 	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+}
+
+// genM40Pool is the kernel-scaling workload shared by milp_sparse_pool
+// and milp_dense_m40: one full SolvePool on the committed M=40 generator
+// instance (318 vars, ~730 rows). Dividing ns/op by pivots/op gives the
+// per-pivot cost of each kernel at a size where the dense tableau's
+// O(rows x cols) pivot update dominates.
+func genM40Pool(b *testing.B, opt milp.Options) {
+	b.ReportAllocs()
+	base := milp.GenInstance(40, 1)
+	var pivots int
+	for i := 0; i < b.N; i++ {
+		pool, agg, err := milp.NewState(base.Clone(), opt).SolvePool(0, 1e-6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Status != milp.Optimal || len(pool) == 0 {
+			b.Fatalf("status %v, %d members", agg.Status, len(pool))
+		}
+		pivots += agg.LPIterations
+	}
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+}
+
+// benchMILPSparsePool: the M=40 pool solve on the sparse revised-simplex
+// kernel (the warm-state default).
+func benchMILPSparsePool(b *testing.B) { genM40Pool(b, milp.Options{}) }
+
+// benchMILPDenseM40: the same M=40 pool solve on the dense tableau
+// kernel — the baseline the sparse kernel's >=2x per-pivot claim is
+// measured against.
+func benchMILPDenseM40(b *testing.B) { genM40Pool(b, milp.Options{DenseLP: true}) }
+
+// benchMILPPresolve: one Analyze+Apply presolve pass over the M=40
+// instance per op. On this instance the fixpoint fixes the over-budget
+// count indicators and cascades through their product linearizations
+// (~140 vars), drops the spent budget row, and tightens the conflict
+// rows.
+func benchMILPPresolve(b *testing.B) {
+	b.ReportAllocs()
+	base := milp.GenInstance(40, 1)
+	var fixed, dropped, tightened int
+	for i := 0; i < b.N; i++ {
+		p := base.Clone()
+		red := presolve.Analyze(p)
+		st := red.Apply(p)
+		fixed += st.FixedVars
+		dropped += st.DroppedRows
+		tightened += st.TightenedCoefs
+	}
+	b.ReportMetric(float64(fixed)/float64(b.N), "fixed/op")
+	b.ReportMetric(float64(dropped)/float64(b.N), "dropped/op")
+	b.ReportMetric(float64(tightened)/float64(b.N), "tightened/op")
+}
+
+// benchMILPParallelBB: the paper-instance warm pool chain with B&B
+// subtree dives fanned across GOMAXPROCS workers. The enumerated pools
+// are bit-identical to the sequential ones; ns/op vs milp_pool is the
+// recorded payoff (or cost) of the fan-out on M=10-sized trees.
+func benchMILPParallelBB(b *testing.B) {
+	b.ReportAllocs()
+	var dives, nodes int
+	for i := 0; i < b.N; i++ {
+		work, obj, err := core.CompileMILP(design.PaperProblem(0.9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := milp.NewState(work, milp.Options{Workers: runtime.GOMAXPROCS(0)})
+		for iter := 0; iter < 3; iter++ {
+			pool, agg, err := st.SolvePool(0, 1e-6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if agg.Status != milp.Optimal || len(pool) == 0 {
+				b.Fatalf("iter %d: status %v, %d members", iter, agg.Status, len(pool))
+			}
+			dives += agg.ParallelDives
+			nodes += agg.Nodes
+			work.AddExprRow(fmt.Sprintf("prune_%d", iter), obj, linexpr.GE, agg.Objective+1e-4)
+		}
+	}
+	b.ReportMetric(float64(dives)/float64(b.N), "dives/op")
 	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
 }

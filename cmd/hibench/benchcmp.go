@@ -8,10 +8,12 @@ import (
 	"sort"
 )
 
-// regressionThreshold is the relative ns_per_op increase over the old
-// baseline that compareBench flags as a regression (10%). Micro-benchmark
-// noise on a quiet machine sits well under this; anything above it is a
-// real slowdown worth a look.
+// regressionThreshold is the relative increase over the old baseline
+// that compareBench flags as a regression (10%), applied uniformly to
+// ns_per_op, allocs_per_op, and bytes_per_op. Micro-benchmark noise on
+// a quiet machine sits well under this for timings, and allocation
+// counts are near-deterministic; anything above it is a real cost worth
+// a look.
 const regressionThreshold = 0.10
 
 // readBenchFile loads one -benchjson output (e.g. BENCH_simcore.json).
@@ -30,9 +32,19 @@ func readBenchFile(path string) (*benchFile, error) {
 	return &bf, nil
 }
 
+// relDelta returns new/old - 1, treating a zero or negative old value as
+// no change (nothing meaningful to regress against).
+func relDelta(oldV, newV float64) float64 {
+	if oldV <= 0 {
+		return 0
+	}
+	return newV/oldV - 1
+}
+
 // compareBench diffs two -benchjson files benchmark by benchmark and
-// writes a delta table to w. It returns the names of the benchmarks whose
-// ns_per_op regressed by more than regressionThreshold. Benchmarks
+// writes a delta table to w — ns/op, allocs/op, and B/op columns, each
+// gated at the same threshold. It returns the names of the benchmarks
+// that regressed on any metric, annotated with the metric. Benchmarks
 // present in only one file are reported but never counted as regressions
 // (additions and removals are deliberate).
 func compareBench(oldBF, newBF *benchFile, w io.Writer) []string {
@@ -42,24 +54,36 @@ func compareBench(oldBF, newBF *benchFile, w io.Writer) []string {
 	}
 	sort.Strings(names)
 	var regressed []string
-	fmt.Fprintf(w, "%-24s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-24s %12s %12s %8s %10s %8s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs/op", "delta", "B/op", "delta")
 	for _, name := range names {
 		ne := newBF.Benchmarks[name]
 		oe, ok := oldBF.Benchmarks[name]
 		if !ok {
-			fmt.Fprintf(w, "%-24s %14s %14.0f %8s\n", name, "—", ne.NsPerOp, "new")
+			fmt.Fprintf(w, "%-24s %12s %12.0f %8s %10d %8s %12d %8s\n",
+				name, "—", ne.NsPerOp, "new", ne.AllocsPerOp, "", ne.BytesPerOp, "")
 			continue
 		}
-		delta := 0.0
-		if oe.NsPerOp > 0 {
-			delta = ne.NsPerOp/oe.NsPerOp - 1
+		dNs := relDelta(oe.NsPerOp, ne.NsPerOp)
+		dAllocs := relDelta(float64(oe.AllocsPerOp), float64(ne.AllocsPerOp))
+		dBytes := relDelta(float64(oe.BytesPerOp), float64(ne.BytesPerOp))
+		var marks []string
+		if dNs > regressionThreshold {
+			marks = append(marks, "ns/op")
+		}
+		if dAllocs > regressionThreshold {
+			marks = append(marks, "allocs/op")
+		}
+		if dBytes > regressionThreshold {
+			marks = append(marks, "B/op")
 		}
 		mark := ""
-		if delta > regressionThreshold {
+		if len(marks) > 0 {
 			mark = "  REGRESSION"
-			regressed = append(regressed, name)
+			regressed = append(regressed, fmt.Sprintf("%s(%s)", name, joinComma(marks)))
 		}
-		fmt.Fprintf(w, "%-24s %14.0f %14.0f %+7.1f%%%s\n", name, oe.NsPerOp, ne.NsPerOp, 100*delta, mark)
+		fmt.Fprintf(w, "%-24s %12.0f %12.0f %+7.1f%% %10d %+7.1f%% %12d %+7.1f%%%s\n",
+			name, oe.NsPerOp, ne.NsPerOp, 100*dNs, ne.AllocsPerOp, 100*dAllocs, ne.BytesPerOp, 100*dBytes, mark)
 	}
 	var dropped []string
 	for name := range oldBF.Benchmarks {
@@ -69,13 +93,24 @@ func compareBench(oldBF, newBF *benchFile, w io.Writer) []string {
 	}
 	sort.Strings(dropped)
 	for _, name := range dropped {
-		fmt.Fprintf(w, "%-24s %14.0f %14s %8s\n", name, oldBF.Benchmarks[name].NsPerOp, "—", "gone")
+		fmt.Fprintf(w, "%-24s %12.0f %12s %8s\n", name, oldBF.Benchmarks[name].NsPerOp, "—", "gone")
 	}
 	return regressed
 }
 
+func joinComma(s []string) string {
+	out := ""
+	for i, v := range s {
+		if i > 0 {
+			out += ","
+		}
+		out += v
+	}
+	return out
+}
+
 // runBenchCmp is the -cmp entry point: diff OLD and NEW benchmark JSON
-// files and exit non-zero when any ns_per_op regressed beyond the
+// files and exit non-zero when any metric regressed beyond the
 // threshold.
 func runBenchCmp(oldPath, newPath string) {
 	oldBF, err := readBenchFile(oldPath)
@@ -94,5 +129,5 @@ func runBenchCmp(oldPath, newPath string) {
 			len(regressed), 100*regressionThreshold, regressed)
 		os.Exit(1)
 	}
-	fmt.Printf("no ns/op regressions beyond %.0f%%\n", 100*regressionThreshold)
+	fmt.Printf("no ns/op, allocs/op, or B/op regressions beyond %.0f%%\n", 100*regressionThreshold)
 }

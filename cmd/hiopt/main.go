@@ -16,6 +16,7 @@ import (
 
 	"hiopt/internal/core"
 	"hiopt/internal/design"
+	"hiopt/internal/lp"
 	"hiopt/internal/report"
 )
 
@@ -31,7 +32,10 @@ func main() {
 		twoStage = flag.Bool("twostage", false, "screen clearly-infeasible candidates with short simulations")
 		adaptive = flag.Bool("adaptive", false, "confidence-gated early replication stopping in the screening and robust stages (savings shown in the engine stats)")
 		verbose  = flag.Bool("v", false, "print per-iteration progress")
+		denseLP  = flag.Bool("densemilp", false, "use the dense-tableau LP kernel inside the MILP oracle (A/B baseline; pools are identical)")
+		milpWrk  = flag.Int("milpworkers", 0, "fan MILP pool enumeration across this many subtree dive workers (0 = sequential; pools are bit-identical)")
 		lpOut    = flag.String("lp", "", "write the MILP relaxation P̃ in CPLEX LP format to this file and exit")
+		mpsOut   = flag.String("mps", "", "write the MILP relaxation P̃ in free MPS format to this file and exit")
 	)
 	flag.Parse()
 
@@ -58,8 +62,28 @@ func main() {
 		fmt.Printf("MILP relaxation written to %s\n", *lpOut)
 		return
 	}
+	if *mpsOut != "" {
+		comp, _, err := core.CompileMILP(pr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiopt:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*mpsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiopt:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := lp.WriteMPS(f, comp, "hiopt"); err != nil {
+			fmt.Fprintln(os.Stderr, "hiopt:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("MILP relaxation written to %s (MPS)\n", *mpsOut)
+		return
+	}
 
-	opts := core.Options{PoolLimit: *pool, DisableAlphaBound: *noAlpha, TwoStage: *twoStage, AdaptiveReps: *adaptive}
+	opts := core.Options{PoolLimit: *pool, DisableAlphaBound: *noAlpha, TwoStage: *twoStage, AdaptiveReps: *adaptive,
+		DenseMILP: *denseLP, MILPWorkers: *milpWrk}
 	if *verbose {
 		opts.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -76,8 +100,10 @@ func main() {
 	fmt.Printf("status:       %s\n", out.Status)
 	fmt.Printf("iterations:   %d\n", len(out.Iterations))
 	fmt.Printf("evaluations:  %d configurations (%d simulator runs)\n", out.Evaluations, out.Simulations)
-	fmt.Printf("MILP effort:  %d B&B nodes, %d LP pivots (%d warm re-solves, %d cold rebuilds)\n",
-		out.MILPNodes, out.LPIterations, out.MILPWarmSolves, out.MILPColdSolves)
+	fmt.Printf("MILP effort:  %d B&B nodes, %d LP pivots (%d warm re-solves, %d cold rebuilds, %d refactorizations)\n",
+		out.MILPNodes, out.LPIterations, out.MILPWarmSolves, out.MILPColdSolves, out.MILPRefactorizations)
+	fmt.Printf("presolve:     %d vars fixed, %d rows dropped, %d coefs tightened; %d parallel dives\n",
+		out.PresolveFixedVars, out.PresolveDroppedRows, out.PresolveTightenedCoefs, out.MILPParallelDives)
 	fmt.Printf("engine:       %s\n", out.Engine)
 	fmt.Printf("α-terminated: %v\n", out.TerminatedByAlpha)
 	fmt.Printf("wall time:    %s\n", elapsed.Round(time.Millisecond))

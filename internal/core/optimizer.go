@@ -107,6 +107,17 @@ type Outcome struct {
 	LPIterations   int
 	MILPWarmSolves int
 	MILPColdSolves int
+	// MILPRefactorizations counts sparse-basis LU rebuilds inside the
+	// warm kernel (0 under ColdMILP or DenseMILP). PresolveFixedVars,
+	// PresolveDroppedRows and PresolveTightenedCoefs report the one-time
+	// presolve reductions applied when the warm state was built.
+	// MILPParallelDives counts the disjoint subtree dives fanned across
+	// workers by pool enumeration (0 unless MILPWorkers >= 1).
+	MILPRefactorizations   int
+	PresolveFixedVars      int
+	PresolveDroppedRows    int
+	PresolveTightenedCoefs int
+	MILPParallelDives      int
 	// TerminatedByAlpha reports whether the α bound (line 5 of
 	// Algorithm 1) stopped the search before MILP exhaustion.
 	TerminatedByAlpha bool
@@ -129,6 +140,18 @@ type Options struct {
 	// result is identical; this exists for A/B benchmarking and as an
 	// escape hatch.
 	ColdMILP bool
+	// DenseMILP forces the dense-tableau LP kernel inside the warm MILP
+	// state instead of the size-based automatic choice (dense at the
+	// paper's ~100-row scale, sparse revised simplex above ~400
+	// rows+vars). The pools are identical; this is the correctness
+	// oracle and A/B baseline for the sparse kernel. Ignored under
+	// ColdMILP (the clone-based kernel has its own tableau).
+	DenseMILP bool
+	// MILPWorkers fans branch-and-bound pool enumeration across this many
+	// subtree dive workers (0 = sequential single-tree enumeration). The
+	// enumerated pool is bit-identical for every value >= 1 and equal as
+	// a set to the sequential pool. Ignored under ColdMILP or PoolLimit.
+	MILPWorkers int
 	// DisableAlphaBound turns off the line-5 early termination (used by
 	// the ablation study; the algorithm then runs until MILP exhaustion).
 	DisableAlphaBound bool
@@ -350,7 +373,10 @@ func (o *Optimizer) Run() (*Outcome, error) {
 	// its live tableau instead of forcing a from-scratch tree.
 	var milpState *milp.State
 	if !o.Options.ColdMILP {
-		milpState = milp.NewState(work, milp.Options{})
+		milpState = milp.NewState(work, milp.Options{
+			DenseLP: o.Options.DenseMILP,
+			Workers: o.Options.MILPWorkers,
+		})
 	}
 	pMin := math.Inf(1) // P̄_min: best simulated power of a feasible config
 	progress := o.Options.Progress
@@ -385,6 +411,11 @@ func (o *Optimizer) Run() (*Outcome, error) {
 		out.LPIterations += agg.LPIterations
 		out.MILPWarmSolves += agg.WarmSolves
 		out.MILPColdSolves += agg.ColdSolves
+		out.MILPRefactorizations += agg.Refactorizations
+		out.MILPParallelDives += agg.ParallelDives
+		out.PresolveFixedVars = agg.PresolveFixed
+		out.PresolveDroppedRows = agg.PresolveDropped
+		out.PresolveTightenedCoefs = agg.PresolveTightened
 
 		if agg.Status != milp.Optimal || len(pool) == 0 {
 			// Line 4/5: no further candidates. Either infeasible overall

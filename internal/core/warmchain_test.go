@@ -218,3 +218,74 @@ func TestRunWarmMatchesColdMILP(t *testing.T) {
 			cold.MILPWarmSolves, cold.MILPColdSolves)
 	}
 }
+
+// TestPaperChainKernelModes re-runs the pinned three-iteration paper
+// chain under every kernel and worker mode the warm state supports —
+// sparse revised simplex, dense tableau, and parallel subtree dives —
+// and requires the exact pinned objectives and identical pool sets
+// from all of them. This is the cross-kernel acceptance gate: neither
+// the sparse kernel, presolve, nor the parallel enumeration may move a
+// single pool member on the paper problem.
+func TestPaperChainKernelModes(t *testing.T) {
+	wantObj := []float64{1.004296875, 1.02, 1.07265625}
+	wantPool := []int{16, 16, 16}
+
+	modes := []struct {
+		name string
+		opt  milp.Options
+	}{
+		{"auto", milp.Options{}},
+		{"sparse", milp.Options{SparseLP: true}},
+		{"dense", milp.Options{DenseLP: true}},
+		{"sparse_w1", milp.Options{SparseLP: true, Workers: 1}},
+		{"sparse_w4", milp.Options{SparseLP: true, Workers: 4}},
+		{"dense_w4", milp.Options{DenseLP: true, Workers: 4}},
+	}
+	var ref [][]string
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			pr := design.PaperProblem(0.9)
+			mm, err := buildMILP(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			work := mm.model.Compile()
+			st := milp.NewState(work, mode.opt)
+			var keys [][]string
+			for iter := 0; iter < len(wantObj); iter++ {
+				pool, agg, err := st.SolvePool(0, 1e-6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if agg.Status != milp.Optimal {
+					t.Fatalf("iter %d: status %v", iter, agg.Status)
+				}
+				if math.Abs(agg.Objective-wantObj[iter]) > 1e-9 {
+					t.Fatalf("iter %d: obj %.10g, pinned %.10g", iter, agg.Objective, wantObj[iter])
+				}
+				if len(pool) != wantPool[iter] {
+					t.Fatalf("iter %d: %d pool members, pinned %d", iter, len(pool), wantPool[iter])
+				}
+				for i, ps := range pool {
+					if err := milp.CheckFeasible(work, ps.X, 1e-6); err != nil {
+						t.Fatalf("iter %d member %d: %v", iter, i, err)
+					}
+				}
+				keys = append(keys, sortedKeys(work, pool))
+				work.AddExprRow(fmt.Sprintf("prune_%d", iter), mm.objective, linexpr.GE, agg.Objective+1e-4)
+			}
+			if ref == nil {
+				ref = keys
+				return
+			}
+			for i := range keys {
+				for k := range keys[i] {
+					if keys[i][k] != ref[i][k] {
+						t.Fatalf("iter %d: pool member %d differs from reference mode: %s vs %s",
+							i, k, keys[i][k], ref[i][k])
+					}
+				}
+			}
+		})
+	}
+}

@@ -407,18 +407,9 @@ func (e *Engine) EvaluateBatch(reqs []Request, onDone func(done, total int)) ([]
 	}
 
 	if len(b.tasks) > 0 {
-		nw := min(e.workers, len(b.tasks))
-		var next atomic.Int64
-		next.Store(-1)
-		var wg sync.WaitGroup
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				b.worker(&next)
-			}()
-		}
-		wg.Wait()
+		RunDrain(e.workers, len(b.tasks), func(claim func() int) {
+			b.worker(claim)
+		})
 	}
 
 	if len(b.errs) > 0 {
@@ -426,6 +417,53 @@ func (e *Engine) EvaluateBatch(reqs []Request, onDone func(done, total int)) ([]
 		return nil, errors.Join(b.errs...)
 	}
 	return b.results, nil
+}
+
+// RunDrain fans n index-addressed tasks over min(workers, n) goroutines.
+// Each worker receives a claim function handing out indices 0..n-1 from a
+// shared monotone counter (-1 when drained), so per-worker setup (e.g.
+// checking out an evaluator, cloning a solver) happens once per worker
+// while task pickup stays load-balanced. RunDrain returns when all
+// workers have drained. workers <= 1 still runs on one spawned worker,
+// preserving identical code paths for every pool size; which worker runs
+// which index is scheduling-dependent, so determinism of the overall
+// result must come from indexed output slots, not execution order.
+func RunDrain(workers, n int, worker func(claim func() int)) {
+	if n <= 0 {
+		return
+	}
+	nw := min(workers, n)
+	if nw < 1 {
+		nw = 1
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	claim := func() int {
+		t := int(next.Add(1))
+		if t >= n {
+			return -1
+		}
+		return t
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(claim)
+		}()
+	}
+	wg.Wait()
+}
+
+// RunIndexed runs fn for every index 0..n-1 across min(workers, n)
+// goroutines, the per-task convenience form of RunDrain.
+func RunIndexed(workers, n int, fn func(i int)) {
+	RunDrain(workers, n, func(claim func() int) {
+		for i := claim(); i >= 0; i = claim() {
+			fn(i)
+		}
+	})
 }
 
 // finish records one completed request and reports progress.
@@ -445,13 +483,13 @@ func (b *batch) finish(i int, res *netsim.Result) {
 // counter is monotone, so by the time a worker blocks on a wait, every
 // leader sub-task is either done or actively running on another worker
 // (a worker never holds an unfinished sub-task while blocked).
-func (b *batch) worker(next *atomic.Int64) {
+func (b *batch) worker(claim func() int) {
 	e := b.e
 	ev := <-e.evals
 	defer func() { e.evals <- ev }()
 	for {
-		t := int(next.Add(1))
-		if t >= len(b.tasks) {
+		t := claim()
+		if t < 0 {
 			return
 		}
 		tk := b.tasks[t]

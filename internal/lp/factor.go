@@ -1,0 +1,320 @@
+// Sparse LU machinery behind the revised-simplex SparseSolver: a
+// Markowitz-ordered LU factorization of the basis matrix, forward/backward
+// transformations (FTRAN/BTRAN) through it, and a product-form eta file
+// for the pivots performed since the last refactorization — the
+// Bartels–Golub lineage of basis maintenance, sized for the mostly-slack,
+// 2–5-nonzeros-per-column bases Algorithm 1's MILP relaxations produce.
+//
+// The factorization records the Gaussian elimination of B column by
+// column: pivots are chosen singleton-first (a row that appears in one
+// remaining column, or a column with one remaining row, eliminates with
+// zero fill), falling back to a Markowitz (r−1)(c−1) score with a
+// relative stability threshold for the tiny dense bump that remains. The
+// result is kept in row space throughout:
+//
+//	B = P · L · U        (P the pivot-order permutation)
+//
+// with L unit-lower as per-step multiplier columns and U as per-step
+// sparse columns plus a diagonal. Simplex pivots append eta vectors on
+// top (B_k = B_{k−1} · F_k with F_k an elementary column matrix), so
+//
+//	FTRAN:  B⁻¹b = F_K⁻¹ ··· F_1⁻¹ · (LU-solve of b)
+//	BTRAN:  B⁻ᵀc = LU-transpose-solve of (F_1⁻ᵀ ··· F_K⁻ᵀ c)
+//
+// and a refactorization simply drops the eta file and re-runs the
+// elimination on the current basis columns.
+package lp
+
+import "errors"
+
+// errSingularBasis reports a basis the elimination could not complete
+// within the stability threshold; callers recover with a cold all-slack
+// rebuild.
+var errSingularBasis = errors.New("lp: singular basis factorization")
+
+// colEntry is one nonzero of a sparse column in row space.
+type colEntry struct {
+	row int32
+	val float64
+}
+
+// eta is one product-form update: basis position r took on column w
+// (stored sparse over basis positions, pivot entry split out).
+type eta struct {
+	r   int32
+	piv float64 // w[r]
+	idx []int32 // positions i != r with w[i] != 0
+	val []float64
+}
+
+// luFactor is the LU factorization of an m×m basis in row space.
+type luFactor struct {
+	m     int
+	prow  []int32 // pivot row of elimination step t
+	bpos  []int32 // basis position pivoted at step t
+	udiag []float64
+	// lidx/lval: step t's unit-lower multipliers over not-yet-pivoted rows.
+	lidx [][]int32
+	lval [][]float64
+	// uidx/uval: step t's upper entries over already-pivoted rows.
+	uidx [][]int32
+	uval [][]float64
+}
+
+// factorize eliminates the basis given as sparse columns (cols[k] is the
+// column of basis position k, in row space) into f, reusing its storage.
+// It returns errSingularBasis when no numerically acceptable pivot
+// remains.
+func (f *luFactor) factorize(m int, cols [][]colEntry) error {
+	f.m = m
+	f.prow = f.prow[:0]
+	f.bpos = f.bpos[:0]
+	f.udiag = f.udiag[:0]
+	f.lidx = f.lidx[:0]
+	f.lval = f.lval[:0]
+	f.uidx = f.uidx[:0]
+	f.uval = f.uval[:0]
+	if m == 0 {
+		return nil
+	}
+
+	// Working copy of the columns with dense scratch for elimination.
+	work := make([][]colEntry, m)
+	for k := 0; k < m; k++ {
+		work[k] = append([]colEntry(nil), cols[k]...)
+	}
+	rowDone := make([]bool, m)
+	colDone := make([]bool, m)
+	rowCount := make([]int, m) // live nonzeros per row over live columns
+	for k := 0; k < m; k++ {
+		for _, e := range work[k] {
+			rowCount[e.row]++
+		}
+	}
+	scratch := make([]float64, m)
+	inCol := make([]bool, m)
+
+	const stabRel = 0.01 // Markowitz stability: |pivot| >= stabRel * max|col|
+	const tiny = 1e-11
+
+	for step := 0; step < m; step++ {
+		// Pivot selection: a singleton (a row held by one live column, or a
+		// column with one live row) eliminates with zero fill and is taken
+		// immediately; otherwise the best Markowitz score (r−1)(c−1) among
+		// entries clearing the relative stability threshold wins.
+		pr, pc := -1, -1
+		var pv float64
+		bestScore := int64(1) << 62
+		singleton := false
+		for k := 0; k < m && !singleton; k++ {
+			if colDone[k] {
+				continue
+			}
+			live := 0
+			var maxAbs float64
+			for _, e := range work[k] {
+				if rowDone[e.row] {
+					continue
+				}
+				live++
+				if a := abs64(e.val); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if live == 0 {
+				return errSingularBasis
+			}
+			for _, e := range work[k] {
+				if rowDone[e.row] {
+					continue
+				}
+				a := abs64(e.val)
+				if a < tiny {
+					continue
+				}
+				if rowCount[e.row] == 1 || live == 1 {
+					pr, pc, pv = int(e.row), k, e.val
+					singleton = true
+					break
+				}
+				if a < stabRel*maxAbs {
+					continue
+				}
+				if score := int64(rowCount[e.row]-1) * int64(live-1); score < bestScore {
+					bestScore = score
+					pr, pc, pv = int(e.row), k, e.val
+				}
+			}
+		}
+		if pr < 0 {
+			return errSingularBasis
+		}
+
+		// Record the pivot column split into L (rows below in elimination
+		// order) and U (rows already pivoted).
+		var li []int32
+		var lv []float64
+		var ui []int32
+		var uv []float64
+		inv := 1 / pv
+		for _, e := range work[pc] {
+			if int(e.row) == pr {
+				continue
+			}
+			if rowDone[e.row] {
+				ui = append(ui, e.row)
+				uv = append(uv, e.val)
+			} else if abs64(e.val) > 0 {
+				li = append(li, e.row)
+				lv = append(lv, e.val*inv)
+			}
+		}
+		f.prow = append(f.prow, int32(pr))
+		f.bpos = append(f.bpos, int32(pc))
+		f.udiag = append(f.udiag, pv)
+		f.lidx = append(f.lidx, li)
+		f.lval = append(f.lval, lv)
+		f.uidx = append(f.uidx, ui)
+		f.uval = append(f.uval, uv)
+
+		// Eliminate the pivot row from every other live column that
+		// references it: col_j -= (a_prj / pv) * col_pc, restricted to
+		// not-yet-pivoted rows (already-pivoted rows belong to U and are
+		// never touched again).
+		for _, e := range work[pc] {
+			if !rowDone[e.row] {
+				rowCount[e.row]--
+			}
+		}
+		rowDone[pr] = true
+		colDone[pc] = true
+		if len(li) == 0 || rowCount[pr] == 0 {
+			// Column singleton (no multipliers) or row singleton (no other
+			// column references the pivot row): the update is vacuous.
+			continue
+		}
+		for j := 0; j < m; j++ {
+			if colDone[j] {
+				continue
+			}
+			var apr float64
+			found := false
+			for _, e := range work[j] {
+				if int(e.row) == pr && !found {
+					apr, found = e.val, true
+					break
+				}
+			}
+			if !found || abs64(apr) < tiny {
+				continue
+			}
+			mult := apr * inv
+			// Scatter col_j into scratch, subtract mult*col_pc over live
+			// rows, gather back.
+			for _, e := range work[j] {
+				scratch[e.row] = e.val
+				inCol[e.row] = true
+			}
+			for _, e := range work[pc] {
+				if int(e.row) == pr || rowDone[e.row] {
+					continue
+				}
+				if !inCol[e.row] {
+					inCol[e.row] = true
+					rowCount[e.row]++
+				}
+				scratch[e.row] -= mult * e.val
+			}
+			nj := work[j][:0]
+			for _, e := range work[j] {
+				if inCol[e.row] {
+					if int(e.row) == pr {
+						// Pivot-row entry moves into U territory for later
+						// steps; keep it (rowDone guards reuse) so U columns
+						// of later pivots see it.
+						nj = append(nj, colEntry{e.row, scratch[e.row]})
+					} else if v := scratch[e.row]; v != 0 || rowDone[e.row] {
+						nj = append(nj, colEntry{e.row, v})
+					} else {
+						rowCount[e.row]--
+					}
+					inCol[e.row] = false
+					scratch[e.row] = 0
+				}
+			}
+			// Fill-in: rows of col_pc not previously in col_j.
+			for _, e := range work[pc] {
+				if inCol[e.row] {
+					nj = append(nj, colEntry{e.row, scratch[e.row]})
+					inCol[e.row] = false
+					scratch[e.row] = 0
+				}
+			}
+			work[j] = nj
+		}
+	}
+	return nil
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// lusolve solves B·x = b in place: a enters indexed by physical row and
+// leaves holding the solution indexed so that the component of basis
+// position bpos[t] sits at row prow[t].
+func (f *luFactor) lusolve(a []float64) {
+	// L-pass in elimination order.
+	for t := 0; t < len(f.prow); t++ {
+		v := a[f.prow[t]]
+		if v == 0 {
+			continue
+		}
+		li, lv := f.lidx[t], f.lval[t]
+		for k, i := range li {
+			a[i] -= lv[k] * v
+		}
+	}
+	// U-pass in reverse order.
+	for t := len(f.prow) - 1; t >= 0; t-- {
+		r := f.prow[t]
+		v := a[r] / f.udiag[t]
+		a[r] = v
+		if v == 0 {
+			continue
+		}
+		ui, uv := f.uidx[t], f.uval[t]
+		for k, i := range ui {
+			a[i] -= uv[k] * v
+		}
+	}
+}
+
+// lusolveT solves Bᵀ·y = c in place: a enters with the component for
+// basis position bpos[t] at row prow[t] and leaves holding y indexed by
+// physical row.
+func (f *luFactor) lusolveT(a []float64) {
+	// Uᵀ-pass in elimination order (gather form).
+	for t := 0; t < len(f.prow); t++ {
+		r := f.prow[t]
+		v := a[r]
+		ui, uv := f.uidx[t], f.uval[t]
+		for k, i := range ui {
+			v -= uv[k] * a[i]
+		}
+		a[r] = v / f.udiag[t]
+	}
+	// Lᵀ-pass in reverse order (gather form).
+	for t := len(f.prow) - 1; t >= 0; t-- {
+		r := f.prow[t]
+		v := a[r]
+		li, lv := f.lidx[t], f.lval[t]
+		for k, i := range li {
+			v -= lv[k] * a[i]
+		}
+		a[r] = v
+	}
+}

@@ -64,6 +64,10 @@ type SolverStats struct {
 	// claims — may have come from the same drifted tableau, so callers
 	// should discard and redo the whole sequence on a fresh solver.
 	StaleRebuilds int
+	// Refactorizations counts sparse-basis LU factorizations (periodic
+	// eta-file resets plus row-set changes). Always zero on the dense
+	// kernel, which has no factorization to maintain.
+	Refactorizations int
 }
 
 // Solver is a persistent bounded-variable dual-simplex solver attached to

@@ -42,10 +42,40 @@ func randomBoxLP(seed uint64, nv, nc int) *linexpr.Compiled {
 	return m.Compile()
 }
 
-// TestSolverColdMatchesLegacy cross-checks the dual-simplex cold start
+// kernelCase names one warm-start core; the property tests below run
+// identically against both, keeping the dense path a correctness oracle
+// for the sparse one.
+type kernelCase struct {
+	name string
+	make func(*linexpr.Compiled) (Kernel, error)
+}
+
+func kernelCases() []kernelCase {
+	return []kernelCase{
+		{"dense", func(p *linexpr.Compiled) (Kernel, error) { return NewSolver(p) }},
+		{"sparse", func(p *linexpr.Compiled) (Kernel, error) { return NewSparseSolver(p) }},
+	}
+}
+
+func wantDuals(k Kernel) {
+	switch s := k.(type) {
+	case *Solver:
+		s.WantDuals = true
+	case *SparseSolver:
+		s.WantDuals = true
+	}
+}
+
+// TestSolverColdMatchesLegacy cross-checks each kernel's cold start
 // against the legacy two-phase primal solver on random instances: status,
 // objective, and shadow prices must all agree.
 func TestSolverColdMatchesLegacy(t *testing.T) {
+	for _, kc := range kernelCases() {
+		t.Run(kc.name, func(t *testing.T) { coldPropertyTest(t, kc) })
+	}
+}
+
+func coldPropertyTest(t *testing.T, kc kernelCase) {
 	agree, opt := 0, 0
 	for seed := uint64(1); seed <= 400; seed++ {
 		p := randomBoxLP(seed, 8, 10)
@@ -53,11 +83,11 @@ func TestSolverColdMatchesLegacy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := NewSolver(p)
+		s, err := kc.make(p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.WantDuals = true
+		wantDuals(s)
 		got, err := s.Solve()
 		if err != nil {
 			t.Fatal(err)
@@ -98,13 +128,20 @@ func TestNewSolverRejectsUnboundedVars(t *testing.T) {
 // the issue: random sequences of bound tightenings, bound reverts,
 // appended cut rows, RHS changes, and row drops, where every warm
 // re-solve must match a cold legacy lp.Solve on the equivalently mutated
-// problem within 1e-9.
+// problem within 1e-9 — run against both the dense and the sparse core
+// (DropRow compaction and SetVarBounds re-resting included).
 func TestSolverMutationsMatchLegacy(t *testing.T) {
+	for _, kc := range kernelCases() {
+		t.Run(kc.name, func(t *testing.T) { mutationPropertyTest(t, kc) })
+	}
+}
+
+func mutationPropertyTest(t *testing.T, kc kernelCase) {
 	totalWarm, totalCold := 0, 0
 	for seed := uint64(1); seed <= 150; seed++ {
 		g := rng.NewSource(seed).Stream("warmmut")
 		p := randomBoxLP(seed+5000, 6, 6)
-		s, err := NewSolver(p)
+		s, err := kc.make(p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -59,6 +59,21 @@ type Options struct {
 	IntTol float64
 	// MaxNodes bounds the search-tree size (default 1_000_000).
 	MaxNodes int
+	// DenseLP forces the dense tableau kernel; SparseLP forces the
+	// sparse revised-simplex kernel. With neither set the kernel is
+	// chosen by problem size (dense below sparseKernelThreshold
+	// rows+vars, sparse above — the crossover where nonzeros-
+	// proportional pivots beat cache-resident quadratic updates). The
+	// dense path doubles as the correctness oracle: property tests run
+	// both kernels and require 1e-9 agreement. DenseLP wins if both are
+	// set.
+	DenseLP  bool
+	SparseLP bool
+	// Workers fans pool enumeration out as parallel subtree dives
+	// (State.SolvePool only). 0 keeps the sequential single-tree path;
+	// any value >= 1 uses the deterministic frontier partition, whose
+	// enumerated pool is bit-identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +102,19 @@ type Solution struct {
 	// which never warm-starts.
 	WarmSolves int
 	ColdSolves int
+	// Refactorizations counts sparse-basis LU factorizations (zero on
+	// the dense kernel and the clone-based path).
+	Refactorizations int
+	// PresolveFixed, PresolveDropped, and PresolveTightened report the
+	// construction-time presolve reductions of the attached State:
+	// implied variable fixings, never-binding rows removed, and
+	// tightened row coefficients. Zero on the stateless paths.
+	PresolveFixed     int
+	PresolveDropped   int
+	PresolveTightened int
+	// ParallelDives counts subtree dive tasks executed by the parallel
+	// pool enumeration (zero when Workers == 0).
+	ParallelDives int
 }
 
 // node is one open branch-and-bound subproblem.

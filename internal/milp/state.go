@@ -6,6 +6,7 @@ import (
 
 	"hiopt/internal/linexpr"
 	"hiopt/internal/lp"
+	"hiopt/internal/lp/presolve"
 )
 
 // State is a persistent warm-started MILP solver attached to one compiled
@@ -35,7 +36,7 @@ import (
 type State struct {
 	p   *linexpr.Compiled
 	opt Options
-	sv  *lp.Solver
+	sv  lp.Kernel
 
 	// legacy marks an arena the warm kernel cannot host (e.g. a variable
 	// with an infinite bound); every call delegates to the clone path.
@@ -62,6 +63,13 @@ type State struct {
 	// stale-recovery path slower than a legacy cold solve.
 	dead []int
 
+	// red holds the presolve reductions computed at construction; its
+	// solver-level parts (fixings, row drops) are reapplied to every
+	// fresh solver resetSolver builds. pre is the applied statistics,
+	// surfaced on every Solution.
+	red *presolve.Reductions
+	pre presolve.Stats
+
 	free []*wnode
 }
 
@@ -84,18 +92,62 @@ type wnode struct {
 	version int
 }
 
+// newKernel builds the warm-start LP core the options request: the
+// sparse revised-simplex kernel by default, the dense tableau kernel
+// (the correctness oracle) under DenseLP.
+// sparseKernelThreshold is the rows+vars size at which the automatic
+// kernel choice switches from the dense tableau to the sparse revised
+// simplex. Below it the dense solver's cache-resident quadratic pivot
+// update wins (the paper instance sits at ~100); above it the sparse
+// kernel's nonzeros-proportional pivots win by a widening margin (~9x
+// per pivot at the M=40 generator instance's ~1050).
+const sparseKernelThreshold = 400
+
+func (o Options) newKernel(p *linexpr.Compiled) (lp.Kernel, error) {
+	dense := o.DenseLP
+	if !o.DenseLP && !o.SparseLP {
+		dense = len(p.Rows)+p.NumVars < sparseKernelThreshold
+	}
+	if dense {
+		return lp.NewSolver(p)
+	}
+	return lp.NewSparseSolver(p)
+}
+
 // NewState attaches a persistent MILP state to p. The caller may keep
 // appending rows to p between calls (pruning cuts); variable bounds and
 // row data already in p must not be mutated by the caller afterwards.
+//
+// Construction runs the presolve pass (internal/lp/presolve) over the
+// arena: reductions are expressed in original coordinates — variable
+// fixings as solver bounds, redundant rows as pre-build drops, coefficient
+// tightenings in place — so solutions, duals, and reduced costs need no
+// postsolve translation.
 func NewState(p *linexpr.Compiled, opt Options) *State {
 	st := &State{p: p, opt: opt.withDefaults(), objRow: -1}
-	sv, err := lp.NewSolver(p)
+	st.red = presolve.Analyze(p)
+	st.pre = st.red.Apply(p)
+	sv, err := st.opt.newKernel(p)
 	if err != nil {
 		st.legacy = true
 		return st
 	}
 	st.sv = sv
+	st.applyReductions()
 	return st
+}
+
+// applyReductions installs the solver-level presolve reductions on the
+// current solver: implied fixings as bounds, never-binding rows as
+// pre-build drops. Both are implied by the arena, so the legacy clone
+// path (which skips them) solves an equivalent problem.
+func (st *State) applyReductions() {
+	for j, v := range st.red.Fixed {
+		st.sv.SetVarBounds(j, v.Lo, v.Hi)
+	}
+	for _, r := range st.red.DropRows {
+		st.sv.DropRow(r)
+	}
 }
 
 // Legacy reports whether the state is running on the cold clone-based
@@ -110,13 +162,14 @@ func (st *State) Legacy() bool { return st.legacy }
 func (st *State) resetSolver() {
 	st.applied = st.applied[:0]
 	st.undo = st.undo[:0]
-	sv, err := lp.NewSolver(st.p)
+	sv, err := st.opt.newKernel(st.p)
 	if err != nil {
 		st.legacy = true
 		st.sv = nil
 		return
 	}
 	st.sv = sv
+	st.applyReductions()
 	for _, r := range st.dead {
 		sv.DropRow(r)
 	}
@@ -347,6 +400,8 @@ func (st *State) Solve() (*Solution, error) {
 		}
 		sol.WarmSolves += d.WarmSolves - s0.WarmSolves
 		sol.ColdSolves += d.ColdSolves - s0.ColdSolves
+		sol.Refactorizations += d.Refactorizations - s0.Refactorizations
+		st.stampPresolve(sol)
 		return sol, nil
 	}
 	st.resetSolver()
@@ -520,20 +575,43 @@ func (st *State) warmPoolOnce(limit int, objTol float64) ([]PoolSolution, *Solut
 		}
 		cutoffRow := bestInternal - p.ObjConst + objTol
 		st.sv.SetRowRHS(st.objRow, cutoffRow)
-		pool = append(pool, PoolSolution{X: s.X, Objective: s.Objective})
-		if limit <= 0 || len(pool) < limit {
-			added = append(added, st.addNoGood(s.X, 0))
-			if err := st.enumerate(agg, &pool, &added, limit, cutoffRow); err != nil {
+		if st.opt.Workers >= 1 && limit <= 0 {
+			// Parallel subtree dives: the whole slab is re-enumerated
+			// from disjoint boxes (the first member is rediscovered by
+			// its box), deterministically for any worker count.
+			pp, err := st.parallelPool(agg, cutoffRow)
+			if err != nil {
 				return nil, nil, err
+			}
+			pool = pp
+		} else {
+			pool = append(pool, PoolSolution{X: s.X, Objective: s.Objective})
+			if limit <= 0 || len(pool) < limit {
+				added = append(added, st.addNoGood(s.X, 0))
+				if err := st.enumerate(agg, &pool, &added, limit, cutoffRow); err != nil {
+					return nil, nil, err
+				}
 			}
 		}
 	}
 
 	agg.LPIterations += st.retireNoGoods(added)
 	d := st.sv.Stats()
-	agg.WarmSolves = d.WarmSolves - s0.WarmSolves
-	agg.ColdSolves = d.ColdSolves - s0.ColdSolves
+	// += so that parallel-dive task contributions (accumulated directly
+	// on agg) survive alongside the parent-solver delta.
+	agg.WarmSolves += d.WarmSolves - s0.WarmSolves
+	agg.ColdSolves += d.ColdSolves - s0.ColdSolves
+	agg.Refactorizations += d.Refactorizations - s0.Refactorizations
+	st.stampPresolve(agg)
 	return pool, agg, nil
+}
+
+// stampPresolve copies the construction-time presolve statistics onto a
+// result.
+func (st *State) stampPresolve(sol *Solution) {
+	sol.PresolveFixed = st.pre.FixedVars
+	sol.PresolveDropped = st.pre.DroppedRows
+	sol.PresolveTightened = st.pre.TightenedCoefs
 }
 
 // enumerate collects the rest of the optimal-solution pool in a single

@@ -1,0 +1,3506 @@
+NAME          gen_m40
+OBJSENSE
+    MIN
+ROWS
+ N  COST
+ E  fixed_n0
+ G  group0
+ G  group1
+ G  group2
+ G  group3
+ G  group4
+ G  group5
+ G  group6
+ G  group7
+ G  group8
+ G  group9
+ L  impl0
+ L  impl1
+ L  impl2
+ L  impl3
+ L  impl4
+ L  impl5
+ L  impl6
+ L  impl7
+ G  min_nodes
+ L  max_nodes
+ E  one_tx_mode
+ E  one_count
+ E  count_link
+ L  size_budget
+ L  conflict0
+ L  conflict1
+ L  conflict2
+ L  conflict3
+ L  conflict4
+ L  w_2_0_le_x
+ L  w_2_0_le_y
+ G  w_2_0_ge_sum
+ L  u_2_0_le_x
+ L  u_2_0_le_y
+ G  u_2_0_ge_sum
+ L  w_2_1_le_x
+ L  w_2_1_le_y
+ G  w_2_1_ge_sum
+ L  u_2_1_le_x
+ L  u_2_1_le_y
+ G  u_2_1_ge_sum
+ L  w_2_2_le_x
+ L  w_2_2_le_y
+ G  w_2_2_ge_sum
+ L  u_2_2_le_x
+ L  u_2_2_le_y
+ G  u_2_2_ge_sum
+ L  w_3_0_le_x
+ L  w_3_0_le_y
+ G  w_3_0_ge_sum
+ L  u_3_0_le_x
+ L  u_3_0_le_y
+ G  u_3_0_ge_sum
+ L  w_3_1_le_x
+ L  w_3_1_le_y
+ G  w_3_1_ge_sum
+ L  u_3_1_le_x
+ L  u_3_1_le_y
+ G  u_3_1_ge_sum
+ L  w_3_2_le_x
+ L  w_3_2_le_y
+ G  w_3_2_ge_sum
+ L  u_3_2_le_x
+ L  u_3_2_le_y
+ G  u_3_2_ge_sum
+ L  w_4_0_le_x
+ L  w_4_0_le_y
+ G  w_4_0_ge_sum
+ L  u_4_0_le_x
+ L  u_4_0_le_y
+ G  u_4_0_ge_sum
+ L  w_4_1_le_x
+ L  w_4_1_le_y
+ G  w_4_1_ge_sum
+ L  u_4_1_le_x
+ L  u_4_1_le_y
+ G  u_4_1_ge_sum
+ L  w_4_2_le_x
+ L  w_4_2_le_y
+ G  w_4_2_ge_sum
+ L  u_4_2_le_x
+ L  u_4_2_le_y
+ G  u_4_2_ge_sum
+ L  w_5_0_le_x
+ L  w_5_0_le_y
+ G  w_5_0_ge_sum
+ L  u_5_0_le_x
+ L  u_5_0_le_y
+ G  u_5_0_ge_sum
+ L  w_5_1_le_x
+ L  w_5_1_le_y
+ G  w_5_1_ge_sum
+ L  u_5_1_le_x
+ L  u_5_1_le_y
+ G  u_5_1_ge_sum
+ L  w_5_2_le_x
+ L  w_5_2_le_y
+ G  w_5_2_ge_sum
+ L  u_5_2_le_x
+ L  u_5_2_le_y
+ G  u_5_2_ge_sum
+ L  w_6_0_le_x
+ L  w_6_0_le_y
+ G  w_6_0_ge_sum
+ L  u_6_0_le_x
+ L  u_6_0_le_y
+ G  u_6_0_ge_sum
+ L  w_6_1_le_x
+ L  w_6_1_le_y
+ G  w_6_1_ge_sum
+ L  u_6_1_le_x
+ L  u_6_1_le_y
+ G  u_6_1_ge_sum
+ L  w_6_2_le_x
+ L  w_6_2_le_y
+ G  w_6_2_ge_sum
+ L  u_6_2_le_x
+ L  u_6_2_le_y
+ G  u_6_2_ge_sum
+ L  w_7_0_le_x
+ L  w_7_0_le_y
+ G  w_7_0_ge_sum
+ L  u_7_0_le_x
+ L  u_7_0_le_y
+ G  u_7_0_ge_sum
+ L  w_7_1_le_x
+ L  w_7_1_le_y
+ G  w_7_1_ge_sum
+ L  u_7_1_le_x
+ L  u_7_1_le_y
+ G  u_7_1_ge_sum
+ L  w_7_2_le_x
+ L  w_7_2_le_y
+ G  w_7_2_ge_sum
+ L  u_7_2_le_x
+ L  u_7_2_le_y
+ G  u_7_2_ge_sum
+ L  w_8_0_le_x
+ L  w_8_0_le_y
+ G  w_8_0_ge_sum
+ L  u_8_0_le_x
+ L  u_8_0_le_y
+ G  u_8_0_ge_sum
+ L  w_8_1_le_x
+ L  w_8_1_le_y
+ G  w_8_1_ge_sum
+ L  u_8_1_le_x
+ L  u_8_1_le_y
+ G  u_8_1_ge_sum
+ L  w_8_2_le_x
+ L  w_8_2_le_y
+ G  w_8_2_ge_sum
+ L  u_8_2_le_x
+ L  u_8_2_le_y
+ G  u_8_2_ge_sum
+ L  w_9_0_le_x
+ L  w_9_0_le_y
+ G  w_9_0_ge_sum
+ L  u_9_0_le_x
+ L  u_9_0_le_y
+ G  u_9_0_ge_sum
+ L  w_9_1_le_x
+ L  w_9_1_le_y
+ G  w_9_1_ge_sum
+ L  u_9_1_le_x
+ L  u_9_1_le_y
+ G  u_9_1_ge_sum
+ L  w_9_2_le_x
+ L  w_9_2_le_y
+ G  w_9_2_ge_sum
+ L  u_9_2_le_x
+ L  u_9_2_le_y
+ G  u_9_2_ge_sum
+ L  w_10_0_le_x
+ L  w_10_0_le_y
+ G  w_10_0_ge_sum
+ L  u_10_0_le_x
+ L  u_10_0_le_y
+ G  u_10_0_ge_sum
+ L  w_10_1_le_x
+ L  w_10_1_le_y
+ G  w_10_1_ge_sum
+ L  u_10_1_le_x
+ L  u_10_1_le_y
+ G  u_10_1_ge_sum
+ L  w_10_2_le_x
+ L  w_10_2_le_y
+ G  w_10_2_ge_sum
+ L  u_10_2_le_x
+ L  u_10_2_le_y
+ G  u_10_2_ge_sum
+ L  w_11_0_le_x
+ L  w_11_0_le_y
+ G  w_11_0_ge_sum
+ L  u_11_0_le_x
+ L  u_11_0_le_y
+ G  u_11_0_ge_sum
+ L  w_11_1_le_x
+ L  w_11_1_le_y
+ G  w_11_1_ge_sum
+ L  u_11_1_le_x
+ L  u_11_1_le_y
+ G  u_11_1_ge_sum
+ L  w_11_2_le_x
+ L  w_11_2_le_y
+ G  w_11_2_ge_sum
+ L  u_11_2_le_x
+ L  u_11_2_le_y
+ G  u_11_2_ge_sum
+ L  w_12_0_le_x
+ L  w_12_0_le_y
+ G  w_12_0_ge_sum
+ L  u_12_0_le_x
+ L  u_12_0_le_y
+ G  u_12_0_ge_sum
+ L  w_12_1_le_x
+ L  w_12_1_le_y
+ G  w_12_1_ge_sum
+ L  u_12_1_le_x
+ L  u_12_1_le_y
+ G  u_12_1_ge_sum
+ L  w_12_2_le_x
+ L  w_12_2_le_y
+ G  w_12_2_ge_sum
+ L  u_12_2_le_x
+ L  u_12_2_le_y
+ G  u_12_2_ge_sum
+ L  w_13_0_le_x
+ L  w_13_0_le_y
+ G  w_13_0_ge_sum
+ L  u_13_0_le_x
+ L  u_13_0_le_y
+ G  u_13_0_ge_sum
+ L  w_13_1_le_x
+ L  w_13_1_le_y
+ G  w_13_1_ge_sum
+ L  u_13_1_le_x
+ L  u_13_1_le_y
+ G  u_13_1_ge_sum
+ L  w_13_2_le_x
+ L  w_13_2_le_y
+ G  w_13_2_ge_sum
+ L  u_13_2_le_x
+ L  u_13_2_le_y
+ G  u_13_2_ge_sum
+ L  w_14_0_le_x
+ L  w_14_0_le_y
+ G  w_14_0_ge_sum
+ L  u_14_0_le_x
+ L  u_14_0_le_y
+ G  u_14_0_ge_sum
+ L  w_14_1_le_x
+ L  w_14_1_le_y
+ G  w_14_1_ge_sum
+ L  u_14_1_le_x
+ L  u_14_1_le_y
+ G  u_14_1_ge_sum
+ L  w_14_2_le_x
+ L  w_14_2_le_y
+ G  w_14_2_ge_sum
+ L  u_14_2_le_x
+ L  u_14_2_le_y
+ G  u_14_2_ge_sum
+ L  w_15_0_le_x
+ L  w_15_0_le_y
+ G  w_15_0_ge_sum
+ L  u_15_0_le_x
+ L  u_15_0_le_y
+ G  u_15_0_ge_sum
+ L  w_15_1_le_x
+ L  w_15_1_le_y
+ G  w_15_1_ge_sum
+ L  u_15_1_le_x
+ L  u_15_1_le_y
+ G  u_15_1_ge_sum
+ L  w_15_2_le_x
+ L  w_15_2_le_y
+ G  w_15_2_ge_sum
+ L  u_15_2_le_x
+ L  u_15_2_le_y
+ G  u_15_2_ge_sum
+ L  w_16_0_le_x
+ L  w_16_0_le_y
+ G  w_16_0_ge_sum
+ L  u_16_0_le_x
+ L  u_16_0_le_y
+ G  u_16_0_ge_sum
+ L  w_16_1_le_x
+ L  w_16_1_le_y
+ G  w_16_1_ge_sum
+ L  u_16_1_le_x
+ L  u_16_1_le_y
+ G  u_16_1_ge_sum
+ L  w_16_2_le_x
+ L  w_16_2_le_y
+ G  w_16_2_ge_sum
+ L  u_16_2_le_x
+ L  u_16_2_le_y
+ G  u_16_2_ge_sum
+ L  w_17_0_le_x
+ L  w_17_0_le_y
+ G  w_17_0_ge_sum
+ L  u_17_0_le_x
+ L  u_17_0_le_y
+ G  u_17_0_ge_sum
+ L  w_17_1_le_x
+ L  w_17_1_le_y
+ G  w_17_1_ge_sum
+ L  u_17_1_le_x
+ L  u_17_1_le_y
+ G  u_17_1_ge_sum
+ L  w_17_2_le_x
+ L  w_17_2_le_y
+ G  w_17_2_ge_sum
+ L  u_17_2_le_x
+ L  u_17_2_le_y
+ G  u_17_2_ge_sum
+ L  w_18_0_le_x
+ L  w_18_0_le_y
+ G  w_18_0_ge_sum
+ L  u_18_0_le_x
+ L  u_18_0_le_y
+ G  u_18_0_ge_sum
+ L  w_18_1_le_x
+ L  w_18_1_le_y
+ G  w_18_1_ge_sum
+ L  u_18_1_le_x
+ L  u_18_1_le_y
+ G  u_18_1_ge_sum
+ L  w_18_2_le_x
+ L  w_18_2_le_y
+ G  w_18_2_ge_sum
+ L  u_18_2_le_x
+ L  u_18_2_le_y
+ G  u_18_2_ge_sum
+ L  w_19_0_le_x
+ L  w_19_0_le_y
+ G  w_19_0_ge_sum
+ L  u_19_0_le_x
+ L  u_19_0_le_y
+ G  u_19_0_ge_sum
+ L  w_19_1_le_x
+ L  w_19_1_le_y
+ G  w_19_1_ge_sum
+ L  u_19_1_le_x
+ L  u_19_1_le_y
+ G  u_19_1_ge_sum
+ L  w_19_2_le_x
+ L  w_19_2_le_y
+ G  w_19_2_ge_sum
+ L  u_19_2_le_x
+ L  u_19_2_le_y
+ G  u_19_2_ge_sum
+ L  w_20_0_le_x
+ L  w_20_0_le_y
+ G  w_20_0_ge_sum
+ L  u_20_0_le_x
+ L  u_20_0_le_y
+ G  u_20_0_ge_sum
+ L  w_20_1_le_x
+ L  w_20_1_le_y
+ G  w_20_1_ge_sum
+ L  u_20_1_le_x
+ L  u_20_1_le_y
+ G  u_20_1_ge_sum
+ L  w_20_2_le_x
+ L  w_20_2_le_y
+ G  w_20_2_ge_sum
+ L  u_20_2_le_x
+ L  u_20_2_le_y
+ G  u_20_2_ge_sum
+ L  w_21_0_le_x
+ L  w_21_0_le_y
+ G  w_21_0_ge_sum
+ L  u_21_0_le_x
+ L  u_21_0_le_y
+ G  u_21_0_ge_sum
+ L  w_21_1_le_x
+ L  w_21_1_le_y
+ G  w_21_1_ge_sum
+ L  u_21_1_le_x
+ L  u_21_1_le_y
+ G  u_21_1_ge_sum
+ L  w_21_2_le_x
+ L  w_21_2_le_y
+ G  w_21_2_ge_sum
+ L  u_21_2_le_x
+ L  u_21_2_le_y
+ G  u_21_2_ge_sum
+ L  w_22_0_le_x
+ L  w_22_0_le_y
+ G  w_22_0_ge_sum
+ L  u_22_0_le_x
+ L  u_22_0_le_y
+ G  u_22_0_ge_sum
+ L  w_22_1_le_x
+ L  w_22_1_le_y
+ G  w_22_1_ge_sum
+ L  u_22_1_le_x
+ L  u_22_1_le_y
+ G  u_22_1_ge_sum
+ L  w_22_2_le_x
+ L  w_22_2_le_y
+ G  w_22_2_ge_sum
+ L  u_22_2_le_x
+ L  u_22_2_le_y
+ G  u_22_2_ge_sum
+ L  w_23_0_le_x
+ L  w_23_0_le_y
+ G  w_23_0_ge_sum
+ L  u_23_0_le_x
+ L  u_23_0_le_y
+ G  u_23_0_ge_sum
+ L  w_23_1_le_x
+ L  w_23_1_le_y
+ G  w_23_1_ge_sum
+ L  u_23_1_le_x
+ L  u_23_1_le_y
+ G  u_23_1_ge_sum
+ L  w_23_2_le_x
+ L  w_23_2_le_y
+ G  w_23_2_ge_sum
+ L  u_23_2_le_x
+ L  u_23_2_le_y
+ G  u_23_2_ge_sum
+ L  w_24_0_le_x
+ L  w_24_0_le_y
+ G  w_24_0_ge_sum
+ L  u_24_0_le_x
+ L  u_24_0_le_y
+ G  u_24_0_ge_sum
+ L  w_24_1_le_x
+ L  w_24_1_le_y
+ G  w_24_1_ge_sum
+ L  u_24_1_le_x
+ L  u_24_1_le_y
+ G  u_24_1_ge_sum
+ L  w_24_2_le_x
+ L  w_24_2_le_y
+ G  w_24_2_ge_sum
+ L  u_24_2_le_x
+ L  u_24_2_le_y
+ G  u_24_2_ge_sum
+ L  w_25_0_le_x
+ L  w_25_0_le_y
+ G  w_25_0_ge_sum
+ L  u_25_0_le_x
+ L  u_25_0_le_y
+ G  u_25_0_ge_sum
+ L  w_25_1_le_x
+ L  w_25_1_le_y
+ G  w_25_1_ge_sum
+ L  u_25_1_le_x
+ L  u_25_1_le_y
+ G  u_25_1_ge_sum
+ L  w_25_2_le_x
+ L  w_25_2_le_y
+ G  w_25_2_ge_sum
+ L  u_25_2_le_x
+ L  u_25_2_le_y
+ G  u_25_2_ge_sum
+ L  w_26_0_le_x
+ L  w_26_0_le_y
+ G  w_26_0_ge_sum
+ L  u_26_0_le_x
+ L  u_26_0_le_y
+ G  u_26_0_ge_sum
+ L  w_26_1_le_x
+ L  w_26_1_le_y
+ G  w_26_1_ge_sum
+ L  u_26_1_le_x
+ L  u_26_1_le_y
+ G  u_26_1_ge_sum
+ L  w_26_2_le_x
+ L  w_26_2_le_y
+ G  w_26_2_ge_sum
+ L  u_26_2_le_x
+ L  u_26_2_le_y
+ G  u_26_2_ge_sum
+ L  w_27_0_le_x
+ L  w_27_0_le_y
+ G  w_27_0_ge_sum
+ L  u_27_0_le_x
+ L  u_27_0_le_y
+ G  u_27_0_ge_sum
+ L  w_27_1_le_x
+ L  w_27_1_le_y
+ G  w_27_1_ge_sum
+ L  u_27_1_le_x
+ L  u_27_1_le_y
+ G  u_27_1_ge_sum
+ L  w_27_2_le_x
+ L  w_27_2_le_y
+ G  w_27_2_ge_sum
+ L  u_27_2_le_x
+ L  u_27_2_le_y
+ G  u_27_2_ge_sum
+ L  w_28_0_le_x
+ L  w_28_0_le_y
+ G  w_28_0_ge_sum
+ L  u_28_0_le_x
+ L  u_28_0_le_y
+ G  u_28_0_ge_sum
+ L  w_28_1_le_x
+ L  w_28_1_le_y
+ G  w_28_1_ge_sum
+ L  u_28_1_le_x
+ L  u_28_1_le_y
+ G  u_28_1_ge_sum
+ L  w_28_2_le_x
+ L  w_28_2_le_y
+ G  w_28_2_ge_sum
+ L  u_28_2_le_x
+ L  u_28_2_le_y
+ G  u_28_2_ge_sum
+ L  w_29_0_le_x
+ L  w_29_0_le_y
+ G  w_29_0_ge_sum
+ L  u_29_0_le_x
+ L  u_29_0_le_y
+ G  u_29_0_ge_sum
+ L  w_29_1_le_x
+ L  w_29_1_le_y
+ G  w_29_1_ge_sum
+ L  u_29_1_le_x
+ L  u_29_1_le_y
+ G  u_29_1_ge_sum
+ L  w_29_2_le_x
+ L  w_29_2_le_y
+ G  w_29_2_ge_sum
+ L  u_29_2_le_x
+ L  u_29_2_le_y
+ G  u_29_2_ge_sum
+ L  w_30_0_le_x
+ L  w_30_0_le_y
+ G  w_30_0_ge_sum
+ L  u_30_0_le_x
+ L  u_30_0_le_y
+ G  u_30_0_ge_sum
+ L  w_30_1_le_x
+ L  w_30_1_le_y
+ G  w_30_1_ge_sum
+ L  u_30_1_le_x
+ L  u_30_1_le_y
+ G  u_30_1_ge_sum
+ L  w_30_2_le_x
+ L  w_30_2_le_y
+ G  w_30_2_ge_sum
+ L  u_30_2_le_x
+ L  u_30_2_le_y
+ G  u_30_2_ge_sum
+ L  w_31_0_le_x
+ L  w_31_0_le_y
+ G  w_31_0_ge_sum
+ L  u_31_0_le_x
+ L  u_31_0_le_y
+ G  u_31_0_ge_sum
+ L  w_31_1_le_x
+ L  w_31_1_le_y
+ G  w_31_1_ge_sum
+ L  u_31_1_le_x
+ L  u_31_1_le_y
+ G  u_31_1_ge_sum
+ L  w_31_2_le_x
+ L  w_31_2_le_y
+ G  w_31_2_ge_sum
+ L  u_31_2_le_x
+ L  u_31_2_le_y
+ G  u_31_2_ge_sum
+ L  w_32_0_le_x
+ L  w_32_0_le_y
+ G  w_32_0_ge_sum
+ L  u_32_0_le_x
+ L  u_32_0_le_y
+ G  u_32_0_ge_sum
+ L  w_32_1_le_x
+ L  w_32_1_le_y
+ G  w_32_1_ge_sum
+ L  u_32_1_le_x
+ L  u_32_1_le_y
+ G  u_32_1_ge_sum
+ L  w_32_2_le_x
+ L  w_32_2_le_y
+ G  w_32_2_ge_sum
+ L  u_32_2_le_x
+ L  u_32_2_le_y
+ G  u_32_2_ge_sum
+ L  w_33_0_le_x
+ L  w_33_0_le_y
+ G  w_33_0_ge_sum
+ L  u_33_0_le_x
+ L  u_33_0_le_y
+ G  u_33_0_ge_sum
+ L  w_33_1_le_x
+ L  w_33_1_le_y
+ G  w_33_1_ge_sum
+ L  u_33_1_le_x
+ L  u_33_1_le_y
+ G  u_33_1_ge_sum
+ L  w_33_2_le_x
+ L  w_33_2_le_y
+ G  w_33_2_ge_sum
+ L  u_33_2_le_x
+ L  u_33_2_le_y
+ G  u_33_2_ge_sum
+ L  w_34_0_le_x
+ L  w_34_0_le_y
+ G  w_34_0_ge_sum
+ L  u_34_0_le_x
+ L  u_34_0_le_y
+ G  u_34_0_ge_sum
+ L  w_34_1_le_x
+ L  w_34_1_le_y
+ G  w_34_1_ge_sum
+ L  u_34_1_le_x
+ L  u_34_1_le_y
+ G  u_34_1_ge_sum
+ L  w_34_2_le_x
+ L  w_34_2_le_y
+ G  w_34_2_ge_sum
+ L  u_34_2_le_x
+ L  u_34_2_le_y
+ G  u_34_2_ge_sum
+ L  w_35_0_le_x
+ L  w_35_0_le_y
+ G  w_35_0_ge_sum
+ L  u_35_0_le_x
+ L  u_35_0_le_y
+ G  u_35_0_ge_sum
+ L  w_35_1_le_x
+ L  w_35_1_le_y
+ G  w_35_1_ge_sum
+ L  u_35_1_le_x
+ L  u_35_1_le_y
+ G  u_35_1_ge_sum
+ L  w_35_2_le_x
+ L  w_35_2_le_y
+ G  w_35_2_ge_sum
+ L  u_35_2_le_x
+ L  u_35_2_le_y
+ G  u_35_2_ge_sum
+ L  w_36_0_le_x
+ L  w_36_0_le_y
+ G  w_36_0_ge_sum
+ L  u_36_0_le_x
+ L  u_36_0_le_y
+ G  u_36_0_ge_sum
+ L  w_36_1_le_x
+ L  w_36_1_le_y
+ G  w_36_1_ge_sum
+ L  u_36_1_le_x
+ L  u_36_1_le_y
+ G  u_36_1_ge_sum
+ L  w_36_2_le_x
+ L  w_36_2_le_y
+ G  w_36_2_ge_sum
+ L  u_36_2_le_x
+ L  u_36_2_le_y
+ G  u_36_2_ge_sum
+ L  w_37_0_le_x
+ L  w_37_0_le_y
+ G  w_37_0_ge_sum
+ L  u_37_0_le_x
+ L  u_37_0_le_y
+ G  u_37_0_ge_sum
+ L  w_37_1_le_x
+ L  w_37_1_le_y
+ G  w_37_1_ge_sum
+ L  u_37_1_le_x
+ L  u_37_1_le_y
+ G  u_37_1_ge_sum
+ L  w_37_2_le_x
+ L  w_37_2_le_y
+ G  w_37_2_ge_sum
+ L  u_37_2_le_x
+ L  u_37_2_le_y
+ G  u_37_2_ge_sum
+ L  w_38_0_le_x
+ L  w_38_0_le_y
+ G  w_38_0_ge_sum
+ L  u_38_0_le_x
+ L  u_38_0_le_y
+ G  u_38_0_ge_sum
+ L  w_38_1_le_x
+ L  w_38_1_le_y
+ G  w_38_1_ge_sum
+ L  u_38_1_le_x
+ L  u_38_1_le_y
+ G  u_38_1_ge_sum
+ L  w_38_2_le_x
+ L  w_38_2_le_y
+ G  w_38_2_ge_sum
+ L  u_38_2_le_x
+ L  u_38_2_le_y
+ G  u_38_2_ge_sum
+ L  w_39_0_le_x
+ L  w_39_0_le_y
+ G  w_39_0_ge_sum
+ L  u_39_0_le_x
+ L  u_39_0_le_y
+ G  u_39_0_ge_sum
+ L  w_39_1_le_x
+ L  w_39_1_le_y
+ G  w_39_1_ge_sum
+ L  u_39_1_le_x
+ L  u_39_1_le_y
+ G  u_39_1_ge_sum
+ L  w_39_2_le_x
+ L  w_39_2_le_y
+ G  w_39_2_ge_sum
+ L  u_39_2_le_x
+ L  u_39_2_le_y
+ G  u_39_2_ge_sum
+ L  w_40_0_le_x
+ L  w_40_0_le_y
+ G  w_40_0_ge_sum
+ L  u_40_0_le_x
+ L  u_40_0_le_y
+ G  u_40_0_ge_sum
+ L  w_40_1_le_x
+ L  w_40_1_le_y
+ G  w_40_1_ge_sum
+ L  u_40_1_le_x
+ L  u_40_1_le_y
+ G  u_40_1_ge_sum
+ L  w_40_2_le_x
+ L  w_40_2_le_y
+ G  w_40_2_ge_sum
+ L  u_40_2_le_x
+ L  u_40_2_le_y
+ G  u_40_2_ge_sum
+COLUMNS
+    MARKER0  'MARKER'  'INTORG'
+    n0  fixed_n0  1
+    n0  min_nodes  1
+    n0  max_nodes  1
+    n0  count_link  1
+    n1  COST  0.078125
+    n1  min_nodes  1
+    n1  max_nodes  1
+    n1  count_link  1
+    n2  COST  0.0625
+    n2  group3  1
+    n2  group8  1
+    n2  min_nodes  1
+    n2  max_nodes  1
+    n2  count_link  1
+    n3  COST  0.05859375
+    n3  group2  1
+    n3  impl5  -1
+    n3  impl7  1
+    n3  min_nodes  1
+    n3  max_nodes  1
+    n3  count_link  1
+    n4  COST  0.10546875
+    n4  group4  1
+    n4  impl0  -1
+    n4  min_nodes  1
+    n4  max_nodes  1
+    n4  count_link  1
+    n5  COST  0.24609375
+    n5  group9  1
+    n5  min_nodes  1
+    n5  max_nodes  1
+    n5  count_link  1
+    n6  COST  0.1875
+    n6  group1  1
+    n6  group2  1
+    n6  group3  1
+    n6  impl1  -1
+    n6  min_nodes  1
+    n6  max_nodes  1
+    n6  count_link  1
+    n7  COST  0.2109375
+    n7  min_nodes  1
+    n7  max_nodes  1
+    n7  count_link  1
+    n7  conflict0  2
+    n8  COST  0.12109375
+    n8  group5  1
+    n8  min_nodes  1
+    n8  max_nodes  1
+    n8  count_link  1
+    n9  COST  0.02734375
+    n9  min_nodes  1
+    n9  max_nodes  1
+    n9  count_link  1
+    n10  COST  0.0625
+    n10  min_nodes  1
+    n10  max_nodes  1
+    n10  count_link  1
+    n11  COST  0.203125
+    n11  impl2  1
+    n11  min_nodes  1
+    n11  max_nodes  1
+    n11  count_link  1
+    n11  conflict2  1
+    n12  COST  0.16015625
+    n12  impl0  1
+    n12  impl1  1
+    n12  impl4  1
+    n12  min_nodes  1
+    n12  max_nodes  1
+    n12  count_link  1
+    n12  conflict4  2
+    n13  COST  0.24609375
+    n13  group2  1
+    n13  min_nodes  1
+    n13  max_nodes  1
+    n13  count_link  1
+    n14  COST  0.03515625
+    n14  group8  1
+    n14  min_nodes  1
+    n14  max_nodes  1
+    n14  count_link  1
+    n14  conflict3  2
+    n15  COST  0.21875
+    n15  group4  1
+    n15  min_nodes  1
+    n15  max_nodes  1
+    n15  count_link  1
+    n16  COST  0.0859375
+    n16  group5  1
+    n16  impl4  -1
+    n16  min_nodes  1
+    n16  max_nodes  1
+    n16  count_link  1
+    n17  COST  0.00390625
+    n17  group1  1
+    n17  min_nodes  1
+    n17  max_nodes  1
+    n17  count_link  1
+    n18  COST  0.1796875
+    n18  min_nodes  1
+    n18  max_nodes  1
+    n18  count_link  1
+    n19  COST  0.20703125
+    n19  impl3  -1
+    n19  min_nodes  1
+    n19  max_nodes  1
+    n19  count_link  1
+    n20  COST  0.23828125
+    n20  group6  1
+    n20  group7  1
+    n20  min_nodes  1
+    n20  max_nodes  1
+    n20  count_link  1
+    n21  COST  0.1484375
+    n21  group7  1
+    n21  min_nodes  1
+    n21  max_nodes  1
+    n21  count_link  1
+    n22  COST  0.19921875
+    n22  group5  1
+    n22  min_nodes  1
+    n22  max_nodes  1
+    n22  count_link  1
+    n23  COST  0.0546875
+    n23  group4  1
+    n23  group9  1
+    n23  min_nodes  1
+    n23  max_nodes  1
+    n23  count_link  1
+    n24  COST  0.1484375
+    n24  min_nodes  1
+    n24  max_nodes  1
+    n24  count_link  1
+    n25  COST  0.03125
+    n25  min_nodes  1
+    n25  max_nodes  1
+    n25  count_link  1
+    n26  COST  0.234375
+    n26  group1  1
+    n26  group6  1
+    n26  impl6  1
+    n26  min_nodes  1
+    n26  max_nodes  1
+    n26  count_link  1
+    n26  conflict1  1
+    n26  conflict3  1
+    n27  COST  0.1796875
+    n27  impl2  -1
+    n27  min_nodes  1
+    n27  max_nodes  1
+    n27  count_link  1
+    n28  COST  0.1484375
+    n28  min_nodes  1
+    n28  max_nodes  1
+    n28  count_link  1
+    n29  COST  0.1171875
+    n29  min_nodes  1
+    n29  max_nodes  1
+    n29  count_link  1
+    n30  COST  0.24609375
+    n30  group0  1
+    n30  min_nodes  1
+    n30  max_nodes  1
+    n30  count_link  1
+    n31  COST  0.234375
+    n31  min_nodes  1
+    n31  max_nodes  1
+    n31  count_link  1
+    n31  conflict0  1
+    n32  COST  0.1484375
+    n32  group8  1
+    n32  impl6  -1
+    n32  min_nodes  1
+    n32  max_nodes  1
+    n32  count_link  1
+    n32  conflict4  1
+    n33  COST  0.109375
+    n33  group6  1
+    n33  impl5  1
+    n33  min_nodes  1
+    n33  max_nodes  1
+    n33  count_link  1
+    n34  COST  0.19140625
+    n34  min_nodes  1
+    n34  max_nodes  1
+    n34  count_link  1
+    n35  COST  0.14453125
+    n35  group0  1
+    n35  group7  1
+    n35  min_nodes  1
+    n35  max_nodes  1
+    n35  count_link  1
+    n35  conflict1  2
+    n36  COST  0.1015625
+    n36  impl7  -1
+    n36  min_nodes  1
+    n36  max_nodes  1
+    n36  count_link  1
+    n37  COST  0.2109375
+    n37  group3  1
+    n37  group9  1
+    n37  min_nodes  1
+    n37  max_nodes  1
+    n37  count_link  1
+    n38  COST  0.0390625
+    n38  group0  1
+    n38  min_nodes  1
+    n38  max_nodes  1
+    n38  count_link  1
+    n39  COST  0.02734375
+    n39  impl3  1
+    n39  min_nodes  1
+    n39  max_nodes  1
+    n39  count_link  1
+    n39  conflict2  2
+    p1  one_tx_mode  1
+    p1  w_2_0_le_y  -1
+    p1  w_2_0_ge_sum  -1
+    p1  w_3_0_le_y  -1
+    p1  w_3_0_ge_sum  -1
+    p1  w_4_0_le_y  -1
+    p1  w_4_0_ge_sum  -1
+    p1  w_5_0_le_y  -1
+    p1  w_5_0_ge_sum  -1
+    p1  w_6_0_le_y  -1
+    p1  w_6_0_ge_sum  -1
+    p1  w_7_0_le_y  -1
+    p1  w_7_0_ge_sum  -1
+    p1  w_8_0_le_y  -1
+    p1  w_8_0_ge_sum  -1
+    p1  w_9_0_le_y  -1
+    p1  w_9_0_ge_sum  -1
+    p1  w_10_0_le_y  -1
+    p1  w_10_0_ge_sum  -1
+    p1  w_11_0_le_y  -1
+    p1  w_11_0_ge_sum  -1
+    p1  w_12_0_le_y  -1
+    p1  w_12_0_ge_sum  -1
+    p1  w_13_0_le_y  -1
+    p1  w_13_0_ge_sum  -1
+    p1  w_14_0_le_y  -1
+    p1  w_14_0_ge_sum  -1
+    p1  w_15_0_le_y  -1
+    p1  w_15_0_ge_sum  -1
+    p1  w_16_0_le_y  -1
+    p1  w_16_0_ge_sum  -1
+    p1  w_17_0_le_y  -1
+    p1  w_17_0_ge_sum  -1
+    p1  w_18_0_le_y  -1
+    p1  w_18_0_ge_sum  -1
+    p1  w_19_0_le_y  -1
+    p1  w_19_0_ge_sum  -1
+    p1  w_20_0_le_y  -1
+    p1  w_20_0_ge_sum  -1
+    p1  w_21_0_le_y  -1
+    p1  w_21_0_ge_sum  -1
+    p1  w_22_0_le_y  -1
+    p1  w_22_0_ge_sum  -1
+    p1  w_23_0_le_y  -1
+    p1  w_23_0_ge_sum  -1
+    p1  w_24_0_le_y  -1
+    p1  w_24_0_ge_sum  -1
+    p1  w_25_0_le_y  -1
+    p1  w_25_0_ge_sum  -1
+    p1  w_26_0_le_y  -1
+    p1  w_26_0_ge_sum  -1
+    p1  w_27_0_le_y  -1
+    p1  w_27_0_ge_sum  -1
+    p1  w_28_0_le_y  -1
+    p1  w_28_0_ge_sum  -1
+    p1  w_29_0_le_y  -1
+    p1  w_29_0_ge_sum  -1
+    p1  w_30_0_le_y  -1
+    p1  w_30_0_ge_sum  -1
+    p1  w_31_0_le_y  -1
+    p1  w_31_0_ge_sum  -1
+    p1  w_32_0_le_y  -1
+    p1  w_32_0_ge_sum  -1
+    p1  w_33_0_le_y  -1
+    p1  w_33_0_ge_sum  -1
+    p1  w_34_0_le_y  -1
+    p1  w_34_0_ge_sum  -1
+    p1  w_35_0_le_y  -1
+    p1  w_35_0_ge_sum  -1
+    p1  w_36_0_le_y  -1
+    p1  w_36_0_ge_sum  -1
+    p1  w_37_0_le_y  -1
+    p1  w_37_0_ge_sum  -1
+    p1  w_38_0_le_y  -1
+    p1  w_38_0_ge_sum  -1
+    p1  w_39_0_le_y  -1
+    p1  w_39_0_ge_sum  -1
+    p1  w_40_0_le_y  -1
+    p1  w_40_0_ge_sum  -1
+    p2  one_tx_mode  1
+    p2  w_2_1_le_y  -1
+    p2  w_2_1_ge_sum  -1
+    p2  w_3_1_le_y  -1
+    p2  w_3_1_ge_sum  -1
+    p2  w_4_1_le_y  -1
+    p2  w_4_1_ge_sum  -1
+    p2  w_5_1_le_y  -1
+    p2  w_5_1_ge_sum  -1
+    p2  w_6_1_le_y  -1
+    p2  w_6_1_ge_sum  -1
+    p2  w_7_1_le_y  -1
+    p2  w_7_1_ge_sum  -1
+    p2  w_8_1_le_y  -1
+    p2  w_8_1_ge_sum  -1
+    p2  w_9_1_le_y  -1
+    p2  w_9_1_ge_sum  -1
+    p2  w_10_1_le_y  -1
+    p2  w_10_1_ge_sum  -1
+    p2  w_11_1_le_y  -1
+    p2  w_11_1_ge_sum  -1
+    p2  w_12_1_le_y  -1
+    p2  w_12_1_ge_sum  -1
+    p2  w_13_1_le_y  -1
+    p2  w_13_1_ge_sum  -1
+    p2  w_14_1_le_y  -1
+    p2  w_14_1_ge_sum  -1
+    p2  w_15_1_le_y  -1
+    p2  w_15_1_ge_sum  -1
+    p2  w_16_1_le_y  -1
+    p2  w_16_1_ge_sum  -1
+    p2  w_17_1_le_y  -1
+    p2  w_17_1_ge_sum  -1
+    p2  w_18_1_le_y  -1
+    p2  w_18_1_ge_sum  -1
+    p2  w_19_1_le_y  -1
+    p2  w_19_1_ge_sum  -1
+    p2  w_20_1_le_y  -1
+    p2  w_20_1_ge_sum  -1
+    p2  w_21_1_le_y  -1
+    p2  w_21_1_ge_sum  -1
+    p2  w_22_1_le_y  -1
+    p2  w_22_1_ge_sum  -1
+    p2  w_23_1_le_y  -1
+    p2  w_23_1_ge_sum  -1
+    p2  w_24_1_le_y  -1
+    p2  w_24_1_ge_sum  -1
+    p2  w_25_1_le_y  -1
+    p2  w_25_1_ge_sum  -1
+    p2  w_26_1_le_y  -1
+    p2  w_26_1_ge_sum  -1
+    p2  w_27_1_le_y  -1
+    p2  w_27_1_ge_sum  -1
+    p2  w_28_1_le_y  -1
+    p2  w_28_1_ge_sum  -1
+    p2  w_29_1_le_y  -1
+    p2  w_29_1_ge_sum  -1
+    p2  w_30_1_le_y  -1
+    p2  w_30_1_ge_sum  -1
+    p2  w_31_1_le_y  -1
+    p2  w_31_1_ge_sum  -1
+    p2  w_32_1_le_y  -1
+    p2  w_32_1_ge_sum  -1
+    p2  w_33_1_le_y  -1
+    p2  w_33_1_ge_sum  -1
+    p2  w_34_1_le_y  -1
+    p2  w_34_1_ge_sum  -1
+    p2  w_35_1_le_y  -1
+    p2  w_35_1_ge_sum  -1
+    p2  w_36_1_le_y  -1
+    p2  w_36_1_ge_sum  -1
+    p2  w_37_1_le_y  -1
+    p2  w_37_1_ge_sum  -1
+    p2  w_38_1_le_y  -1
+    p2  w_38_1_ge_sum  -1
+    p2  w_39_1_le_y  -1
+    p2  w_39_1_ge_sum  -1
+    p2  w_40_1_le_y  -1
+    p2  w_40_1_ge_sum  -1
+    p3  one_tx_mode  1
+    p3  w_2_2_le_y  -1
+    p3  w_2_2_ge_sum  -1
+    p3  w_3_2_le_y  -1
+    p3  w_3_2_ge_sum  -1
+    p3  w_4_2_le_y  -1
+    p3  w_4_2_ge_sum  -1
+    p3  w_5_2_le_y  -1
+    p3  w_5_2_ge_sum  -1
+    p3  w_6_2_le_y  -1
+    p3  w_6_2_ge_sum  -1
+    p3  w_7_2_le_y  -1
+    p3  w_7_2_ge_sum  -1
+    p3  w_8_2_le_y  -1
+    p3  w_8_2_ge_sum  -1
+    p3  w_9_2_le_y  -1
+    p3  w_9_2_ge_sum  -1
+    p3  w_10_2_le_y  -1
+    p3  w_10_2_ge_sum  -1
+    p3  w_11_2_le_y  -1
+    p3  w_11_2_ge_sum  -1
+    p3  w_12_2_le_y  -1
+    p3  w_12_2_ge_sum  -1
+    p3  w_13_2_le_y  -1
+    p3  w_13_2_ge_sum  -1
+    p3  w_14_2_le_y  -1
+    p3  w_14_2_ge_sum  -1
+    p3  w_15_2_le_y  -1
+    p3  w_15_2_ge_sum  -1
+    p3  w_16_2_le_y  -1
+    p3  w_16_2_ge_sum  -1
+    p3  w_17_2_le_y  -1
+    p3  w_17_2_ge_sum  -1
+    p3  w_18_2_le_y  -1
+    p3  w_18_2_ge_sum  -1
+    p3  w_19_2_le_y  -1
+    p3  w_19_2_ge_sum  -1
+    p3  w_20_2_le_y  -1
+    p3  w_20_2_ge_sum  -1
+    p3  w_21_2_le_y  -1
+    p3  w_21_2_ge_sum  -1
+    p3  w_22_2_le_y  -1
+    p3  w_22_2_ge_sum  -1
+    p3  w_23_2_le_y  -1
+    p3  w_23_2_ge_sum  -1
+    p3  w_24_2_le_y  -1
+    p3  w_24_2_ge_sum  -1
+    p3  w_25_2_le_y  -1
+    p3  w_25_2_ge_sum  -1
+    p3  w_26_2_le_y  -1
+    p3  w_26_2_ge_sum  -1
+    p3  w_27_2_le_y  -1
+    p3  w_27_2_ge_sum  -1
+    p3  w_28_2_le_y  -1
+    p3  w_28_2_ge_sum  -1
+    p3  w_29_2_le_y  -1
+    p3  w_29_2_ge_sum  -1
+    p3  w_30_2_le_y  -1
+    p3  w_30_2_ge_sum  -1
+    p3  w_31_2_le_y  -1
+    p3  w_31_2_ge_sum  -1
+    p3  w_32_2_le_y  -1
+    p3  w_32_2_ge_sum  -1
+    p3  w_33_2_le_y  -1
+    p3  w_33_2_ge_sum  -1
+    p3  w_34_2_le_y  -1
+    p3  w_34_2_ge_sum  -1
+    p3  w_35_2_le_y  -1
+    p3  w_35_2_ge_sum  -1
+    p3  w_36_2_le_y  -1
+    p3  w_36_2_ge_sum  -1
+    p3  w_37_2_le_y  -1
+    p3  w_37_2_ge_sum  -1
+    p3  w_38_2_le_y  -1
+    p3  w_38_2_ge_sum  -1
+    p3  w_39_2_le_y  -1
+    p3  w_39_2_ge_sum  -1
+    p3  w_40_2_le_y  -1
+    p3  w_40_2_ge_sum  -1
+    prt  u_2_0_le_y  -1
+    prt  u_2_0_ge_sum  -1
+    prt  u_2_1_le_y  -1
+    prt  u_2_1_ge_sum  -1
+    prt  u_2_2_le_y  -1
+    prt  u_2_2_ge_sum  -1
+    prt  u_3_0_le_y  -1
+    prt  u_3_0_ge_sum  -1
+    prt  u_3_1_le_y  -1
+    prt  u_3_1_ge_sum  -1
+    prt  u_3_2_le_y  -1
+    prt  u_3_2_ge_sum  -1
+    prt  u_4_0_le_y  -1
+    prt  u_4_0_ge_sum  -1
+    prt  u_4_1_le_y  -1
+    prt  u_4_1_ge_sum  -1
+    prt  u_4_2_le_y  -1
+    prt  u_4_2_ge_sum  -1
+    prt  u_5_0_le_y  -1
+    prt  u_5_0_ge_sum  -1
+    prt  u_5_1_le_y  -1
+    prt  u_5_1_ge_sum  -1
+    prt  u_5_2_le_y  -1
+    prt  u_5_2_ge_sum  -1
+    prt  u_6_0_le_y  -1
+    prt  u_6_0_ge_sum  -1
+    prt  u_6_1_le_y  -1
+    prt  u_6_1_ge_sum  -1
+    prt  u_6_2_le_y  -1
+    prt  u_6_2_ge_sum  -1
+    prt  u_7_0_le_y  -1
+    prt  u_7_0_ge_sum  -1
+    prt  u_7_1_le_y  -1
+    prt  u_7_1_ge_sum  -1
+    prt  u_7_2_le_y  -1
+    prt  u_7_2_ge_sum  -1
+    prt  u_8_0_le_y  -1
+    prt  u_8_0_ge_sum  -1
+    prt  u_8_1_le_y  -1
+    prt  u_8_1_ge_sum  -1
+    prt  u_8_2_le_y  -1
+    prt  u_8_2_ge_sum  -1
+    prt  u_9_0_le_y  -1
+    prt  u_9_0_ge_sum  -1
+    prt  u_9_1_le_y  -1
+    prt  u_9_1_ge_sum  -1
+    prt  u_9_2_le_y  -1
+    prt  u_9_2_ge_sum  -1
+    prt  u_10_0_le_y  -1
+    prt  u_10_0_ge_sum  -1
+    prt  u_10_1_le_y  -1
+    prt  u_10_1_ge_sum  -1
+    prt  u_10_2_le_y  -1
+    prt  u_10_2_ge_sum  -1
+    prt  u_11_0_le_y  -1
+    prt  u_11_0_ge_sum  -1
+    prt  u_11_1_le_y  -1
+    prt  u_11_1_ge_sum  -1
+    prt  u_11_2_le_y  -1
+    prt  u_11_2_ge_sum  -1
+    prt  u_12_0_le_y  -1
+    prt  u_12_0_ge_sum  -1
+    prt  u_12_1_le_y  -1
+    prt  u_12_1_ge_sum  -1
+    prt  u_12_2_le_y  -1
+    prt  u_12_2_ge_sum  -1
+    prt  u_13_0_le_y  -1
+    prt  u_13_0_ge_sum  -1
+    prt  u_13_1_le_y  -1
+    prt  u_13_1_ge_sum  -1
+    prt  u_13_2_le_y  -1
+    prt  u_13_2_ge_sum  -1
+    prt  u_14_0_le_y  -1
+    prt  u_14_0_ge_sum  -1
+    prt  u_14_1_le_y  -1
+    prt  u_14_1_ge_sum  -1
+    prt  u_14_2_le_y  -1
+    prt  u_14_2_ge_sum  -1
+    prt  u_15_0_le_y  -1
+    prt  u_15_0_ge_sum  -1
+    prt  u_15_1_le_y  -1
+    prt  u_15_1_ge_sum  -1
+    prt  u_15_2_le_y  -1
+    prt  u_15_2_ge_sum  -1
+    prt  u_16_0_le_y  -1
+    prt  u_16_0_ge_sum  -1
+    prt  u_16_1_le_y  -1
+    prt  u_16_1_ge_sum  -1
+    prt  u_16_2_le_y  -1
+    prt  u_16_2_ge_sum  -1
+    prt  u_17_0_le_y  -1
+    prt  u_17_0_ge_sum  -1
+    prt  u_17_1_le_y  -1
+    prt  u_17_1_ge_sum  -1
+    prt  u_17_2_le_y  -1
+    prt  u_17_2_ge_sum  -1
+    prt  u_18_0_le_y  -1
+    prt  u_18_0_ge_sum  -1
+    prt  u_18_1_le_y  -1
+    prt  u_18_1_ge_sum  -1
+    prt  u_18_2_le_y  -1
+    prt  u_18_2_ge_sum  -1
+    prt  u_19_0_le_y  -1
+    prt  u_19_0_ge_sum  -1
+    prt  u_19_1_le_y  -1
+    prt  u_19_1_ge_sum  -1
+    prt  u_19_2_le_y  -1
+    prt  u_19_2_ge_sum  -1
+    prt  u_20_0_le_y  -1
+    prt  u_20_0_ge_sum  -1
+    prt  u_20_1_le_y  -1
+    prt  u_20_1_ge_sum  -1
+    prt  u_20_2_le_y  -1
+    prt  u_20_2_ge_sum  -1
+    prt  u_21_0_le_y  -1
+    prt  u_21_0_ge_sum  -1
+    prt  u_21_1_le_y  -1
+    prt  u_21_1_ge_sum  -1
+    prt  u_21_2_le_y  -1
+    prt  u_21_2_ge_sum  -1
+    prt  u_22_0_le_y  -1
+    prt  u_22_0_ge_sum  -1
+    prt  u_22_1_le_y  -1
+    prt  u_22_1_ge_sum  -1
+    prt  u_22_2_le_y  -1
+    prt  u_22_2_ge_sum  -1
+    prt  u_23_0_le_y  -1
+    prt  u_23_0_ge_sum  -1
+    prt  u_23_1_le_y  -1
+    prt  u_23_1_ge_sum  -1
+    prt  u_23_2_le_y  -1
+    prt  u_23_2_ge_sum  -1
+    prt  u_24_0_le_y  -1
+    prt  u_24_0_ge_sum  -1
+    prt  u_24_1_le_y  -1
+    prt  u_24_1_ge_sum  -1
+    prt  u_24_2_le_y  -1
+    prt  u_24_2_ge_sum  -1
+    prt  u_25_0_le_y  -1
+    prt  u_25_0_ge_sum  -1
+    prt  u_25_1_le_y  -1
+    prt  u_25_1_ge_sum  -1
+    prt  u_25_2_le_y  -1
+    prt  u_25_2_ge_sum  -1
+    prt  u_26_0_le_y  -1
+    prt  u_26_0_ge_sum  -1
+    prt  u_26_1_le_y  -1
+    prt  u_26_1_ge_sum  -1
+    prt  u_26_2_le_y  -1
+    prt  u_26_2_ge_sum  -1
+    prt  u_27_0_le_y  -1
+    prt  u_27_0_ge_sum  -1
+    prt  u_27_1_le_y  -1
+    prt  u_27_1_ge_sum  -1
+    prt  u_27_2_le_y  -1
+    prt  u_27_2_ge_sum  -1
+    prt  u_28_0_le_y  -1
+    prt  u_28_0_ge_sum  -1
+    prt  u_28_1_le_y  -1
+    prt  u_28_1_ge_sum  -1
+    prt  u_28_2_le_y  -1
+    prt  u_28_2_ge_sum  -1
+    prt  u_29_0_le_y  -1
+    prt  u_29_0_ge_sum  -1
+    prt  u_29_1_le_y  -1
+    prt  u_29_1_ge_sum  -1
+    prt  u_29_2_le_y  -1
+    prt  u_29_2_ge_sum  -1
+    prt  u_30_0_le_y  -1
+    prt  u_30_0_ge_sum  -1
+    prt  u_30_1_le_y  -1
+    prt  u_30_1_ge_sum  -1
+    prt  u_30_2_le_y  -1
+    prt  u_30_2_ge_sum  -1
+    prt  u_31_0_le_y  -1
+    prt  u_31_0_ge_sum  -1
+    prt  u_31_1_le_y  -1
+    prt  u_31_1_ge_sum  -1
+    prt  u_31_2_le_y  -1
+    prt  u_31_2_ge_sum  -1
+    prt  u_32_0_le_y  -1
+    prt  u_32_0_ge_sum  -1
+    prt  u_32_1_le_y  -1
+    prt  u_32_1_ge_sum  -1
+    prt  u_32_2_le_y  -1
+    prt  u_32_2_ge_sum  -1
+    prt  u_33_0_le_y  -1
+    prt  u_33_0_ge_sum  -1
+    prt  u_33_1_le_y  -1
+    prt  u_33_1_ge_sum  -1
+    prt  u_33_2_le_y  -1
+    prt  u_33_2_ge_sum  -1
+    prt  u_34_0_le_y  -1
+    prt  u_34_0_ge_sum  -1
+    prt  u_34_1_le_y  -1
+    prt  u_34_1_ge_sum  -1
+    prt  u_34_2_le_y  -1
+    prt  u_34_2_ge_sum  -1
+    prt  u_35_0_le_y  -1
+    prt  u_35_0_ge_sum  -1
+    prt  u_35_1_le_y  -1
+    prt  u_35_1_ge_sum  -1
+    prt  u_35_2_le_y  -1
+    prt  u_35_2_ge_sum  -1
+    prt  u_36_0_le_y  -1
+    prt  u_36_0_ge_sum  -1
+    prt  u_36_1_le_y  -1
+    prt  u_36_1_ge_sum  -1
+    prt  u_36_2_le_y  -1
+    prt  u_36_2_ge_sum  -1
+    prt  u_37_0_le_y  -1
+    prt  u_37_0_ge_sum  -1
+    prt  u_37_1_le_y  -1
+    prt  u_37_1_ge_sum  -1
+    prt  u_37_2_le_y  -1
+    prt  u_37_2_ge_sum  -1
+    prt  u_38_0_le_y  -1
+    prt  u_38_0_ge_sum  -1
+    prt  u_38_1_le_y  -1
+    prt  u_38_1_ge_sum  -1
+    prt  u_38_2_le_y  -1
+    prt  u_38_2_ge_sum  -1
+    prt  u_39_0_le_y  -1
+    prt  u_39_0_ge_sum  -1
+    prt  u_39_1_le_y  -1
+    prt  u_39_1_ge_sum  -1
+    prt  u_39_2_le_y  -1
+    prt  u_39_2_ge_sum  -1
+    prt  u_40_0_le_y  -1
+    prt  u_40_0_ge_sum  -1
+    prt  u_40_1_le_y  -1
+    prt  u_40_1_ge_sum  -1
+    prt  u_40_2_le_y  -1
+    prt  u_40_2_ge_sum  -1
+    pmac  COST  0
+    y2  one_count  1
+    y2  count_link  -2
+    y2  w_2_0_le_x  -1
+    y2  w_2_0_ge_sum  -1
+    y2  w_2_1_le_x  -1
+    y2  w_2_1_ge_sum  -1
+    y2  w_2_2_le_x  -1
+    y2  w_2_2_ge_sum  -1
+    y3  one_count  1
+    y3  count_link  -3
+    y3  w_3_0_le_x  -1
+    y3  w_3_0_ge_sum  -1
+    y3  w_3_1_le_x  -1
+    y3  w_3_1_ge_sum  -1
+    y3  w_3_2_le_x  -1
+    y3  w_3_2_ge_sum  -1
+    y4  one_count  1
+    y4  count_link  -4
+    y4  w_4_0_le_x  -1
+    y4  w_4_0_ge_sum  -1
+    y4  w_4_1_le_x  -1
+    y4  w_4_1_ge_sum  -1
+    y4  w_4_2_le_x  -1
+    y4  w_4_2_ge_sum  -1
+    y5  one_count  1
+    y5  count_link  -5
+    y5  w_5_0_le_x  -1
+    y5  w_5_0_ge_sum  -1
+    y5  w_5_1_le_x  -1
+    y5  w_5_1_ge_sum  -1
+    y5  w_5_2_le_x  -1
+    y5  w_5_2_ge_sum  -1
+    y6  one_count  1
+    y6  count_link  -6
+    y6  w_6_0_le_x  -1
+    y6  w_6_0_ge_sum  -1
+    y6  w_6_1_le_x  -1
+    y6  w_6_1_ge_sum  -1
+    y6  w_6_2_le_x  -1
+    y6  w_6_2_ge_sum  -1
+    y7  one_count  1
+    y7  count_link  -7
+    y7  w_7_0_le_x  -1
+    y7  w_7_0_ge_sum  -1
+    y7  w_7_1_le_x  -1
+    y7  w_7_1_ge_sum  -1
+    y7  w_7_2_le_x  -1
+    y7  w_7_2_ge_sum  -1
+    y8  one_count  1
+    y8  count_link  -8
+    y8  w_8_0_le_x  -1
+    y8  w_8_0_ge_sum  -1
+    y8  w_8_1_le_x  -1
+    y8  w_8_1_ge_sum  -1
+    y8  w_8_2_le_x  -1
+    y8  w_8_2_ge_sum  -1
+    y9  one_count  1
+    y9  count_link  -9
+    y9  w_9_0_le_x  -1
+    y9  w_9_0_ge_sum  -1
+    y9  w_9_1_le_x  -1
+    y9  w_9_1_ge_sum  -1
+    y9  w_9_2_le_x  -1
+    y9  w_9_2_ge_sum  -1
+    y10  one_count  1
+    y10  count_link  -10
+    y10  w_10_0_le_x  -1
+    y10  w_10_0_ge_sum  -1
+    y10  w_10_1_le_x  -1
+    y10  w_10_1_ge_sum  -1
+    y10  w_10_2_le_x  -1
+    y10  w_10_2_ge_sum  -1
+    y11  one_count  1
+    y11  count_link  -11
+    y11  w_11_0_le_x  -1
+    y11  w_11_0_ge_sum  -1
+    y11  w_11_1_le_x  -1
+    y11  w_11_1_ge_sum  -1
+    y11  w_11_2_le_x  -1
+    y11  w_11_2_ge_sum  -1
+    y12  one_count  1
+    y12  count_link  -12
+    y12  w_12_0_le_x  -1
+    y12  w_12_0_ge_sum  -1
+    y12  w_12_1_le_x  -1
+    y12  w_12_1_ge_sum  -1
+    y12  w_12_2_le_x  -1
+    y12  w_12_2_ge_sum  -1
+    y13  one_count  1
+    y13  count_link  -13
+    y13  w_13_0_le_x  -1
+    y13  w_13_0_ge_sum  -1
+    y13  w_13_1_le_x  -1
+    y13  w_13_1_ge_sum  -1
+    y13  w_13_2_le_x  -1
+    y13  w_13_2_ge_sum  -1
+    y14  one_count  1
+    y14  count_link  -14
+    y14  w_14_0_le_x  -1
+    y14  w_14_0_ge_sum  -1
+    y14  w_14_1_le_x  -1
+    y14  w_14_1_ge_sum  -1
+    y14  w_14_2_le_x  -1
+    y14  w_14_2_ge_sum  -1
+    y15  one_count  1
+    y15  count_link  -15
+    y15  w_15_0_le_x  -1
+    y15  w_15_0_ge_sum  -1
+    y15  w_15_1_le_x  -1
+    y15  w_15_1_ge_sum  -1
+    y15  w_15_2_le_x  -1
+    y15  w_15_2_ge_sum  -1
+    y16  one_count  1
+    y16  count_link  -16
+    y16  w_16_0_le_x  -1
+    y16  w_16_0_ge_sum  -1
+    y16  w_16_1_le_x  -1
+    y16  w_16_1_ge_sum  -1
+    y16  w_16_2_le_x  -1
+    y16  w_16_2_ge_sum  -1
+    y17  one_count  1
+    y17  count_link  -17
+    y17  w_17_0_le_x  -1
+    y17  w_17_0_ge_sum  -1
+    y17  w_17_1_le_x  -1
+    y17  w_17_1_ge_sum  -1
+    y17  w_17_2_le_x  -1
+    y17  w_17_2_ge_sum  -1
+    y18  one_count  1
+    y18  count_link  -18
+    y18  w_18_0_le_x  -1
+    y18  w_18_0_ge_sum  -1
+    y18  w_18_1_le_x  -1
+    y18  w_18_1_ge_sum  -1
+    y18  w_18_2_le_x  -1
+    y18  w_18_2_ge_sum  -1
+    y19  one_count  1
+    y19  count_link  -19
+    y19  w_19_0_le_x  -1
+    y19  w_19_0_ge_sum  -1
+    y19  w_19_1_le_x  -1
+    y19  w_19_1_ge_sum  -1
+    y19  w_19_2_le_x  -1
+    y19  w_19_2_ge_sum  -1
+    y20  one_count  1
+    y20  count_link  -20
+    y20  w_20_0_le_x  -1
+    y20  w_20_0_ge_sum  -1
+    y20  w_20_1_le_x  -1
+    y20  w_20_1_ge_sum  -1
+    y20  w_20_2_le_x  -1
+    y20  w_20_2_ge_sum  -1
+    y21  one_count  1
+    y21  count_link  -21
+    y21  size_budget  21
+    y21  w_21_0_le_x  -1
+    y21  w_21_0_ge_sum  -1
+    y21  w_21_1_le_x  -1
+    y21  w_21_1_ge_sum  -1
+    y21  w_21_2_le_x  -1
+    y21  w_21_2_ge_sum  -1
+    y22  one_count  1
+    y22  count_link  -22
+    y22  size_budget  22
+    y22  w_22_0_le_x  -1
+    y22  w_22_0_ge_sum  -1
+    y22  w_22_1_le_x  -1
+    y22  w_22_1_ge_sum  -1
+    y22  w_22_2_le_x  -1
+    y22  w_22_2_ge_sum  -1
+    y23  one_count  1
+    y23  count_link  -23
+    y23  size_budget  23
+    y23  w_23_0_le_x  -1
+    y23  w_23_0_ge_sum  -1
+    y23  w_23_1_le_x  -1
+    y23  w_23_1_ge_sum  -1
+    y23  w_23_2_le_x  -1
+    y23  w_23_2_ge_sum  -1
+    y24  one_count  1
+    y24  count_link  -24
+    y24  size_budget  24
+    y24  w_24_0_le_x  -1
+    y24  w_24_0_ge_sum  -1
+    y24  w_24_1_le_x  -1
+    y24  w_24_1_ge_sum  -1
+    y24  w_24_2_le_x  -1
+    y24  w_24_2_ge_sum  -1
+    y25  one_count  1
+    y25  count_link  -25
+    y25  size_budget  25
+    y25  w_25_0_le_x  -1
+    y25  w_25_0_ge_sum  -1
+    y25  w_25_1_le_x  -1
+    y25  w_25_1_ge_sum  -1
+    y25  w_25_2_le_x  -1
+    y25  w_25_2_ge_sum  -1
+    y26  one_count  1
+    y26  count_link  -26
+    y26  size_budget  26
+    y26  w_26_0_le_x  -1
+    y26  w_26_0_ge_sum  -1
+    y26  w_26_1_le_x  -1
+    y26  w_26_1_ge_sum  -1
+    y26  w_26_2_le_x  -1
+    y26  w_26_2_ge_sum  -1
+    y27  one_count  1
+    y27  count_link  -27
+    y27  size_budget  27
+    y27  w_27_0_le_x  -1
+    y27  w_27_0_ge_sum  -1
+    y27  w_27_1_le_x  -1
+    y27  w_27_1_ge_sum  -1
+    y27  w_27_2_le_x  -1
+    y27  w_27_2_ge_sum  -1
+    y28  one_count  1
+    y28  count_link  -28
+    y28  size_budget  28
+    y28  w_28_0_le_x  -1
+    y28  w_28_0_ge_sum  -1
+    y28  w_28_1_le_x  -1
+    y28  w_28_1_ge_sum  -1
+    y28  w_28_2_le_x  -1
+    y28  w_28_2_ge_sum  -1
+    y29  one_count  1
+    y29  count_link  -29
+    y29  size_budget  29
+    y29  w_29_0_le_x  -1
+    y29  w_29_0_ge_sum  -1
+    y29  w_29_1_le_x  -1
+    y29  w_29_1_ge_sum  -1
+    y29  w_29_2_le_x  -1
+    y29  w_29_2_ge_sum  -1
+    y30  one_count  1
+    y30  count_link  -30
+    y30  size_budget  30
+    y30  w_30_0_le_x  -1
+    y30  w_30_0_ge_sum  -1
+    y30  w_30_1_le_x  -1
+    y30  w_30_1_ge_sum  -1
+    y30  w_30_2_le_x  -1
+    y30  w_30_2_ge_sum  -1
+    y31  one_count  1
+    y31  count_link  -31
+    y31  size_budget  31
+    y31  w_31_0_le_x  -1
+    y31  w_31_0_ge_sum  -1
+    y31  w_31_1_le_x  -1
+    y31  w_31_1_ge_sum  -1
+    y31  w_31_2_le_x  -1
+    y31  w_31_2_ge_sum  -1
+    y32  one_count  1
+    y32  count_link  -32
+    y32  size_budget  32
+    y32  w_32_0_le_x  -1
+    y32  w_32_0_ge_sum  -1
+    y32  w_32_1_le_x  -1
+    y32  w_32_1_ge_sum  -1
+    y32  w_32_2_le_x  -1
+    y32  w_32_2_ge_sum  -1
+    y33  one_count  1
+    y33  count_link  -33
+    y33  size_budget  33
+    y33  w_33_0_le_x  -1
+    y33  w_33_0_ge_sum  -1
+    y33  w_33_1_le_x  -1
+    y33  w_33_1_ge_sum  -1
+    y33  w_33_2_le_x  -1
+    y33  w_33_2_ge_sum  -1
+    y34  one_count  1
+    y34  count_link  -34
+    y34  size_budget  34
+    y34  w_34_0_le_x  -1
+    y34  w_34_0_ge_sum  -1
+    y34  w_34_1_le_x  -1
+    y34  w_34_1_ge_sum  -1
+    y34  w_34_2_le_x  -1
+    y34  w_34_2_ge_sum  -1
+    y35  one_count  1
+    y35  count_link  -35
+    y35  size_budget  35
+    y35  w_35_0_le_x  -1
+    y35  w_35_0_ge_sum  -1
+    y35  w_35_1_le_x  -1
+    y35  w_35_1_ge_sum  -1
+    y35  w_35_2_le_x  -1
+    y35  w_35_2_ge_sum  -1
+    y36  one_count  1
+    y36  count_link  -36
+    y36  size_budget  36
+    y36  w_36_0_le_x  -1
+    y36  w_36_0_ge_sum  -1
+    y36  w_36_1_le_x  -1
+    y36  w_36_1_ge_sum  -1
+    y36  w_36_2_le_x  -1
+    y36  w_36_2_ge_sum  -1
+    y37  one_count  1
+    y37  count_link  -37
+    y37  size_budget  37
+    y37  w_37_0_le_x  -1
+    y37  w_37_0_ge_sum  -1
+    y37  w_37_1_le_x  -1
+    y37  w_37_1_ge_sum  -1
+    y37  w_37_2_le_x  -1
+    y37  w_37_2_ge_sum  -1
+    y38  one_count  1
+    y38  count_link  -38
+    y38  size_budget  38
+    y38  w_38_0_le_x  -1
+    y38  w_38_0_ge_sum  -1
+    y38  w_38_1_le_x  -1
+    y38  w_38_1_ge_sum  -1
+    y38  w_38_2_le_x  -1
+    y38  w_38_2_ge_sum  -1
+    y39  one_count  1
+    y39  count_link  -39
+    y39  size_budget  39
+    y39  w_39_0_le_x  -1
+    y39  w_39_0_ge_sum  -1
+    y39  w_39_1_le_x  -1
+    y39  w_39_1_ge_sum  -1
+    y39  w_39_2_le_x  -1
+    y39  w_39_2_ge_sum  -1
+    y40  one_count  1
+    y40  count_link  -40
+    y40  size_budget  40
+    y40  w_40_0_le_x  -1
+    y40  w_40_0_ge_sum  -1
+    y40  w_40_1_le_x  -1
+    y40  w_40_1_ge_sum  -1
+    y40  w_40_2_le_x  -1
+    y40  w_40_2_ge_sum  -1
+    w_2_0  COST  2.5595703125
+    w_2_0  w_2_0_le_x  1
+    w_2_0  w_2_0_le_y  1
+    w_2_0  w_2_0_ge_sum  1
+    w_2_0  u_2_0_le_x  -1
+    w_2_0  u_2_0_ge_sum  -1
+    u_2_0  COST  1.099609375
+    u_2_0  u_2_0_le_x  1
+    u_2_0  u_2_0_le_y  1
+    u_2_0  u_2_0_ge_sum  1
+    w_2_1  COST  4.333984375
+    w_2_1  w_2_1_le_x  1
+    w_2_1  w_2_1_le_y  1
+    w_2_1  w_2_1_ge_sum  1
+    w_2_1  u_2_1_le_x  -1
+    w_2_1  u_2_1_ge_sum  -1
+    u_2_1  COST  2.576171875
+    u_2_1  u_2_1_le_x  1
+    u_2_1  u_2_1_le_y  1
+    u_2_1  u_2_1_ge_sum  1
+    w_2_2  COST  4.822265625
+    w_2_2  w_2_2_le_x  1
+    w_2_2  w_2_2_le_y  1
+    w_2_2  w_2_2_ge_sum  1
+    w_2_2  u_2_2_le_x  -1
+    w_2_2  u_2_2_ge_sum  -1
+    u_2_2  COST  3.26953125
+    u_2_2  u_2_2_le_x  1
+    u_2_2  u_2_2_le_y  1
+    u_2_2  u_2_2_ge_sum  1
+    w_3_0  COST  4.2587890625
+    w_3_0  w_3_0_le_x  1
+    w_3_0  w_3_0_le_y  1
+    w_3_0  w_3_0_ge_sum  1
+    w_3_0  u_3_0_le_x  -1
+    w_3_0  u_3_0_ge_sum  -1
+    u_3_0  COST  0.572265625
+    u_3_0  u_3_0_le_x  1
+    u_3_0  u_3_0_le_y  1
+    u_3_0  u_3_0_ge_sum  1
+    w_3_1  COST  5.123046875
+    w_3_1  w_3_1_le_x  1
+    w_3_1  w_3_1_le_y  1
+    w_3_1  w_3_1_ge_sum  1
+    w_3_1  u_3_1_le_x  -1
+    w_3_1  u_3_1_ge_sum  -1
+    u_3_1  COST  1.6611328125
+    u_3_1  u_3_1_le_x  1
+    u_3_1  u_3_1_le_y  1
+    u_3_1  u_3_1_ge_sum  1
+    w_3_2  COST  6.970703125
+    w_3_2  w_3_2_le_x  1
+    w_3_2  w_3_2_le_y  1
+    w_3_2  w_3_2_ge_sum  1
+    w_3_2  u_3_2_le_x  -1
+    w_3_2  u_3_2_ge_sum  -1
+    u_3_2  COST  3.875
+    u_3_2  u_3_2_le_x  1
+    u_3_2  u_3_2_le_y  1
+    u_3_2  u_3_2_ge_sum  1
+    w_4_0  COST  5.322265625
+    w_4_0  w_4_0_le_x  1
+    w_4_0  w_4_0_le_y  1
+    w_4_0  w_4_0_ge_sum  1
+    w_4_0  u_4_0_le_x  -1
+    w_4_0  u_4_0_ge_sum  -1
+    u_4_0  COST  0.52490234375
+    u_4_0  u_4_0_le_x  1
+    u_4_0  u_4_0_le_y  1
+    u_4_0  u_4_0_ge_sum  1
+    w_4_1  COST  6.84375
+    w_4_1  w_4_1_le_x  1
+    w_4_1  w_4_1_le_y  1
+    w_4_1  w_4_1_ge_sum  1
+    w_4_1  u_4_1_le_x  -1
+    w_4_1  u_4_1_ge_sum  -1
+    u_4_1  COST  1.53369140625
+    u_4_1  u_4_1_le_x  1
+    u_4_1  u_4_1_le_y  1
+    u_4_1  u_4_1_ge_sum  1
+    w_4_2  COST  8.8740234375
+    w_4_2  w_4_2_le_x  1
+    w_4_2  w_4_2_le_y  1
+    w_4_2  w_4_2_ge_sum  1
+    w_4_2  u_4_2_le_x  -1
+    w_4_2  u_4_2_ge_sum  -1
+    u_4_2  COST  3.37353515625
+    u_4_2  u_4_2_le_x  1
+    u_4_2  u_4_2_le_y  1
+    u_4_2  u_4_2_ge_sum  1
+    w_5_0  COST  5.9208984375
+    w_5_0  w_5_0_le_x  1
+    w_5_0  w_5_0_le_y  1
+    w_5_0  w_5_0_ge_sum  1
+    w_5_0  u_5_0_le_x  -1
+    w_5_0  u_5_0_ge_sum  -1
+    u_5_0  COST  -0.0068359375
+    u_5_0  u_5_0_le_x  1
+    u_5_0  u_5_0_le_y  1
+    u_5_0  u_5_0_ge_sum  1
+    w_5_1  COST  6.34375
+    w_5_1  w_5_1_le_x  1
+    w_5_1  w_5_1_le_y  1
+    w_5_1  w_5_1_ge_sum  1
+    w_5_1  u_5_1_le_x  -1
+    w_5_1  u_5_1_ge_sum  -1
+    u_5_1  COST  1.275390625
+    u_5_1  u_5_1_le_x  1
+    u_5_1  u_5_1_le_y  1
+    u_5_1  u_5_1_ge_sum  1
+    w_5_2  COST  8.611328125
+    w_5_2  w_5_2_le_x  1
+    w_5_2  w_5_2_le_y  1
+    w_5_2  w_5_2_ge_sum  1
+    w_5_2  u_5_2_le_x  -1
+    w_5_2  u_5_2_ge_sum  -1
+    u_5_2  COST  3.376953125
+    u_5_2  u_5_2_le_x  1
+    u_5_2  u_5_2_le_y  1
+    u_5_2  u_5_2_ge_sum  1
+    w_6_0  COST  6.7119140625
+    w_6_0  w_6_0_le_x  1
+    w_6_0  w_6_0_le_y  1
+    w_6_0  w_6_0_ge_sum  1
+    w_6_0  u_6_0_le_x  -1
+    w_6_0  u_6_0_ge_sum  -1
+    u_6_0  COST  -0.35595703125
+    u_6_0  u_6_0_le_x  1
+    u_6_0  u_6_0_le_y  1
+    u_6_0  u_6_0_ge_sum  1
+    w_6_1  COST  7.8671875
+    w_6_1  w_6_1_le_x  1
+    w_6_1  w_6_1_le_y  1
+    w_6_1  w_6_1_ge_sum  1
+    w_6_1  u_6_1_le_x  -1
+    w_6_1  u_6_1_ge_sum  -1
+    u_6_1  COST  1.28759765625
+    u_6_1  u_6_1_le_x  1
+    u_6_1  u_6_1_le_y  1
+    u_6_1  u_6_1_ge_sum  1
+    w_6_2  COST  9.212890625
+    w_6_2  w_6_2_le_x  1
+    w_6_2  w_6_2_le_y  1
+    w_6_2  w_6_2_ge_sum  1
+    w_6_2  u_6_2_le_x  -1
+    w_6_2  u_6_2_ge_sum  -1
+    u_6_2  COST  1.5712890625
+    u_6_2  u_6_2_le_x  1
+    u_6_2  u_6_2_le_y  1
+    u_6_2  u_6_2_ge_sum  1
+    w_7_0  COST  10.01171875
+    w_7_0  w_7_0_le_x  1
+    w_7_0  w_7_0_le_y  1
+    w_7_0  w_7_0_ge_sum  1
+    w_7_0  u_7_0_le_x  -1
+    w_7_0  u_7_0_ge_sum  -1
+    u_7_0  COST  -0.9599609375
+    u_7_0  u_7_0_le_x  1
+    u_7_0  u_7_0_le_y  1
+    u_7_0  u_7_0_ge_sum  1
+    w_7_1  COST  8.87109375
+    w_7_1  w_7_1_le_x  1
+    w_7_1  w_7_1_le_y  1
+    w_7_1  w_7_1_ge_sum  1
+    w_7_1  u_7_1_le_x  -1
+    w_7_1  u_7_1_ge_sum  -1
+    u_7_1  COST  1.0634765625
+    u_7_1  u_7_1_le_x  1
+    u_7_1  u_7_1_le_y  1
+    u_7_1  u_7_1_ge_sum  1
+    w_7_2  COST  10.142578125
+    w_7_2  w_7_2_le_x  1
+    w_7_2  w_7_2_le_y  1
+    w_7_2  w_7_2_ge_sum  1
+    w_7_2  u_7_2_le_x  -1
+    w_7_2  u_7_2_ge_sum  -1
+    u_7_2  COST  2.3935546875
+    u_7_2  u_7_2_le_x  1
+    u_7_2  u_7_2_le_y  1
+    u_7_2  u_7_2_ge_sum  1
+    w_8_0  COST  8.77734375
+    w_8_0  w_8_0_le_x  1
+    w_8_0  w_8_0_le_y  1
+    w_8_0  w_8_0_ge_sum  1
+    w_8_0  u_8_0_le_x  -1
+    w_8_0  u_8_0_ge_sum  -1
+    u_8_0  COST  -0.39990234375
+    u_8_0  u_8_0_le_x  1
+    u_8_0  u_8_0_le_y  1
+    u_8_0  u_8_0_ge_sum  1
+    w_8_1  COST  10.82421875
+    w_8_1  w_8_1_le_x  1
+    w_8_1  w_8_1_le_y  1
+    w_8_1  w_8_1_ge_sum  1
+    w_8_1  u_8_1_le_x  -1
+    w_8_1  u_8_1_ge_sum  -1
+    u_8_1  COST  1.03173828125
+    u_8_1  u_8_1_le_x  1
+    u_8_1  u_8_1_le_y  1
+    u_8_1  u_8_1_ge_sum  1
+    w_8_2  COST  13.591796875
+    w_8_2  w_8_2_le_x  1
+    w_8_2  w_8_2_le_y  1
+    w_8_2  w_8_2_ge_sum  1
+    w_8_2  u_8_2_le_x  -1
+    w_8_2  u_8_2_ge_sum  -1
+    u_8_2  COST  0.68896484375
+    u_8_2  u_8_2_le_x  1
+    u_8_2  u_8_2_le_y  1
+    u_8_2  u_8_2_ge_sum  1
+    w_9_0  COST  9.4091796875
+    w_9_0  w_9_0_le_x  1
+    w_9_0  w_9_0_le_y  1
+    w_9_0  w_9_0_ge_sum  1
+    w_9_0  u_9_0_le_x  -1
+    w_9_0  u_9_0_ge_sum  -1
+    u_9_0  COST  -0.9423828125
+    u_9_0  u_9_0_le_x  1
+    u_9_0  u_9_0_le_y  1
+    u_9_0  u_9_0_ge_sum  1
+    w_9_1  COST  10.3125
+    w_9_1  w_9_1_le_x  1
+    w_9_1  w_9_1_le_y  1
+    w_9_1  w_9_1_ge_sum  1
+    w_9_1  u_9_1_le_x  -1
+    w_9_1  u_9_1_ge_sum  -1
+    u_9_1  u_9_1_le_x  1
+    u_9_1  u_9_1_le_y  1
+    u_9_1  u_9_1_ge_sum  1
+    w_9_2  COST  14.8203125
+    w_9_2  w_9_2_le_x  1
+    w_9_2  w_9_2_le_y  1
+    w_9_2  w_9_2_ge_sum  1
+    w_9_2  u_9_2_le_x  -1
+    w_9_2  u_9_2_ge_sum  -1
+    u_9_2  COST  1.48046875
+    u_9_2  u_9_2_le_x  1
+    u_9_2  u_9_2_le_y  1
+    u_9_2  u_9_2_ge_sum  1
+    w_10_0  COST  10.4599609375
+    w_10_0  w_10_0_le_x  1
+    w_10_0  w_10_0_le_y  1
+    w_10_0  w_10_0_ge_sum  1
+    w_10_0  u_10_0_le_x  -1
+    w_10_0  u_10_0_ge_sum  -1
+    u_10_0  COST  -0.921875
+    u_10_0  u_10_0_le_x  1
+    u_10_0  u_10_0_le_y  1
+    u_10_0  u_10_0_ge_sum  1
+    w_10_1  COST  15.359375
+    w_10_1  w_10_1_le_x  1
+    w_10_1  w_10_1_le_y  1
+    w_10_1  w_10_1_ge_sum  1
+    w_10_1  u_10_1_le_x  -1
+    w_10_1  u_10_1_ge_sum  -1
+    u_10_1  COST  -0.373046875
+    u_10_1  u_10_1_le_x  1
+    u_10_1  u_10_1_le_y  1
+    u_10_1  u_10_1_ge_sum  1
+    w_10_2  COST  14.701171875
+    w_10_2  w_10_2_le_x  1
+    w_10_2  w_10_2_le_y  1
+    w_10_2  w_10_2_ge_sum  1
+    w_10_2  u_10_2_le_x  -1
+    w_10_2  u_10_2_ge_sum  -1
+    u_10_2  COST  0.990234375
+    u_10_2  u_10_2_le_x  1
+    u_10_2  u_10_2_le_y  1
+    u_10_2  u_10_2_ge_sum  1
+    w_11_0  COST  16.021484375
+    w_11_0  w_11_0_le_x  1
+    w_11_0  w_11_0_le_y  1
+    w_11_0  w_11_0_ge_sum  1
+    w_11_0  u_11_0_le_x  -1
+    w_11_0  u_11_0_ge_sum  -1
+    u_11_0  COST  -2.3623046875
+    u_11_0  u_11_0_le_x  1
+    u_11_0  u_11_0_le_y  1
+    u_11_0  u_11_0_ge_sum  1
+    w_11_1  COST  15.869140625
+    w_11_1  w_11_1_le_x  1
+    w_11_1  w_11_1_le_y  1
+    w_11_1  w_11_1_ge_sum  1
+    w_11_1  u_11_1_le_x  -1
+    w_11_1  u_11_1_ge_sum  -1
+    u_11_1  COST  -1.171875
+    u_11_1  u_11_1_le_x  1
+    u_11_1  u_11_1_le_y  1
+    u_11_1  u_11_1_ge_sum  1
+    w_11_2  COST  14.912109375
+    w_11_2  w_11_2_le_x  1
+    w_11_2  w_11_2_le_y  1
+    w_11_2  w_11_2_ge_sum  1
+    w_11_2  u_11_2_le_x  -1
+    w_11_2  u_11_2_ge_sum  -1
+    u_11_2  COST  1.3623046875
+    u_11_2  u_11_2_le_x  1
+    u_11_2  u_11_2_le_y  1
+    u_11_2  u_11_2_ge_sum  1
+    w_12_0  COST  17.1328125
+    w_12_0  w_12_0_le_x  1
+    w_12_0  w_12_0_le_y  1
+    w_12_0  w_12_0_ge_sum  1
+    w_12_0  u_12_0_le_x  -1
+    w_12_0  u_12_0_ge_sum  -1
+    u_12_0  COST  -2.65966796875
+    u_12_0  u_12_0_le_x  1
+    u_12_0  u_12_0_le_y  1
+    u_12_0  u_12_0_ge_sum  1
+    w_12_1  COST  18.05078125
+    w_12_1  w_12_1_le_x  1
+    w_12_1  w_12_1_le_y  1
+    w_12_1  w_12_1_ge_sum  1
+    w_12_1  u_12_1_le_x  -1
+    w_12_1  u_12_1_ge_sum  -1
+    u_12_1  COST  -1.5537109375
+    u_12_1  u_12_1_le_x  1
+    u_12_1  u_12_1_le_y  1
+    u_12_1  u_12_1_ge_sum  1
+    w_12_2  COST  16.712890625
+    w_12_2  w_12_2_le_x  1
+    w_12_2  w_12_2_le_y  1
+    w_12_2  w_12_2_ge_sum  1
+    w_12_2  u_12_2_le_x  -1
+    w_12_2  u_12_2_ge_sum  -1
+    u_12_2  COST  0.46533203125
+    u_12_2  u_12_2_le_x  1
+    u_12_2  u_12_2_le_y  1
+    u_12_2  u_12_2_ge_sum  1
+    w_13_0  COST  14.3330078125
+    w_13_0  w_13_0_le_x  1
+    w_13_0  w_13_0_le_y  1
+    w_13_0  w_13_0_ge_sum  1
+    w_13_0  u_13_0_le_x  -1
+    w_13_0  u_13_0_ge_sum  -1
+    u_13_0  COST  -2.0732421875
+    u_13_0  u_13_0_le_x  1
+    u_13_0  u_13_0_le_y  1
+    u_13_0  u_13_0_ge_sum  1
+    w_13_1  COST  15.953125
+    w_13_1  w_13_1_le_x  1
+    w_13_1  w_13_1_le_y  1
+    w_13_1  w_13_1_ge_sum  1
+    w_13_1  u_13_1_le_x  -1
+    w_13_1  u_13_1_ge_sum  -1
+    u_13_1  COST  -0.951171875
+    u_13_1  u_13_1_le_x  1
+    u_13_1  u_13_1_le_y  1
+    u_13_1  u_13_1_ge_sum  1
+    w_13_2  COST  21.3984375
+    w_13_2  w_13_2_le_x  1
+    w_13_2  w_13_2_le_y  1
+    w_13_2  w_13_2_ge_sum  1
+    w_13_2  u_13_2_le_x  -1
+    w_13_2  u_13_2_ge_sum  -1
+    u_13_2  COST  -0.369140625
+    u_13_2  u_13_2_le_x  1
+    u_13_2  u_13_2_le_y  1
+    u_13_2  u_13_2_ge_sum  1
+    w_14_0  COST  19.1337890625
+    w_14_0  w_14_0_le_x  1
+    w_14_0  w_14_0_le_y  1
+    w_14_0  w_14_0_ge_sum  1
+    w_14_0  u_14_0_le_x  -1
+    w_14_0  u_14_0_ge_sum  -1
+    u_14_0  COST  -3.0830078125
+    u_14_0  u_14_0_le_x  1
+    u_14_0  u_14_0_le_y  1
+    u_14_0  u_14_0_ge_sum  1
+    w_14_1  COST  20.595703125
+    w_14_1  w_14_1_le_x  1
+    w_14_1  w_14_1_le_y  1
+    w_14_1  w_14_1_ge_sum  1
+    w_14_1  u_14_1_le_x  -1
+    w_14_1  u_14_1_ge_sum  -1
+    u_14_1  COST  -1.52587890625
+    u_14_1  u_14_1_le_x  1
+    u_14_1  u_14_1_le_y  1
+    u_14_1  u_14_1_ge_sum  1
+    w_14_2  COST  21.1640625
+    w_14_2  w_14_2_le_x  1
+    w_14_2  w_14_2_le_y  1
+    w_14_2  w_14_2_ge_sum  1
+    w_14_2  u_14_2_le_x  -1
+    w_14_2  u_14_2_ge_sum  -1
+    u_14_2  COST  -1.02099609375
+    u_14_2  u_14_2_le_x  1
+    u_14_2  u_14_2_le_y  1
+    u_14_2  u_14_2_ge_sum  1
+    w_15_0  COST  15.771484375
+    w_15_0  w_15_0_le_x  1
+    w_15_0  w_15_0_le_y  1
+    w_15_0  w_15_0_ge_sum  1
+    w_15_0  u_15_0_le_x  -1
+    w_15_0  u_15_0_ge_sum  -1
+    u_15_0  COST  -2.3779296875
+    u_15_0  u_15_0_le_x  1
+    u_15_0  u_15_0_le_y  1
+    u_15_0  u_15_0_ge_sum  1
+    w_15_1  COST  21.7890625
+    w_15_1  w_15_1_le_x  1
+    w_15_1  w_15_1_le_y  1
+    w_15_1  w_15_1_ge_sum  1
+    w_15_1  u_15_1_le_x  -1
+    w_15_1  u_15_1_ge_sum  -1
+    u_15_1  COST  -2.5126953125
+    u_15_1  u_15_1_le_x  1
+    u_15_1  u_15_1_le_y  1
+    u_15_1  u_15_1_ge_sum  1
+    w_15_2  COST  22.328125
+    w_15_2  w_15_2_le_x  1
+    w_15_2  w_15_2_le_y  1
+    w_15_2  w_15_2_ge_sum  1
+    w_15_2  u_15_2_le_x  -1
+    w_15_2  u_15_2_ge_sum  -1
+    u_15_2  COST  -0.3671875
+    u_15_2  u_15_2_le_x  1
+    u_15_2  u_15_2_le_y  1
+    u_15_2  u_15_2_ge_sum  1
+    w_16_0  COST  20.7490234375
+    w_16_0  w_16_0_le_x  1
+    w_16_0  w_16_0_le_y  1
+    w_16_0  w_16_0_ge_sum  1
+    w_16_0  u_16_0_le_x  -1
+    w_16_0  u_16_0_ge_sum  -1
+    u_16_0  COST  -3.53076171875
+    u_16_0  u_16_0_le_x  1
+    u_16_0  u_16_0_le_y  1
+    u_16_0  u_16_0_ge_sum  1
+    w_16_1  COST  17.9140625
+    w_16_1  w_16_1_le_x  1
+    w_16_1  w_16_1_le_y  1
+    w_16_1  w_16_1_ge_sum  1
+    w_16_1  u_16_1_le_x  -1
+    w_16_1  u_16_1_ge_sum  -1
+    u_16_1  COST  -0.8359375
+    u_16_1  u_16_1_le_x  1
+    u_16_1  u_16_1_le_y  1
+    u_16_1  u_16_1_ge_sum  1
+    w_16_2  COST  19.93359375
+    w_16_2  w_16_2_le_x  1
+    w_16_2  w_16_2_le_y  1
+    w_16_2  w_16_2_ge_sum  1
+    w_16_2  u_16_2_le_x  -1
+    w_16_2  u_16_2_ge_sum  -1
+    u_16_2  COST  0.451171875
+    u_16_2  u_16_2_le_x  1
+    u_16_2  u_16_2_le_y  1
+    u_16_2  u_16_2_ge_sum  1
+    w_17_0  COST  20.8037109375
+    w_17_0  w_17_0_le_x  1
+    w_17_0  w_17_0_le_y  1
+    w_17_0  w_17_0_ge_sum  1
+    w_17_0  u_17_0_le_x  -1
+    w_17_0  u_17_0_ge_sum  -1
+    u_17_0  COST  -3.6884765625
+    u_17_0  u_17_0_le_x  1
+    u_17_0  u_17_0_le_y  1
+    u_17_0  u_17_0_ge_sum  1
+    w_17_1  COST  20.68359375
+    w_17_1  w_17_1_le_x  1
+    w_17_1  w_17_1_le_y  1
+    w_17_1  w_17_1_ge_sum  1
+    w_17_1  u_17_1_le_x  -1
+    w_17_1  u_17_1_ge_sum  -1
+    u_17_1  COST  -1.50390625
+    u_17_1  u_17_1_le_x  1
+    u_17_1  u_17_1_le_y  1
+    u_17_1  u_17_1_ge_sum  1
+    w_17_2  COST  19.509765625
+    w_17_2  w_17_2_le_x  1
+    w_17_2  w_17_2_le_y  1
+    w_17_2  w_17_2_ge_sum  1
+    w_17_2  u_17_2_le_x  -1
+    w_17_2  u_17_2_ge_sum  -1
+    u_17_2  COST  -0.724609375
+    u_17_2  u_17_2_le_x  1
+    u_17_2  u_17_2_le_y  1
+    u_17_2  u_17_2_ge_sum  1
+    w_18_0  COST  21.443359375
+    w_18_0  w_18_0_le_x  1
+    w_18_0  w_18_0_le_y  1
+    w_18_0  w_18_0_ge_sum  1
+    w_18_0  u_18_0_le_x  -1
+    w_18_0  u_18_0_ge_sum  -1
+    u_18_0  COST  -3.625
+    u_18_0  u_18_0_le_x  1
+    u_18_0  u_18_0_le_y  1
+    u_18_0  u_18_0_ge_sum  1
+    w_18_1  COST  23.416015625
+    w_18_1  w_18_1_le_x  1
+    w_18_1  w_18_1_le_y  1
+    w_18_1  w_18_1_ge_sum  1
+    w_18_1  u_18_1_le_x  -1
+    w_18_1  u_18_1_ge_sum  -1
+    u_18_1  COST  -2.93896484375
+    u_18_1  u_18_1_le_x  1
+    u_18_1  u_18_1_le_y  1
+    u_18_1  u_18_1_ge_sum  1
+    w_18_2  COST  27.11328125
+    w_18_2  w_18_2_le_x  1
+    w_18_2  w_18_2_le_y  1
+    w_18_2  w_18_2_ge_sum  1
+    w_18_2  u_18_2_le_x  -1
+    w_18_2  u_18_2_ge_sum  -1
+    u_18_2  COST  -2.3544921875
+    u_18_2  u_18_2_le_x  1
+    u_18_2  u_18_2_le_y  1
+    u_18_2  u_18_2_ge_sum  1
+    w_19_0  COST  19.37890625
+    w_19_0  w_19_0_le_x  1
+    w_19_0  w_19_0_le_y  1
+    w_19_0  w_19_0_ge_sum  1
+    w_19_0  u_19_0_le_x  -1
+    w_19_0  u_19_0_ge_sum  -1
+    u_19_0  COST  -3.2529296875
+    u_19_0  u_19_0_le_x  1
+    u_19_0  u_19_0_le_y  1
+    u_19_0  u_19_0_ge_sum  1
+    w_19_1  COST  25.013671875
+    w_19_1  w_19_1_le_x  1
+    w_19_1  w_19_1_le_y  1
+    w_19_1  w_19_1_ge_sum  1
+    w_19_1  u_19_1_le_x  -1
+    w_19_1  u_19_1_ge_sum  -1
+    u_19_1  COST  -2.8916015625
+    u_19_1  u_19_1_le_x  1
+    u_19_1  u_19_1_le_y  1
+    u_19_1  u_19_1_ge_sum  1
+    w_19_2  COST  27.6533203125
+    w_19_2  w_19_2_le_x  1
+    w_19_2  w_19_2_le_y  1
+    w_19_2  w_19_2_ge_sum  1
+    w_19_2  u_19_2_le_x  -1
+    w_19_2  u_19_2_ge_sum  -1
+    u_19_2  COST  -1.8779296875
+    u_19_2  u_19_2_le_x  1
+    u_19_2  u_19_2_le_y  1
+    u_19_2  u_19_2_ge_sum  1
+    w_20_0  COST  22.251953125
+    w_20_0  w_20_0_le_x  1
+    w_20_0  w_20_0_le_y  1
+    w_20_0  w_20_0_ge_sum  1
+    w_20_0  u_20_0_le_x  -1
+    w_20_0  u_20_0_ge_sum  -1
+    u_20_0  COST  -3.724609375
+    u_20_0  u_20_0_le_x  1
+    u_20_0  u_20_0_le_y  1
+    u_20_0  u_20_0_ge_sum  1
+    w_20_1  COST  23.201171875
+    w_20_1  w_20_1_le_x  1
+    w_20_1  w_20_1_le_y  1
+    w_20_1  w_20_1_ge_sum  1
+    w_20_1  u_20_1_le_x  -1
+    w_20_1  u_20_1_ge_sum  -1
+    u_20_1  COST  -2.63623046875
+    u_20_1  u_20_1_le_x  1
+    u_20_1  u_20_1_le_y  1
+    u_20_1  u_20_1_ge_sum  1
+    w_20_2  COST  26.94921875
+    w_20_2  w_20_2_le_x  1
+    w_20_2  w_20_2_le_y  1
+    w_20_2  w_20_2_ge_sum  1
+    w_20_2  u_20_2_le_x  -1
+    w_20_2  u_20_2_ge_sum  -1
+    u_20_2  COST  -2.32080078125
+    u_20_2  u_20_2_le_x  1
+    u_20_2  u_20_2_le_y  1
+    u_20_2  u_20_2_ge_sum  1
+    w_21_0  COST  25.521484375
+    w_21_0  w_21_0_le_x  1
+    w_21_0  w_21_0_le_y  1
+    w_21_0  w_21_0_ge_sum  1
+    w_21_0  u_21_0_le_x  -1
+    w_21_0  u_21_0_ge_sum  -1
+    u_21_0  COST  -4.751953125
+    u_21_0  u_21_0_le_x  1
+    u_21_0  u_21_0_le_y  1
+    u_21_0  u_21_0_ge_sum  1
+    w_21_1  COST  30.28125
+    w_21_1  w_21_1_le_x  1
+    w_21_1  w_21_1_le_y  1
+    w_21_1  w_21_1_ge_sum  1
+    w_21_1  u_21_1_le_x  -1
+    w_21_1  u_21_1_ge_sum  -1
+    u_21_1  COST  -3.8984375
+    u_21_1  u_21_1_le_x  1
+    u_21_1  u_21_1_le_y  1
+    u_21_1  u_21_1_ge_sum  1
+    w_21_2  COST  29.265625
+    w_21_2  w_21_2_le_x  1
+    w_21_2  w_21_2_le_y  1
+    w_21_2  w_21_2_ge_sum  1
+    w_21_2  u_21_2_le_x  -1
+    w_21_2  u_21_2_ge_sum  -1
+    u_21_2  COST  -1.837890625
+    u_21_2  u_21_2_le_x  1
+    u_21_2  u_21_2_le_y  1
+    u_21_2  u_21_2_ge_sum  1
+    w_22_0  COST  28.37109375
+    w_22_0  w_22_0_le_x  1
+    w_22_0  w_22_0_le_y  1
+    w_22_0  w_22_0_ge_sum  1
+    w_22_0  u_22_0_le_x  -1
+    w_22_0  u_22_0_ge_sum  -1
+    u_22_0  COST  -5.82568359375
+    u_22_0  u_22_0_le_x  1
+    u_22_0  u_22_0_le_y  1
+    u_22_0  u_22_0_ge_sum  1
+    w_22_1  COST  25.1484375
+    w_22_1  w_22_1_le_x  1
+    w_22_1  w_22_1_le_y  1
+    w_22_1  w_22_1_ge_sum  1
+    w_22_1  u_22_1_le_x  -1
+    w_22_1  u_22_1_ge_sum  -1
+    u_22_1  COST  -2.89599609375
+    u_22_1  u_22_1_le_x  1
+    u_22_1  u_22_1_le_y  1
+    u_22_1  u_22_1_ge_sum  1
+    w_22_2  COST  32.61328125
+    w_22_2  w_22_2_le_x  1
+    w_22_2  w_22_2_le_y  1
+    w_22_2  w_22_2_ge_sum  1
+    w_22_2  u_22_2_le_x  -1
+    w_22_2  u_22_2_ge_sum  -1
+    u_22_2  COST  -3.32666015625
+    u_22_2  u_22_2_le_x  1
+    u_22_2  u_22_2_le_y  1
+    u_22_2  u_22_2_ge_sum  1
+    w_23_0  COST  33.7900390625
+    w_23_0  w_23_0_le_x  1
+    w_23_0  w_23_0_le_y  1
+    w_23_0  w_23_0_ge_sum  1
+    w_23_0  u_23_0_le_x  -1
+    w_23_0  u_23_0_ge_sum  -1
+    u_23_0  COST  -6.6005859375
+    u_23_0  u_23_0_le_x  1
+    u_23_0  u_23_0_le_y  1
+    u_23_0  u_23_0_ge_sum  1
+    w_23_1  COST  27.126953125
+    w_23_1  w_23_1_le_x  1
+    w_23_1  w_23_1_le_y  1
+    w_23_1  w_23_1_ge_sum  1
+    w_23_1  u_23_1_le_x  -1
+    w_23_1  u_23_1_ge_sum  -1
+    u_23_1  COST  -3.4345703125
+    u_23_1  u_23_1_le_x  1
+    u_23_1  u_23_1_le_y  1
+    u_23_1  u_23_1_ge_sum  1
+    w_23_2  COST  29.857421875
+    w_23_2  w_23_2_le_x  1
+    w_23_2  w_23_2_le_y  1
+    w_23_2  w_23_2_ge_sum  1
+    w_23_2  u_23_2_le_x  -1
+    w_23_2  u_23_2_ge_sum  -1
+    u_23_2  COST  -2.6376953125
+    u_23_2  u_23_2_le_x  1
+    u_23_2  u_23_2_le_y  1
+    u_23_2  u_23_2_ge_sum  1
+    w_24_0  COST  24.640625
+    w_24_0  w_24_0_le_x  1
+    w_24_0  w_24_0_le_y  1
+    w_24_0  w_24_0_ge_sum  1
+    w_24_0  u_24_0_le_x  -1
+    w_24_0  u_24_0_ge_sum  -1
+    u_24_0  COST  -4.783203125
+    u_24_0  u_24_0_le_x  1
+    u_24_0  u_24_0_le_y  1
+    u_24_0  u_24_0_ge_sum  1
+    w_24_1  COST  35.728515625
+    w_24_1  w_24_1_le_x  1
+    w_24_1  w_24_1_le_y  1
+    w_24_1  w_24_1_ge_sum  1
+    w_24_1  u_24_1_le_x  -1
+    w_24_1  u_24_1_ge_sum  -1
+    u_24_1  COST  -5.20654296875
+    u_24_1  u_24_1_le_x  1
+    u_24_1  u_24_1_le_y  1
+    u_24_1  u_24_1_ge_sum  1
+    w_24_2  COST  36.3837890625
+    w_24_2  w_24_2_le_x  1
+    w_24_2  w_24_2_le_y  1
+    w_24_2  w_24_2_ge_sum  1
+    w_24_2  u_24_2_le_x  -1
+    w_24_2  u_24_2_ge_sum  -1
+    u_24_2  COST  -5.056640625
+    u_24_2  u_24_2_le_x  1
+    u_24_2  u_24_2_le_y  1
+    u_24_2  u_24_2_ge_sum  1
+    w_25_0  COST  33.4365234375
+    w_25_0  w_25_0_le_x  1
+    w_25_0  w_25_0_le_y  1
+    w_25_0  w_25_0_ge_sum  1
+    w_25_0  u_25_0_le_x  -1
+    w_25_0  u_25_0_ge_sum  -1
+    u_25_0  COST  -6.9931640625
+    u_25_0  u_25_0_le_x  1
+    u_25_0  u_25_0_le_y  1
+    u_25_0  u_25_0_ge_sum  1
+    w_25_1  COST  31.57421875
+    w_25_1  w_25_1_le_x  1
+    w_25_1  w_25_1_le_y  1
+    w_25_1  w_25_1_ge_sum  1
+    w_25_1  u_25_1_le_x  -1
+    w_25_1  u_25_1_ge_sum  -1
+    u_25_1  COST  -4.40234375
+    u_25_1  u_25_1_le_x  1
+    u_25_1  u_25_1_le_y  1
+    u_25_1  u_25_1_ge_sum  1
+    w_25_2  COST  38.6982421875
+    w_25_2  w_25_2_le_x  1
+    w_25_2  w_25_2_le_y  1
+    w_25_2  w_25_2_ge_sum  1
+    w_25_2  u_25_2_le_x  -1
+    w_25_2  u_25_2_ge_sum  -1
+    u_25_2  COST  -5.4228515625
+    u_25_2  u_25_2_le_x  1
+    u_25_2  u_25_2_le_y  1
+    u_25_2  u_25_2_ge_sum  1
+    w_26_0  COST  37.4931640625
+    w_26_0  w_26_0_le_x  1
+    w_26_0  w_26_0_le_y  1
+    w_26_0  w_26_0_ge_sum  1
+    w_26_0  u_26_0_le_x  -1
+    w_26_0  u_26_0_ge_sum  -1
+    u_26_0  COST  -7.61181640625
+    u_26_0  u_26_0_le_x  1
+    u_26_0  u_26_0_le_y  1
+    u_26_0  u_26_0_ge_sum  1
+    w_26_1  COST  29.84765625
+    w_26_1  w_26_1_le_x  1
+    w_26_1  w_26_1_le_y  1
+    w_26_1  w_26_1_ge_sum  1
+    w_26_1  u_26_1_le_x  -1
+    w_26_1  u_26_1_ge_sum  -1
+    u_26_1  COST  -3.90478515625
+    u_26_1  u_26_1_le_x  1
+    u_26_1  u_26_1_le_y  1
+    u_26_1  u_26_1_ge_sum  1
+    w_26_2  COST  36.255859375
+    w_26_2  w_26_2_le_x  1
+    w_26_2  w_26_2_le_y  1
+    w_26_2  w_26_2_ge_sum  1
+    w_26_2  u_26_2_le_x  -1
+    w_26_2  u_26_2_ge_sum  -1
+    u_26_2  COST  -4.8818359375
+    u_26_2  u_26_2_le_x  1
+    u_26_2  u_26_2_le_y  1
+    u_26_2  u_26_2_ge_sum  1
+    w_27_0  COST  36.484375
+    w_27_0  w_27_0_le_x  1
+    w_27_0  w_27_0_le_y  1
+    w_27_0  w_27_0_ge_sum  1
+    w_27_0  u_27_0_le_x  -1
+    w_27_0  u_27_0_ge_sum  -1
+    u_27_0  COST  -7.44140625
+    u_27_0  u_27_0_le_x  1
+    u_27_0  u_27_0_le_y  1
+    u_27_0  u_27_0_ge_sum  1
+    w_27_1  COST  40.494140625
+    w_27_1  w_27_1_le_x  1
+    w_27_1  w_27_1_le_y  1
+    w_27_1  w_27_1_ge_sum  1
+    w_27_1  u_27_1_le_x  -1
+    w_27_1  u_27_1_ge_sum  -1
+    u_27_1  COST  -6.9228515625
+    u_27_1  u_27_1_le_x  1
+    u_27_1  u_27_1_le_y  1
+    u_27_1  u_27_1_ge_sum  1
+    w_27_2  COST  41.6875
+    w_27_2  w_27_2_le_x  1
+    w_27_2  w_27_2_le_y  1
+    w_27_2  w_27_2_ge_sum  1
+    w_27_2  u_27_2_le_x  -1
+    w_27_2  u_27_2_ge_sum  -1
+    u_27_2  COST  -5.03125
+    u_27_2  u_27_2_le_x  1
+    u_27_2  u_27_2_le_y  1
+    u_27_2  u_27_2_ge_sum  1
+    w_28_0  COST  41.318359375
+    w_28_0  w_28_0_le_x  1
+    w_28_0  w_28_0_le_y  1
+    w_28_0  w_28_0_ge_sum  1
+    w_28_0  u_28_0_le_x  -1
+    w_28_0  u_28_0_ge_sum  -1
+    u_28_0  COST  -8.97705078125
+    u_28_0  u_28_0_le_x  1
+    u_28_0  u_28_0_le_y  1
+    u_28_0  u_28_0_ge_sum  1
+    w_28_1  COST  34.98828125
+    w_28_1  w_28_1_le_x  1
+    w_28_1  w_28_1_le_y  1
+    w_28_1  w_28_1_ge_sum  1
+    w_28_1  u_28_1_le_x  -1
+    w_28_1  u_28_1_ge_sum  -1
+    u_28_1  COST  -5.880859375
+    u_28_1  u_28_1_le_x  1
+    u_28_1  u_28_1_le_y  1
+    u_28_1  u_28_1_ge_sum  1
+    w_28_2  COST  43.03125
+    w_28_2  w_28_2_le_x  1
+    w_28_2  w_28_2_le_y  1
+    w_28_2  w_28_2_ge_sum  1
+    w_28_2  u_28_2_le_x  -1
+    w_28_2  u_28_2_ge_sum  -1
+    u_28_2  COST  -5.8798828125
+    u_28_2  u_28_2_le_x  1
+    u_28_2  u_28_2_le_y  1
+    u_28_2  u_28_2_ge_sum  1
+    w_29_0  COST  37.5224609375
+    w_29_0  w_29_0_le_x  1
+    w_29_0  w_29_0_le_y  1
+    w_29_0  w_29_0_ge_sum  1
+    w_29_0  u_29_0_le_x  -1
+    w_29_0  u_29_0_ge_sum  -1
+    u_29_0  COST  -7.9365234375
+    u_29_0  u_29_0_le_x  1
+    u_29_0  u_29_0_le_y  1
+    u_29_0  u_29_0_ge_sum  1
+    w_29_1  COST  34.53515625
+    w_29_1  w_29_1_le_x  1
+    w_29_1  w_29_1_le_y  1
+    w_29_1  w_29_1_ge_sum  1
+    w_29_1  u_29_1_le_x  -1
+    w_29_1  u_29_1_ge_sum  -1
+    u_29_1  COST  -5.591796875
+    u_29_1  u_29_1_le_x  1
+    u_29_1  u_29_1_le_y  1
+    u_29_1  u_29_1_ge_sum  1
+    w_29_2  COST  44.20703125
+    w_29_2  w_29_2_le_x  1
+    w_29_2  w_29_2_le_y  1
+    w_29_2  w_29_2_ge_sum  1
+    w_29_2  u_29_2_le_x  -1
+    w_29_2  u_29_2_ge_sum  -1
+    u_29_2  COST  -5.96875
+    u_29_2  u_29_2_le_x  1
+    u_29_2  u_29_2_le_y  1
+    u_29_2  u_29_2_ge_sum  1
+    w_30_0  COST  41.931640625
+    w_30_0  w_30_0_le_x  1
+    w_30_0  w_30_0_le_y  1
+    w_30_0  w_30_0_ge_sum  1
+    w_30_0  u_30_0_le_x  -1
+    w_30_0  u_30_0_ge_sum  -1
+    u_30_0  COST  -8.97412109375
+    u_30_0  u_30_0_le_x  1
+    u_30_0  u_30_0_le_y  1
+    u_30_0  u_30_0_ge_sum  1
+    w_30_1  COST  33.240234375
+    w_30_1  w_30_1_le_x  1
+    w_30_1  w_30_1_le_y  1
+    w_30_1  w_30_1_ge_sum  1
+    w_30_1  u_30_1_le_x  -1
+    w_30_1  u_30_1_ge_sum  -1
+    u_30_1  COST  -4.5673828125
+    u_30_1  u_30_1_le_x  1
+    u_30_1  u_30_1_le_y  1
+    u_30_1  u_30_1_ge_sum  1
+    w_30_2  COST  37.0009765625
+    w_30_2  w_30_2_le_x  1
+    w_30_2  w_30_2_le_y  1
+    w_30_2  w_30_2_ge_sum  1
+    w_30_2  u_30_2_le_x  -1
+    w_30_2  u_30_2_ge_sum  -1
+    u_30_2  COST  -3.921875
+    u_30_2  u_30_2_le_x  1
+    u_30_2  u_30_2_le_y  1
+    u_30_2  u_30_2_ge_sum  1
+    w_31_0  COST  43.9287109375
+    w_31_0  w_31_0_le_x  1
+    w_31_0  w_31_0_le_y  1
+    w_31_0  w_31_0_ge_sum  1
+    w_31_0  u_31_0_le_x  -1
+    w_31_0  u_31_0_ge_sum  -1
+    u_31_0  COST  -9.46484375
+    u_31_0  u_31_0_le_x  1
+    u_31_0  u_31_0_le_y  1
+    u_31_0  u_31_0_ge_sum  1
+    w_31_1  COST  40.6796875
+    w_31_1  w_31_1_le_x  1
+    w_31_1  w_31_1_le_y  1
+    w_31_1  w_31_1_ge_sum  1
+    w_31_1  u_31_1_le_x  -1
+    w_31_1  u_31_1_ge_sum  -1
+    u_31_1  COST  -7.220703125
+    u_31_1  u_31_1_le_x  1
+    u_31_1  u_31_1_le_y  1
+    u_31_1  u_31_1_ge_sum  1
+    w_31_2  COST  44.0419921875
+    w_31_2  w_31_2_le_x  1
+    w_31_2  w_31_2_le_y  1
+    w_31_2  w_31_2_ge_sum  1
+    w_31_2  u_31_2_le_x  -1
+    w_31_2  u_31_2_ge_sum  -1
+    u_31_2  COST  -6.12890625
+    u_31_2  u_31_2_le_x  1
+    u_31_2  u_31_2_le_y  1
+    u_31_2  u_31_2_ge_sum  1
+    w_32_0  COST  39.453125
+    w_32_0  w_32_0_le_x  1
+    w_32_0  w_32_0_le_y  1
+    w_32_0  w_32_0_ge_sum  1
+    w_32_0  u_32_0_le_x  -1
+    w_32_0  u_32_0_ge_sum  -1
+    u_32_0  COST  -8.2275390625
+    u_32_0  u_32_0_le_x  1
+    u_32_0  u_32_0_le_y  1
+    u_32_0  u_32_0_ge_sum  1
+    w_32_1  COST  43.40234375
+    w_32_1  w_32_1_le_x  1
+    w_32_1  w_32_1_le_y  1
+    w_32_1  w_32_1_ge_sum  1
+    w_32_1  u_32_1_le_x  -1
+    w_32_1  u_32_1_ge_sum  -1
+    u_32_1  COST  -7.38134765625
+    u_32_1  u_32_1_le_x  1
+    u_32_1  u_32_1_le_y  1
+    u_32_1  u_32_1_ge_sum  1
+    w_32_2  COST  47.2333984375
+    w_32_2  w_32_2_le_x  1
+    w_32_2  w_32_2_le_y  1
+    w_32_2  w_32_2_ge_sum  1
+    w_32_2  u_32_2_le_x  -1
+    w_32_2  u_32_2_ge_sum  -1
+    u_32_2  COST  -6.501953125
+    u_32_2  u_32_2_le_x  1
+    u_32_2  u_32_2_le_y  1
+    u_32_2  u_32_2_ge_sum  1
+    w_33_0  COST  36.92578125
+    w_33_0  w_33_0_le_x  1
+    w_33_0  w_33_0_le_y  1
+    w_33_0  w_33_0_ge_sum  1
+    w_33_0  u_33_0_le_x  -1
+    w_33_0  u_33_0_ge_sum  -1
+    u_33_0  COST  -7.44921875
+    u_33_0  u_33_0_le_x  1
+    u_33_0  u_33_0_le_y  1
+    u_33_0  u_33_0_ge_sum  1
+    w_33_1  COST  36.248046875
+    w_33_1  w_33_1_le_x  1
+    w_33_1  w_33_1_le_y  1
+    w_33_1  w_33_1_ge_sum  1
+    w_33_1  u_33_1_le_x  -1
+    w_33_1  u_33_1_ge_sum  -1
+    u_33_1  COST  -6.408203125
+    u_33_1  u_33_1_le_x  1
+    u_33_1  u_33_1_le_y  1
+    u_33_1  u_33_1_ge_sum  1
+    w_33_2  COST  38.5791015625
+    w_33_2  w_33_2_le_x  1
+    w_33_2  w_33_2_le_y  1
+    w_33_2  w_33_2_ge_sum  1
+    w_33_2  u_33_2_le_x  -1
+    w_33_2  u_33_2_ge_sum  -1
+    u_33_2  COST  -5.0927734375
+    u_33_2  u_33_2_le_x  1
+    u_33_2  u_33_2_le_y  1
+    u_33_2  u_33_2_ge_sum  1
+    w_34_0  COST  46.091796875
+    w_34_0  w_34_0_le_x  1
+    w_34_0  w_34_0_le_y  1
+    w_34_0  w_34_0_ge_sum  1
+    w_34_0  u_34_0_le_x  -1
+    w_34_0  u_34_0_ge_sum  -1
+    u_34_0  COST  -9.982421875
+    u_34_0  u_34_0_le_x  1
+    u_34_0  u_34_0_le_y  1
+    u_34_0  u_34_0_ge_sum  1
+    w_34_1  COST  36.693359375
+    w_34_1  w_34_1_le_x  1
+    w_34_1  w_34_1_le_y  1
+    w_34_1  w_34_1_ge_sum  1
+    w_34_1  u_34_1_le_x  -1
+    w_34_1  u_34_1_ge_sum  -1
+    u_34_1  COST  -6.6513671875
+    u_34_1  u_34_1_le_x  1
+    u_34_1  u_34_1_le_y  1
+    u_34_1  u_34_1_ge_sum  1
+    w_34_2  COST  44.021484375
+    w_34_2  w_34_2_le_x  1
+    w_34_2  w_34_2_le_y  1
+    w_34_2  w_34_2_ge_sum  1
+    w_34_2  u_34_2_le_x  -1
+    w_34_2  u_34_2_ge_sum  -1
+    u_34_2  COST  -6.33251953125
+    u_34_2  u_34_2_le_x  1
+    u_34_2  u_34_2_le_y  1
+    u_34_2  u_34_2_ge_sum  1
+    w_35_0  COST  39.3154296875
+    w_35_0  w_35_0_le_x  1
+    w_35_0  w_35_0_le_y  1
+    w_35_0  w_35_0_ge_sum  1
+    w_35_0  u_35_0_le_x  -1
+    w_35_0  u_35_0_ge_sum  -1
+    u_35_0  COST  -8.4140625
+    u_35_0  u_35_0_le_x  1
+    u_35_0  u_35_0_le_y  1
+    u_35_0  u_35_0_ge_sum  1
+    w_35_1  COST  39.22265625
+    w_35_1  w_35_1_le_x  1
+    w_35_1  w_35_1_le_y  1
+    w_35_1  w_35_1_ge_sum  1
+    w_35_1  u_35_1_le_x  -1
+    w_35_1  u_35_1_ge_sum  -1
+    u_35_1  COST  -6.763671875
+    u_35_1  u_35_1_le_x  1
+    u_35_1  u_35_1_le_y  1
+    u_35_1  u_35_1_ge_sum  1
+    w_35_2  COST  50.48046875
+    w_35_2  w_35_2_le_x  1
+    w_35_2  w_35_2_le_y  1
+    w_35_2  w_35_2_ge_sum  1
+    w_35_2  u_35_2_le_x  -1
+    w_35_2  u_35_2_ge_sum  -1
+    u_35_2  COST  -8.123046875
+    u_35_2  u_35_2_le_x  1
+    u_35_2  u_35_2_le_y  1
+    u_35_2  u_35_2_ge_sum  1
+    w_36_0  COST  52.2353515625
+    w_36_0  w_36_0_le_x  1
+    w_36_0  w_36_0_le_y  1
+    w_36_0  w_36_0_ge_sum  1
+    w_36_0  u_36_0_le_x  -1
+    w_36_0  u_36_0_ge_sum  -1
+    u_36_0  COST  -11.3388671875
+    u_36_0  u_36_0_le_x  1
+    u_36_0  u_36_0_le_y  1
+    u_36_0  u_36_0_ge_sum  1
+    w_36_1  COST  38.044921875
+    w_36_1  w_36_1_le_x  1
+    w_36_1  w_36_1_le_y  1
+    w_36_1  w_36_1_ge_sum  1
+    w_36_1  u_36_1_le_x  -1
+    w_36_1  u_36_1_ge_sum  -1
+    u_36_1  COST  -5.8759765625
+    u_36_1  u_36_1_le_x  1
+    u_36_1  u_36_1_le_y  1
+    u_36_1  u_36_1_ge_sum  1
+    w_36_2  COST  41.029296875
+    w_36_2  w_36_2_le_x  1
+    w_36_2  w_36_2_le_y  1
+    w_36_2  w_36_2_ge_sum  1
+    w_36_2  u_36_2_le_x  -1
+    w_36_2  u_36_2_ge_sum  -1
+    u_36_2  COST  -5.796875
+    u_36_2  u_36_2_le_x  1
+    u_36_2  u_36_2_le_y  1
+    u_36_2  u_36_2_ge_sum  1
+    w_37_0  COST  51.099609375
+    w_37_0  w_37_0_le_x  1
+    w_37_0  w_37_0_le_y  1
+    w_37_0  w_37_0_ge_sum  1
+    w_37_0  u_37_0_le_x  -1
+    w_37_0  u_37_0_ge_sum  -1
+    u_37_0  COST  -11.478515625
+    u_37_0  u_37_0_le_x  1
+    u_37_0  u_37_0_le_y  1
+    u_37_0  u_37_0_ge_sum  1
+    w_37_1  COST  45.3359375
+    w_37_1  w_37_1_le_x  1
+    w_37_1  w_37_1_le_y  1
+    w_37_1  w_37_1_ge_sum  1
+    w_37_1  u_37_1_le_x  -1
+    w_37_1  u_37_1_ge_sum  -1
+    u_37_1  COST  -7.662109375
+    u_37_1  u_37_1_le_x  1
+    u_37_1  u_37_1_le_y  1
+    u_37_1  u_37_1_ge_sum  1
+    w_37_2  COST  41.6630859375
+    w_37_2  w_37_2_le_x  1
+    w_37_2  w_37_2_le_y  1
+    w_37_2  w_37_2_ge_sum  1
+    w_37_2  u_37_2_le_x  -1
+    w_37_2  u_37_2_ge_sum  -1
+    u_37_2  COST  -6.1494140625
+    u_37_2  u_37_2_le_x  1
+    u_37_2  u_37_2_le_y  1
+    u_37_2  u_37_2_ge_sum  1
+    w_38_0  COST  43.7958984375
+    w_38_0  w_38_0_le_x  1
+    w_38_0  w_38_0_le_y  1
+    w_38_0  w_38_0_ge_sum  1
+    w_38_0  u_38_0_le_x  -1
+    w_38_0  u_38_0_ge_sum  -1
+    u_38_0  COST  -9.40966796875
+    u_38_0  u_38_0_le_x  1
+    u_38_0  u_38_0_le_y  1
+    u_38_0  u_38_0_ge_sum  1
+    w_38_1  COST  55.451171875
+    w_38_1  w_38_1_le_x  1
+    w_38_1  w_38_1_le_y  1
+    w_38_1  w_38_1_ge_sum  1
+    w_38_1  u_38_1_le_x  -1
+    w_38_1  u_38_1_ge_sum  -1
+    u_38_1  COST  -11.30419921875
+    u_38_1  u_38_1_le_x  1
+    u_38_1  u_38_1_le_y  1
+    u_38_1  u_38_1_ge_sum  1
+    w_38_2  COST  53.013671875
+    w_38_2  w_38_2_le_x  1
+    w_38_2  w_38_2_le_y  1
+    w_38_2  w_38_2_ge_sum  1
+    w_38_2  u_38_2_le_x  -1
+    w_38_2  u_38_2_ge_sum  -1
+    u_38_2  COST  -8.14111328125
+    u_38_2  u_38_2_le_x  1
+    u_38_2  u_38_2_le_y  1
+    u_38_2  u_38_2_ge_sum  1
+    w_39_0  COST  57.630859375
+    w_39_0  w_39_0_le_x  1
+    w_39_0  w_39_0_le_y  1
+    w_39_0  w_39_0_ge_sum  1
+    w_39_0  u_39_0_le_x  -1
+    w_39_0  u_39_0_ge_sum  -1
+    u_39_0  COST  -12.7841796875
+    u_39_0  u_39_0_le_x  1
+    u_39_0  u_39_0_le_y  1
+    u_39_0  u_39_0_ge_sum  1
+    w_39_1  COST  54.03125
+    w_39_1  w_39_1_le_x  1
+    w_39_1  w_39_1_le_y  1
+    w_39_1  w_39_1_ge_sum  1
+    w_39_1  u_39_1_le_x  -1
+    w_39_1  u_39_1_ge_sum  -1
+    u_39_1  COST  -11.0029296875
+    u_39_1  u_39_1_le_x  1
+    u_39_1  u_39_1_le_y  1
+    u_39_1  u_39_1_ge_sum  1
+    w_39_2  COST  49.078125
+    w_39_2  w_39_2_le_x  1
+    w_39_2  w_39_2_le_y  1
+    w_39_2  w_39_2_ge_sum  1
+    w_39_2  u_39_2_le_x  -1
+    w_39_2  u_39_2_ge_sum  -1
+    u_39_2  COST  -7.69921875
+    u_39_2  u_39_2_le_x  1
+    u_39_2  u_39_2_le_y  1
+    u_39_2  u_39_2_ge_sum  1
+    w_40_0  COST  43.84375
+    w_40_0  w_40_0_le_x  1
+    w_40_0  w_40_0_le_y  1
+    w_40_0  w_40_0_ge_sum  1
+    w_40_0  u_40_0_le_x  -1
+    w_40_0  u_40_0_ge_sum  -1
+    u_40_0  COST  -9.6669921875
+    u_40_0  u_40_0_le_x  1
+    u_40_0  u_40_0_le_y  1
+    u_40_0  u_40_0_ge_sum  1
+    w_40_1  COST  48.560546875
+    w_40_1  w_40_1_le_x  1
+    w_40_1  w_40_1_le_y  1
+    w_40_1  w_40_1_ge_sum  1
+    w_40_1  u_40_1_le_x  -1
+    w_40_1  u_40_1_ge_sum  -1
+    u_40_1  COST  -9.330078125
+    u_40_1  u_40_1_le_x  1
+    u_40_1  u_40_1_le_y  1
+    u_40_1  u_40_1_ge_sum  1
+    w_40_2  COST  62.1005859375
+    w_40_2  w_40_2_le_x  1
+    w_40_2  w_40_2_le_y  1
+    w_40_2  w_40_2_ge_sum  1
+    w_40_2  u_40_2_le_x  -1
+    w_40_2  u_40_2_ge_sum  -1
+    u_40_2  COST  -10.35791015625
+    u_40_2  u_40_2_le_x  1
+    u_40_2  u_40_2_le_y  1
+    u_40_2  u_40_2_ge_sum  1
+    MARKER1  'MARKER'  'INTEND'
+RHS
+    RHS  COST  -1
+    RHS  fixed_n0  1
+    RHS  group0  1
+    RHS  group1  1
+    RHS  group2  1
+    RHS  group3  1
+    RHS  group4  1
+    RHS  group5  1
+    RHS  group6  1
+    RHS  group7  1
+    RHS  group8  1
+    RHS  group9  1
+    RHS  min_nodes  2
+    RHS  max_nodes  40
+    RHS  one_tx_mode  1
+    RHS  one_count  1
+    RHS  size_budget  20
+    RHS  conflict0  2
+    RHS  conflict1  2
+    RHS  conflict2  2
+    RHS  conflict3  2
+    RHS  conflict4  2
+    RHS  w_2_0_ge_sum  -1
+    RHS  u_2_0_ge_sum  -1
+    RHS  w_2_1_ge_sum  -1
+    RHS  u_2_1_ge_sum  -1
+    RHS  w_2_2_ge_sum  -1
+    RHS  u_2_2_ge_sum  -1
+    RHS  w_3_0_ge_sum  -1
+    RHS  u_3_0_ge_sum  -1
+    RHS  w_3_1_ge_sum  -1
+    RHS  u_3_1_ge_sum  -1
+    RHS  w_3_2_ge_sum  -1
+    RHS  u_3_2_ge_sum  -1
+    RHS  w_4_0_ge_sum  -1
+    RHS  u_4_0_ge_sum  -1
+    RHS  w_4_1_ge_sum  -1
+    RHS  u_4_1_ge_sum  -1
+    RHS  w_4_2_ge_sum  -1
+    RHS  u_4_2_ge_sum  -1
+    RHS  w_5_0_ge_sum  -1
+    RHS  u_5_0_ge_sum  -1
+    RHS  w_5_1_ge_sum  -1
+    RHS  u_5_1_ge_sum  -1
+    RHS  w_5_2_ge_sum  -1
+    RHS  u_5_2_ge_sum  -1
+    RHS  w_6_0_ge_sum  -1
+    RHS  u_6_0_ge_sum  -1
+    RHS  w_6_1_ge_sum  -1
+    RHS  u_6_1_ge_sum  -1
+    RHS  w_6_2_ge_sum  -1
+    RHS  u_6_2_ge_sum  -1
+    RHS  w_7_0_ge_sum  -1
+    RHS  u_7_0_ge_sum  -1
+    RHS  w_7_1_ge_sum  -1
+    RHS  u_7_1_ge_sum  -1
+    RHS  w_7_2_ge_sum  -1
+    RHS  u_7_2_ge_sum  -1
+    RHS  w_8_0_ge_sum  -1
+    RHS  u_8_0_ge_sum  -1
+    RHS  w_8_1_ge_sum  -1
+    RHS  u_8_1_ge_sum  -1
+    RHS  w_8_2_ge_sum  -1
+    RHS  u_8_2_ge_sum  -1
+    RHS  w_9_0_ge_sum  -1
+    RHS  u_9_0_ge_sum  -1
+    RHS  w_9_1_ge_sum  -1
+    RHS  u_9_1_ge_sum  -1
+    RHS  w_9_2_ge_sum  -1
+    RHS  u_9_2_ge_sum  -1
+    RHS  w_10_0_ge_sum  -1
+    RHS  u_10_0_ge_sum  -1
+    RHS  w_10_1_ge_sum  -1
+    RHS  u_10_1_ge_sum  -1
+    RHS  w_10_2_ge_sum  -1
+    RHS  u_10_2_ge_sum  -1
+    RHS  w_11_0_ge_sum  -1
+    RHS  u_11_0_ge_sum  -1
+    RHS  w_11_1_ge_sum  -1
+    RHS  u_11_1_ge_sum  -1
+    RHS  w_11_2_ge_sum  -1
+    RHS  u_11_2_ge_sum  -1
+    RHS  w_12_0_ge_sum  -1
+    RHS  u_12_0_ge_sum  -1
+    RHS  w_12_1_ge_sum  -1
+    RHS  u_12_1_ge_sum  -1
+    RHS  w_12_2_ge_sum  -1
+    RHS  u_12_2_ge_sum  -1
+    RHS  w_13_0_ge_sum  -1
+    RHS  u_13_0_ge_sum  -1
+    RHS  w_13_1_ge_sum  -1
+    RHS  u_13_1_ge_sum  -1
+    RHS  w_13_2_ge_sum  -1
+    RHS  u_13_2_ge_sum  -1
+    RHS  w_14_0_ge_sum  -1
+    RHS  u_14_0_ge_sum  -1
+    RHS  w_14_1_ge_sum  -1
+    RHS  u_14_1_ge_sum  -1
+    RHS  w_14_2_ge_sum  -1
+    RHS  u_14_2_ge_sum  -1
+    RHS  w_15_0_ge_sum  -1
+    RHS  u_15_0_ge_sum  -1
+    RHS  w_15_1_ge_sum  -1
+    RHS  u_15_1_ge_sum  -1
+    RHS  w_15_2_ge_sum  -1
+    RHS  u_15_2_ge_sum  -1
+    RHS  w_16_0_ge_sum  -1
+    RHS  u_16_0_ge_sum  -1
+    RHS  w_16_1_ge_sum  -1
+    RHS  u_16_1_ge_sum  -1
+    RHS  w_16_2_ge_sum  -1
+    RHS  u_16_2_ge_sum  -1
+    RHS  w_17_0_ge_sum  -1
+    RHS  u_17_0_ge_sum  -1
+    RHS  w_17_1_ge_sum  -1
+    RHS  u_17_1_ge_sum  -1
+    RHS  w_17_2_ge_sum  -1
+    RHS  u_17_2_ge_sum  -1
+    RHS  w_18_0_ge_sum  -1
+    RHS  u_18_0_ge_sum  -1
+    RHS  w_18_1_ge_sum  -1
+    RHS  u_18_1_ge_sum  -1
+    RHS  w_18_2_ge_sum  -1
+    RHS  u_18_2_ge_sum  -1
+    RHS  w_19_0_ge_sum  -1
+    RHS  u_19_0_ge_sum  -1
+    RHS  w_19_1_ge_sum  -1
+    RHS  u_19_1_ge_sum  -1
+    RHS  w_19_2_ge_sum  -1
+    RHS  u_19_2_ge_sum  -1
+    RHS  w_20_0_ge_sum  -1
+    RHS  u_20_0_ge_sum  -1
+    RHS  w_20_1_ge_sum  -1
+    RHS  u_20_1_ge_sum  -1
+    RHS  w_20_2_ge_sum  -1
+    RHS  u_20_2_ge_sum  -1
+    RHS  w_21_0_ge_sum  -1
+    RHS  u_21_0_ge_sum  -1
+    RHS  w_21_1_ge_sum  -1
+    RHS  u_21_1_ge_sum  -1
+    RHS  w_21_2_ge_sum  -1
+    RHS  u_21_2_ge_sum  -1
+    RHS  w_22_0_ge_sum  -1
+    RHS  u_22_0_ge_sum  -1
+    RHS  w_22_1_ge_sum  -1
+    RHS  u_22_1_ge_sum  -1
+    RHS  w_22_2_ge_sum  -1
+    RHS  u_22_2_ge_sum  -1
+    RHS  w_23_0_ge_sum  -1
+    RHS  u_23_0_ge_sum  -1
+    RHS  w_23_1_ge_sum  -1
+    RHS  u_23_1_ge_sum  -1
+    RHS  w_23_2_ge_sum  -1
+    RHS  u_23_2_ge_sum  -1
+    RHS  w_24_0_ge_sum  -1
+    RHS  u_24_0_ge_sum  -1
+    RHS  w_24_1_ge_sum  -1
+    RHS  u_24_1_ge_sum  -1
+    RHS  w_24_2_ge_sum  -1
+    RHS  u_24_2_ge_sum  -1
+    RHS  w_25_0_ge_sum  -1
+    RHS  u_25_0_ge_sum  -1
+    RHS  w_25_1_ge_sum  -1
+    RHS  u_25_1_ge_sum  -1
+    RHS  w_25_2_ge_sum  -1
+    RHS  u_25_2_ge_sum  -1
+    RHS  w_26_0_ge_sum  -1
+    RHS  u_26_0_ge_sum  -1
+    RHS  w_26_1_ge_sum  -1
+    RHS  u_26_1_ge_sum  -1
+    RHS  w_26_2_ge_sum  -1
+    RHS  u_26_2_ge_sum  -1
+    RHS  w_27_0_ge_sum  -1
+    RHS  u_27_0_ge_sum  -1
+    RHS  w_27_1_ge_sum  -1
+    RHS  u_27_1_ge_sum  -1
+    RHS  w_27_2_ge_sum  -1
+    RHS  u_27_2_ge_sum  -1
+    RHS  w_28_0_ge_sum  -1
+    RHS  u_28_0_ge_sum  -1
+    RHS  w_28_1_ge_sum  -1
+    RHS  u_28_1_ge_sum  -1
+    RHS  w_28_2_ge_sum  -1
+    RHS  u_28_2_ge_sum  -1
+    RHS  w_29_0_ge_sum  -1
+    RHS  u_29_0_ge_sum  -1
+    RHS  w_29_1_ge_sum  -1
+    RHS  u_29_1_ge_sum  -1
+    RHS  w_29_2_ge_sum  -1
+    RHS  u_29_2_ge_sum  -1
+    RHS  w_30_0_ge_sum  -1
+    RHS  u_30_0_ge_sum  -1
+    RHS  w_30_1_ge_sum  -1
+    RHS  u_30_1_ge_sum  -1
+    RHS  w_30_2_ge_sum  -1
+    RHS  u_30_2_ge_sum  -1
+    RHS  w_31_0_ge_sum  -1
+    RHS  u_31_0_ge_sum  -1
+    RHS  w_31_1_ge_sum  -1
+    RHS  u_31_1_ge_sum  -1
+    RHS  w_31_2_ge_sum  -1
+    RHS  u_31_2_ge_sum  -1
+    RHS  w_32_0_ge_sum  -1
+    RHS  u_32_0_ge_sum  -1
+    RHS  w_32_1_ge_sum  -1
+    RHS  u_32_1_ge_sum  -1
+    RHS  w_32_2_ge_sum  -1
+    RHS  u_32_2_ge_sum  -1
+    RHS  w_33_0_ge_sum  -1
+    RHS  u_33_0_ge_sum  -1
+    RHS  w_33_1_ge_sum  -1
+    RHS  u_33_1_ge_sum  -1
+    RHS  w_33_2_ge_sum  -1
+    RHS  u_33_2_ge_sum  -1
+    RHS  w_34_0_ge_sum  -1
+    RHS  u_34_0_ge_sum  -1
+    RHS  w_34_1_ge_sum  -1
+    RHS  u_34_1_ge_sum  -1
+    RHS  w_34_2_ge_sum  -1
+    RHS  u_34_2_ge_sum  -1
+    RHS  w_35_0_ge_sum  -1
+    RHS  u_35_0_ge_sum  -1
+    RHS  w_35_1_ge_sum  -1
+    RHS  u_35_1_ge_sum  -1
+    RHS  w_35_2_ge_sum  -1
+    RHS  u_35_2_ge_sum  -1
+    RHS  w_36_0_ge_sum  -1
+    RHS  u_36_0_ge_sum  -1
+    RHS  w_36_1_ge_sum  -1
+    RHS  u_36_1_ge_sum  -1
+    RHS  w_36_2_ge_sum  -1
+    RHS  u_36_2_ge_sum  -1
+    RHS  w_37_0_ge_sum  -1
+    RHS  u_37_0_ge_sum  -1
+    RHS  w_37_1_ge_sum  -1
+    RHS  u_37_1_ge_sum  -1
+    RHS  w_37_2_ge_sum  -1
+    RHS  u_37_2_ge_sum  -1
+    RHS  w_38_0_ge_sum  -1
+    RHS  u_38_0_ge_sum  -1
+    RHS  w_38_1_ge_sum  -1
+    RHS  u_38_1_ge_sum  -1
+    RHS  w_38_2_ge_sum  -1
+    RHS  u_38_2_ge_sum  -1
+    RHS  w_39_0_ge_sum  -1
+    RHS  u_39_0_ge_sum  -1
+    RHS  w_39_1_ge_sum  -1
+    RHS  u_39_1_ge_sum  -1
+    RHS  w_39_2_ge_sum  -1
+    RHS  u_39_2_ge_sum  -1
+    RHS  w_40_0_ge_sum  -1
+    RHS  u_40_0_ge_sum  -1
+    RHS  w_40_1_ge_sum  -1
+    RHS  u_40_1_ge_sum  -1
+    RHS  w_40_2_ge_sum  -1
+    RHS  u_40_2_ge_sum  -1
+BOUNDS
+ BV BND  n0
+ BV BND  n1
+ BV BND  n2
+ BV BND  n3
+ BV BND  n4
+ BV BND  n5
+ BV BND  n6
+ BV BND  n7
+ BV BND  n8
+ BV BND  n9
+ BV BND  n10
+ BV BND  n11
+ BV BND  n12
+ BV BND  n13
+ BV BND  n14
+ BV BND  n15
+ BV BND  n16
+ BV BND  n17
+ BV BND  n18
+ BV BND  n19
+ BV BND  n20
+ BV BND  n21
+ BV BND  n22
+ BV BND  n23
+ BV BND  n24
+ BV BND  n25
+ BV BND  n26
+ BV BND  n27
+ BV BND  n28
+ BV BND  n29
+ BV BND  n30
+ BV BND  n31
+ BV BND  n32
+ BV BND  n33
+ BV BND  n34
+ BV BND  n35
+ BV BND  n36
+ BV BND  n37
+ BV BND  n38
+ BV BND  n39
+ BV BND  p1
+ BV BND  p2
+ BV BND  p3
+ BV BND  prt
+ BV BND  pmac
+ BV BND  y2
+ BV BND  y3
+ BV BND  y4
+ BV BND  y5
+ BV BND  y6
+ BV BND  y7
+ BV BND  y8
+ BV BND  y9
+ BV BND  y10
+ BV BND  y11
+ BV BND  y12
+ BV BND  y13
+ BV BND  y14
+ BV BND  y15
+ BV BND  y16
+ BV BND  y17
+ BV BND  y18
+ BV BND  y19
+ BV BND  y20
+ BV BND  y21
+ BV BND  y22
+ BV BND  y23
+ BV BND  y24
+ BV BND  y25
+ BV BND  y26
+ BV BND  y27
+ BV BND  y28
+ BV BND  y29
+ BV BND  y30
+ BV BND  y31
+ BV BND  y32
+ BV BND  y33
+ BV BND  y34
+ BV BND  y35
+ BV BND  y36
+ BV BND  y37
+ BV BND  y38
+ BV BND  y39
+ BV BND  y40
+ BV BND  w_2_0
+ BV BND  u_2_0
+ BV BND  w_2_1
+ BV BND  u_2_1
+ BV BND  w_2_2
+ BV BND  u_2_2
+ BV BND  w_3_0
+ BV BND  u_3_0
+ BV BND  w_3_1
+ BV BND  u_3_1
+ BV BND  w_3_2
+ BV BND  u_3_2
+ BV BND  w_4_0
+ BV BND  u_4_0
+ BV BND  w_4_1
+ BV BND  u_4_1
+ BV BND  w_4_2
+ BV BND  u_4_2
+ BV BND  w_5_0
+ BV BND  u_5_0
+ BV BND  w_5_1
+ BV BND  u_5_1
+ BV BND  w_5_2
+ BV BND  u_5_2
+ BV BND  w_6_0
+ BV BND  u_6_0
+ BV BND  w_6_1
+ BV BND  u_6_1
+ BV BND  w_6_2
+ BV BND  u_6_2
+ BV BND  w_7_0
+ BV BND  u_7_0
+ BV BND  w_7_1
+ BV BND  u_7_1
+ BV BND  w_7_2
+ BV BND  u_7_2
+ BV BND  w_8_0
+ BV BND  u_8_0
+ BV BND  w_8_1
+ BV BND  u_8_1
+ BV BND  w_8_2
+ BV BND  u_8_2
+ BV BND  w_9_0
+ BV BND  u_9_0
+ BV BND  w_9_1
+ BV BND  u_9_1
+ BV BND  w_9_2
+ BV BND  u_9_2
+ BV BND  w_10_0
+ BV BND  u_10_0
+ BV BND  w_10_1
+ BV BND  u_10_1
+ BV BND  w_10_2
+ BV BND  u_10_2
+ BV BND  w_11_0
+ BV BND  u_11_0
+ BV BND  w_11_1
+ BV BND  u_11_1
+ BV BND  w_11_2
+ BV BND  u_11_2
+ BV BND  w_12_0
+ BV BND  u_12_0
+ BV BND  w_12_1
+ BV BND  u_12_1
+ BV BND  w_12_2
+ BV BND  u_12_2
+ BV BND  w_13_0
+ BV BND  u_13_0
+ BV BND  w_13_1
+ BV BND  u_13_1
+ BV BND  w_13_2
+ BV BND  u_13_2
+ BV BND  w_14_0
+ BV BND  u_14_0
+ BV BND  w_14_1
+ BV BND  u_14_1
+ BV BND  w_14_2
+ BV BND  u_14_2
+ BV BND  w_15_0
+ BV BND  u_15_0
+ BV BND  w_15_1
+ BV BND  u_15_1
+ BV BND  w_15_2
+ BV BND  u_15_2
+ BV BND  w_16_0
+ BV BND  u_16_0
+ BV BND  w_16_1
+ BV BND  u_16_1
+ BV BND  w_16_2
+ BV BND  u_16_2
+ BV BND  w_17_0
+ BV BND  u_17_0
+ BV BND  w_17_1
+ BV BND  u_17_1
+ BV BND  w_17_2
+ BV BND  u_17_2
+ BV BND  w_18_0
+ BV BND  u_18_0
+ BV BND  w_18_1
+ BV BND  u_18_1
+ BV BND  w_18_2
+ BV BND  u_18_2
+ BV BND  w_19_0
+ BV BND  u_19_0
+ BV BND  w_19_1
+ BV BND  u_19_1
+ BV BND  w_19_2
+ BV BND  u_19_2
+ BV BND  w_20_0
+ BV BND  u_20_0
+ BV BND  w_20_1
+ BV BND  u_20_1
+ BV BND  w_20_2
+ BV BND  u_20_2
+ BV BND  w_21_0
+ BV BND  u_21_0
+ BV BND  w_21_1
+ BV BND  u_21_1
+ BV BND  w_21_2
+ BV BND  u_21_2
+ BV BND  w_22_0
+ BV BND  u_22_0
+ BV BND  w_22_1
+ BV BND  u_22_1
+ BV BND  w_22_2
+ BV BND  u_22_2
+ BV BND  w_23_0
+ BV BND  u_23_0
+ BV BND  w_23_1
+ BV BND  u_23_1
+ BV BND  w_23_2
+ BV BND  u_23_2
+ BV BND  w_24_0
+ BV BND  u_24_0
+ BV BND  w_24_1
+ BV BND  u_24_1
+ BV BND  w_24_2
+ BV BND  u_24_2
+ BV BND  w_25_0
+ BV BND  u_25_0
+ BV BND  w_25_1
+ BV BND  u_25_1
+ BV BND  w_25_2
+ BV BND  u_25_2
+ BV BND  w_26_0
+ BV BND  u_26_0
+ BV BND  w_26_1
+ BV BND  u_26_1
+ BV BND  w_26_2
+ BV BND  u_26_2
+ BV BND  w_27_0
+ BV BND  u_27_0
+ BV BND  w_27_1
+ BV BND  u_27_1
+ BV BND  w_27_2
+ BV BND  u_27_2
+ BV BND  w_28_0
+ BV BND  u_28_0
+ BV BND  w_28_1
+ BV BND  u_28_1
+ BV BND  w_28_2
+ BV BND  u_28_2
+ BV BND  w_29_0
+ BV BND  u_29_0
+ BV BND  w_29_1
+ BV BND  u_29_1
+ BV BND  w_29_2
+ BV BND  u_29_2
+ BV BND  w_30_0
+ BV BND  u_30_0
+ BV BND  w_30_1
+ BV BND  u_30_1
+ BV BND  w_30_2
+ BV BND  u_30_2
+ BV BND  w_31_0
+ BV BND  u_31_0
+ BV BND  w_31_1
+ BV BND  u_31_1
+ BV BND  w_31_2
+ BV BND  u_31_2
+ BV BND  w_32_0
+ BV BND  u_32_0
+ BV BND  w_32_1
+ BV BND  u_32_1
+ BV BND  w_32_2
+ BV BND  u_32_2
+ BV BND  w_33_0
+ BV BND  u_33_0
+ BV BND  w_33_1
+ BV BND  u_33_1
+ BV BND  w_33_2
+ BV BND  u_33_2
+ BV BND  w_34_0
+ BV BND  u_34_0
+ BV BND  w_34_1
+ BV BND  u_34_1
+ BV BND  w_34_2
+ BV BND  u_34_2
+ BV BND  w_35_0
+ BV BND  u_35_0
+ BV BND  w_35_1
+ BV BND  u_35_1
+ BV BND  w_35_2
+ BV BND  u_35_2
+ BV BND  w_36_0
+ BV BND  u_36_0
+ BV BND  w_36_1
+ BV BND  u_36_1
+ BV BND  w_36_2
+ BV BND  u_36_2
+ BV BND  w_37_0
+ BV BND  u_37_0
+ BV BND  w_37_1
+ BV BND  u_37_1
+ BV BND  w_37_2
+ BV BND  u_37_2
+ BV BND  w_38_0
+ BV BND  u_38_0
+ BV BND  w_38_1
+ BV BND  u_38_1
+ BV BND  w_38_2
+ BV BND  u_38_2
+ BV BND  w_39_0
+ BV BND  u_39_0
+ BV BND  w_39_1
+ BV BND  u_39_1
+ BV BND  w_39_2
+ BV BND  u_39_2
+ BV BND  w_40_0
+ BV BND  u_40_0
+ BV BND  w_40_1
+ BV BND  u_40_1
+ BV BND  w_40_2
+ BV BND  u_40_2
+ENDATA
