@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench-smoke benchcmp engine-smoke robust-smoke milp-smoke
+.PHONY: check build test vet fmt race bench-smoke benchcmp benchcmp-auto engine-smoke robust-smoke milp-smoke gamma-smoke
 
-check: build test vet race fmt
+check: build test vet race fmt gamma-smoke benchcmp-auto
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,28 @@ bench-smoke:
 benchcmp:
 	$(GO) run ./cmd/hibench -exp t1 -benchjson /tmp/hibench-new.json > /dev/null
 	$(GO) run ./cmd/hibench -cmp BENCH_simcore.json /tmp/hibench-new.json
+
+# benchcmp, but only when a checked-in baseline exists — the form wired
+# into `make check` so a fresh clone without a snapshot still passes.
+# Timings on shared/virtualized boxes flap by ±30% run to run, so the
+# check-wired gate widens the ns/op threshold to 50% (a real hot-path
+# regression still trips it) while keeping the near-deterministic
+# allocs/op and B/op gates at the strict 10%; `make benchcmp` remains
+# the strict timing gate for quiet machines.
+benchcmp-auto:
+	@if [ -f BENCH_simcore.json ]; then \
+		$(GO) run ./cmd/hibench -exp t1 -benchjson /tmp/hibench-new.json > /dev/null && \
+		$(GO) run ./cmd/hibench -cmp -nsdelta 0.5 BENCH_simcore.json /tmp/hibench-new.json; \
+	else echo "benchcmp-auto: no BENCH_simcore.json baseline, skipping"; fi
+
+# A tiny Γ ∈ {0,1} propose-and-verify chain at the attainable 0.6 robust
+# floor and 10 s horizon: screen-and-cut (Γ=0) walks three nominal power
+# classes and verifies the survivors against k=1 faults; Γ=1 compiles the
+# protection into the relaxation and verifies its first pool. Both must
+# land on a robust-feasible design (hiopt exits 2 otherwise).
+gamma-smoke:
+	$(GO) run ./cmd/hiopt -robust -kfail 1 -robustpdrmin 0.6 -duration 10 -maxiter 3 -adaptive > /dev/null
+	$(GO) run ./cmd/hiopt -gamma 1 -robustpdrmin 0.6 -duration 10 -maxiter 1 -adaptive > /dev/null
 
 # The evaluation-engine gate: the determinism/dedup/worker-pool property
 # tests under the race detector, plus one pass of the engine benchmarks

@@ -852,3 +852,77 @@ func BenchmarkMILPKnapsack(b *testing.B) {
 		}
 	}
 }
+
+// gammaSweepChain drives one Γ price-curve sweep — the oracle workload
+// behind hisweep -gamma — over the Γ-robust relaxation at the attainable
+// 0.6 floor (every Γ in the sweep is feasible within MaxNodes: the
+// availability row demands N >= Γ·0.75/0.4, i.e. N >= 2, 4, 6). Warm
+// keeps one persistent solver state and moves Γ with RetargetGamma (a
+// single right-hand-side mutation, dual-simplex re-solve from the
+// incumbent basis); cold recompiles the robust relaxation and rebuilds a
+// fresh state at every Γ, like a sweep without the handle would.
+func gammaSweepChain(b *testing.B, warm bool, st *milp.State, h *core.RobustHandle) (pivots, nodes int) {
+	pr := design.PaperProblem(0.9)
+	for _, gamma := range []float64{1, 2, 3} {
+		var pool []milp.PoolSolution
+		var agg *milp.Solution
+		var err error
+		if warm {
+			if err = h.RetargetGamma(st, gamma); err != nil {
+				b.Fatal(err)
+			}
+			pool, agg, err = st.SolvePool(0, 1e-6)
+		} else {
+			var work *linexpr.Compiled
+			work, _, _, err = core.CompileMILPRobust(pr, core.RobustCompile{Gamma: gamma, PDRFloor: 0.6})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool, agg, err = milp.NewState(work, milp.Options{}).SolvePool(0, 1e-6)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Status != milp.Optimal || len(pool) == 0 {
+			b.Fatalf("Γ=%g: status %v, %d members", gamma, agg.Status, len(pool))
+		}
+		pivots += agg.LPIterations
+		nodes += agg.Nodes
+	}
+	return pivots, nodes
+}
+
+// BenchmarkMILPGammaSweep measures the Γ = 1 → 2 → 3 robustness
+// price-curve sweep. warm is the RetargetGamma path hisweep -gamma and
+// the Γ-propose optimizer rely on; cold is the recompile-per-Γ baseline.
+// pivots/op warm vs cold is the recorded payoff of right-hand-side
+// retargeting across Γ moves.
+func BenchmarkMILPGammaSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"warm", true}, {"cold", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var st *milp.State
+			var h *core.RobustHandle
+			if mode.warm {
+				work, _, hh, err := core.CompileMILPRobust(design.PaperProblem(0.9), core.RobustCompile{Gamma: 1, PDRFloor: 0.6})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h = hh
+				st = milp.NewState(work, milp.Options{})
+			}
+			var pivots, nodes int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, n := gammaSweepChain(b, mode.warm, st, h)
+				pivots += p
+				nodes += n
+			}
+			b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+		})
+	}
+}

@@ -102,6 +102,8 @@ func writeBenchJSON(path string, expSeconds map[string]float64) error {
 			"milp_dense_m40":         measure(benchMILPDenseM40),
 			"milp_presolve":          measure(benchMILPPresolve),
 			"milp_parallel_bb":       measure(benchMILPParallelBB),
+			"milp_gamma_warm":        measure(benchMILPGammaWarm),
+			"milp_gamma_cold":        measure(benchMILPGammaCold),
 		},
 		ExperimentSeconds: expSeconds,
 	}
@@ -484,5 +486,74 @@ func benchMILPParallelBB(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(dives)/float64(b.N), "dives/op")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+}
+
+// gammaSweepChain mirrors the root-level helper: one Γ = 1 → 2 → 3
+// price-curve sweep over the Γ-robust relaxation at the attainable 0.6
+// floor, pooling at each budget. Warm moves Γ with RetargetGamma on one
+// persistent state (a single right-hand-side mutation); cold recompiles
+// the robust relaxation and rebuilds a fresh state per Γ.
+func gammaSweepChain(b *testing.B, warm bool, st *milp.State, h *core.RobustHandle) (pivots, nodes int) {
+	pr := design.PaperProblem(0.9)
+	for _, gamma := range []float64{1, 2, 3} {
+		var pool []milp.PoolSolution
+		var agg *milp.Solution
+		var err error
+		if warm {
+			if err = h.RetargetGamma(st, gamma); err != nil {
+				b.Fatal(err)
+			}
+			pool, agg, err = st.SolvePool(0, 1e-6)
+		} else {
+			var work *linexpr.Compiled
+			work, _, _, err = core.CompileMILPRobust(pr, core.RobustCompile{Gamma: gamma, PDRFloor: 0.6})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool, agg, err = milp.NewState(work, milp.Options{}).SolvePool(0, 1e-6)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Status != milp.Optimal || len(pool) == 0 {
+			b.Fatalf("Γ=%g: status %v, %d members", gamma, agg.Status, len(pool))
+		}
+		pivots += agg.LPIterations
+		nodes += agg.Nodes
+	}
+	return pivots, nodes
+}
+
+// benchMILPGammaWarm mirrors BenchmarkMILPGammaSweep/warm: the
+// RetargetGamma path hisweep -gamma and the Γ-propose optimizer rely
+// on. pivots/op vs milp_gamma_cold is the recorded payoff of
+// right-hand-side retargeting across Γ moves.
+func benchMILPGammaWarm(b *testing.B) { benchMILPGamma(b, true) }
+
+// benchMILPGammaCold mirrors BenchmarkMILPGammaSweep/cold: the
+// recompile-per-Γ baseline.
+func benchMILPGammaCold(b *testing.B) { benchMILPGamma(b, false) }
+
+func benchMILPGamma(b *testing.B, warm bool) {
+	b.ReportAllocs()
+	var st *milp.State
+	var h *core.RobustHandle
+	if warm {
+		work, _, hh, err := core.CompileMILPRobust(design.PaperProblem(0.9), core.RobustCompile{Gamma: 1, PDRFloor: 0.6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h = hh
+		st = milp.NewState(work, milp.Options{})
+	}
+	var pivots, nodes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, n := gammaSweepChain(b, warm, st, h)
+		pivots += p
+		nodes += n
+	}
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
 	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
 }

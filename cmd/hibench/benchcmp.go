@@ -16,6 +16,17 @@ import (
 // a look.
 const regressionThreshold = 0.10
 
+// Absolute noise floors for the count metrics: a steady-state-0-alloc
+// benchmark still reports its one-time setup cost amortized over b.N,
+// and b.N moves between runs, so tiny absolute B/op and allocs/op
+// figures swing by large percentages without any code change. An
+// increase must clear both the relative threshold and these floors to
+// count as a regression.
+const (
+	allocsFloor = 64
+	bytesFloor  = 4096
+)
+
 // readBenchFile loads one -benchjson output (e.g. BENCH_simcore.json).
 func readBenchFile(path string) (*benchFile, error) {
 	data, err := os.ReadFile(path)
@@ -42,12 +53,15 @@ func relDelta(oldV, newV float64) float64 {
 }
 
 // compareBench diffs two -benchjson files benchmark by benchmark and
-// writes a delta table to w — ns/op, allocs/op, and B/op columns, each
-// gated at the same threshold. It returns the names of the benchmarks
-// that regressed on any metric, annotated with the metric. Benchmarks
-// present in only one file are reported but never counted as regressions
-// (additions and removals are deliberate).
-func compareBench(oldBF, newBF *benchFile, w io.Writer) []string {
+// writes a delta table to w — ns/op gated at nsThreshold, allocs/op and
+// B/op at the fixed regressionThreshold (allocation counts are
+// near-deterministic; timings on a shared box are not, so the caller
+// may widen the timing gate without loosening the allocation one). It
+// returns the names of the benchmarks that regressed on any metric,
+// annotated with the metric. Benchmarks present in only one file are
+// reported but never counted as regressions (additions and removals are
+// deliberate).
+func compareBench(oldBF, newBF *benchFile, nsThreshold float64, w io.Writer) []string {
 	names := make([]string, 0, len(newBF.Benchmarks))
 	for name := range newBF.Benchmarks {
 		names = append(names, name)
@@ -68,13 +82,13 @@ func compareBench(oldBF, newBF *benchFile, w io.Writer) []string {
 		dAllocs := relDelta(float64(oe.AllocsPerOp), float64(ne.AllocsPerOp))
 		dBytes := relDelta(float64(oe.BytesPerOp), float64(ne.BytesPerOp))
 		var marks []string
-		if dNs > regressionThreshold {
+		if dNs > nsThreshold {
 			marks = append(marks, "ns/op")
 		}
-		if dAllocs > regressionThreshold {
+		if dAllocs > regressionThreshold && ne.AllocsPerOp-oe.AllocsPerOp > allocsFloor {
 			marks = append(marks, "allocs/op")
 		}
-		if dBytes > regressionThreshold {
+		if dBytes > regressionThreshold && ne.BytesPerOp-oe.BytesPerOp > bytesFloor {
 			marks = append(marks, "B/op")
 		}
 		mark := ""
@@ -110,9 +124,12 @@ func joinComma(s []string) string {
 }
 
 // runBenchCmp is the -cmp entry point: diff OLD and NEW benchmark JSON
-// files and exit non-zero when any metric regressed beyond the
+// files and exit non-zero when any metric regressed beyond its
 // threshold.
-func runBenchCmp(oldPath, newPath string) {
+func runBenchCmp(oldPath, newPath string, nsThreshold float64) {
+	if nsThreshold <= 0 {
+		nsThreshold = regressionThreshold
+	}
 	oldBF, err := readBenchFile(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hibench -cmp:", err)
@@ -123,11 +140,12 @@ func runBenchCmp(oldPath, newPath string) {
 		fmt.Fprintln(os.Stderr, "hibench -cmp:", err)
 		os.Exit(1)
 	}
-	regressed := compareBench(oldBF, newBF, os.Stdout)
+	regressed := compareBench(oldBF, newBF, nsThreshold, os.Stdout)
 	if len(regressed) > 0 {
-		fmt.Fprintf(os.Stderr, "hibench -cmp: %d benchmark(s) regressed by more than %.0f%%: %v\n",
-			len(regressed), 100*regressionThreshold, regressed)
+		fmt.Fprintf(os.Stderr, "hibench -cmp: %d benchmark(s) regressed beyond the thresholds (ns/op %.0f%%, allocs/op and B/op %.0f%%): %v\n",
+			len(regressed), 100*nsThreshold, 100*regressionThreshold, regressed)
 		os.Exit(1)
 	}
-	fmt.Printf("no ns/op, allocs/op, or B/op regressions beyond %.0f%%\n", 100*regressionThreshold)
+	fmt.Printf("no ns/op regressions beyond %.0f%%, no allocs/op or B/op regressions beyond %.0f%%\n",
+		100*nsThreshold, 100*regressionThreshold)
 }

@@ -9,7 +9,8 @@
 //	hibench -paper               # the paper's full 600 s × 3-run setting
 //
 // Experiment identifiers: t1, f1, f3, r1, r2, r3, a1..a11, pf, all, plus
-// rb (nominal-vs-robust comparison; excluded from "all" for cost).
+// rb (nominal-vs-robust comparison) and gm (Γ-robust proposer vs
+// screen-and-cut price curve), both excluded from "all" for cost.
 //
 // Performance tooling: -cpuprofile/-memprofile write pprof profiles of
 // the run, and -benchjson measures the simulator micro-benchmarks
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (t1,f1,f3,r1,r2,r3,a1..a8,pf,rb,all)")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (t1,f1,f3,r1,r2,r3,a1..a11,pf,rb,gm,all)")
 		duration   = flag.Float64("duration", 60, "simulation horizon in seconds")
 		runs       = flag.Int("runs", 1, "runs to average")
 		seed       = flag.Uint64("seed", 1, "master random seed")
@@ -46,6 +47,7 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON  = flag.String("benchjson", "", "measure the simulator micro-benchmarks and write BENCH_simcore.json-style output to this file")
 		cmp        = flag.Bool("cmp", false, "compare two -benchjson files: hibench -cmp OLD NEW (exits non-zero on >10% ns/op, allocs/op, or B/op regressions)")
+		nsDelta    = flag.Float64("nsdelta", 0, "-cmp ns/op regression threshold (0 = the default 0.10; allocs/op and B/op always gate at 0.10 — widen this on noisy shared machines where timings flap but allocation counts stay exact)")
 	)
 	flag.Parse()
 
@@ -54,7 +56,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hibench -cmp: want exactly two arguments: OLD NEW")
 			os.Exit(1)
 		}
-		runBenchCmp(flag.Arg(0), flag.Arg(1))
+		runBenchCmp(flag.Arg(0), flag.Arg(1), *nsDelta)
 		return
 	}
 
@@ -113,6 +115,11 @@ func main() {
 	// k-node-failure family — too costly for "all"; request it explicitly.
 	if want["rb"] {
 		run("rb", func() error { _, err := suite.RB(nil, 0.9, *csvPath); return err })
+	}
+	// gm runs full Algorithm 1 searches at Γ ∈ {0,1,2,3} against the
+	// k=1 fault verifier — likewise explicit-only.
+	if want["gm"] {
+		run("gm", func() error { _, err := suite.Gamma(nil, 0, 8, *csvPath); return err })
 	}
 
 	if *benchJSON != "" {

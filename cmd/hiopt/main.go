@@ -22,20 +22,25 @@ import (
 
 func main() {
 	var (
-		pdrMin   = flag.Float64("pdrmin", 0.9, "minimum packet delivery ratio in [0,1]")
-		duration = flag.Float64("duration", 60, "simulation horizon T_sim in seconds")
-		runs     = flag.Int("runs", 1, "simulation runs averaged per evaluation")
-		seed     = flag.Uint64("seed", 1, "master random seed")
-		paper    = flag.Bool("paper", false, "use the paper's full fidelity (600 s × 3 runs)")
-		pool     = flag.Int("pool", 0, "MILP solution-pool cap per iteration (0 = unlimited)")
-		noAlpha  = flag.Bool("noalpha", false, "disable the α-bound early termination (ablation)")
-		twoStage = flag.Bool("twostage", false, "screen clearly-infeasible candidates with short simulations")
-		adaptive = flag.Bool("adaptive", false, "confidence-gated early replication stopping in the screening and robust stages (savings shown in the engine stats)")
-		verbose  = flag.Bool("v", false, "print per-iteration progress")
-		denseLP  = flag.Bool("densemilp", false, "use the dense-tableau LP kernel inside the MILP oracle (A/B baseline; pools are identical)")
-		milpWrk  = flag.Int("milpworkers", 0, "fan MILP pool enumeration across this many subtree dive workers (0 = sequential; pools are bit-identical)")
-		lpOut    = flag.String("lp", "", "write the MILP relaxation P̃ in CPLEX LP format to this file and exit")
-		mpsOut   = flag.String("mps", "", "write the MILP relaxation P̃ in free MPS format to this file and exit")
+		pdrMin    = flag.Float64("pdrmin", 0.9, "minimum packet delivery ratio in [0,1]")
+		duration  = flag.Float64("duration", 60, "simulation horizon T_sim in seconds")
+		runs      = flag.Int("runs", 1, "simulation runs averaged per evaluation")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+		paper     = flag.Bool("paper", false, "use the paper's full fidelity (600 s × 3 runs)")
+		pool      = flag.Int("pool", 0, "MILP solution-pool cap per iteration (0 = unlimited)")
+		noAlpha   = flag.Bool("noalpha", false, "disable the α-bound early termination (ablation)")
+		twoStage  = flag.Bool("twostage", false, "screen clearly-infeasible candidates with short simulations")
+		adaptive  = flag.Bool("adaptive", false, "confidence-gated early replication stopping in the screening and robust stages (savings shown in the engine stats)")
+		verbose   = flag.Bool("v", false, "print per-iteration progress")
+		denseLP   = flag.Bool("densemilp", false, "use the dense-tableau LP kernel inside the MILP oracle (A/B baseline; pools are identical)")
+		milpWrk   = flag.Int("milpworkers", 0, "fan MILP pool enumeration across this many subtree dive workers (0 = sequential; pools are bit-identical)")
+		lpOut     = flag.String("lp", "", "write the MILP relaxation P̃ in CPLEX LP format to this file and exit")
+		mpsOut    = flag.String("mps", "", "write the MILP relaxation P̃ in free MPS format to this file and exit")
+		robust    = flag.Bool("robust", false, "verify candidates against k-node failure scenarios (simulate-and-screen)")
+		kfail     = flag.Int("kfail", 1, "simultaneous node failures k the -robust verifier screens against")
+		gammaFlag = flag.Float64("gamma", 0, "Γ protection budget: compile the Γ-robust relaxation into the proposer (> 0 implies -robust)")
+		robustMin = flag.Float64("robustpdrmin", 0, "robust reliability floor (0 = -pdrmin; the worst-case PDR ceiling is (N−0.75)/N)")
+		maxIter   = flag.Int("maxiter", 0, "Algorithm 1 iteration cap (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -83,7 +88,15 @@ func main() {
 	}
 
 	opts := core.Options{PoolLimit: *pool, DisableAlphaBound: *noAlpha, TwoStage: *twoStage, AdaptiveReps: *adaptive,
-		DenseMILP: *denseLP, MILPWorkers: *milpWrk}
+		DenseMILP: *denseLP, MILPWorkers: *milpWrk, MaxIterations: *maxIter}
+	if *robust || *gammaFlag > 0 {
+		opts.Robust = core.RobustOptions{
+			Enabled:      true,
+			KFailures:    *kfail,
+			PDRMin:       *robustMin,
+			ProposeGamma: *gammaFlag,
+		}
+	}
 	if *verbose {
 		opts.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -106,6 +119,10 @@ func main() {
 		out.PresolveFixedVars, out.PresolveDroppedRows, out.PresolveTightenedCoefs, out.MILPParallelDives)
 	fmt.Printf("engine:       %s\n", out.Engine)
 	fmt.Printf("α-terminated: %v\n", out.TerminatedByAlpha)
+	if opts.Robust.Enabled {
+		fmt.Printf("robust:       k=%d, Γ=%g — %d nominally feasible candidates rejected by the fault screen\n",
+			*kfail, *gammaFlag, out.RobustRejected)
+	}
 	fmt.Printf("wall time:    %s\n", elapsed.Round(time.Millisecond))
 	if out.Best == nil {
 		fmt.Println("result:       no feasible configuration")
@@ -114,6 +131,9 @@ func main() {
 	b := out.Best
 	fmt.Printf("\noptimal configuration: %v\n", b.Point)
 	fmt.Printf("  PDR          %s (bound %s)\n", report.Pct(b.PDR), report.Pct(pr.PDRMin))
+	if opts.Robust.Enabled {
+		fmt.Printf("  worst PDR    %s under k=%d failures\n", report.Pct(b.WorstPDR), *kfail)
+	}
 	fmt.Printf("  power        %s (analytic estimate %s)\n", report.MW(b.PowerMW), report.MW(b.AnalyticMW))
 	fmt.Printf("  lifetime     %s\n", report.Days(b.NLTDays))
 

@@ -7,6 +7,7 @@
 //	hisweep -csv fig3.csv             # quick fidelity sweep
 //	hisweep -paper -csv fig3_full.csv # the paper's 600 s × 3 runs
 //	hisweep -robust -kfail 1,2 -robustcsv rb.csv  # nominal-vs-robust comparison
+//	hisweep -gamma 0,1,2,3 -gammacsv gamma.csv    # Γ-robust price curve
 package main
 
 import (
@@ -32,6 +33,10 @@ func main() {
 		kfail      = flag.String("kfail", "1,2", "comma-separated failure counts k for -robust")
 		pdrMin     = flag.Float64("pdrmin", 0.9, "reliability bound of the -robust comparison")
 		robustCSV  = flag.String("robustcsv", "", "write the -robust comparison to this CSV file")
+		gamma      = flag.String("gamma", "", "comma-separated Γ protection budgets: run the Γ-robust price-curve study (e.g. 0,1,2,3)")
+		gammaCSV   = flag.String("gammacsv", "", "write the Γ price curve to this CSV file")
+		gammaIter  = flag.Int("gammaiter", 8, "Algorithm 1 iteration cap per Γ point (0 = unlimited)")
+		robustMin  = flag.Float64("robustpdrmin", 0, "robust reliability floor of the -gamma study (0 = the attainable default)")
 		adaptive   = flag.Bool("adaptive", false, "confidence-gated adaptive evaluation in the -robust comparison (short-circuits decisively infeasible scenario families)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -71,6 +76,25 @@ func main() {
 			ks = append(ks, k)
 		}
 		if _, err := suite.RB(ks, *pdrMin, *robustCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "hisweep:", err)
+			os.Exit(1)
+		}
+	}
+	if *gamma != "" {
+		var gammas []float64
+		for _, part := range strings.Split(*gamma, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			g, err := strconv.ParseFloat(part, 64)
+			if err != nil || g < 0 {
+				fmt.Fprintf(os.Stderr, "hisweep: bad -gamma entry %q\n", part)
+				os.Exit(1)
+			}
+			gammas = append(gammas, g)
+		}
+		if _, err := suite.Gamma(gammas, *robustMin, *gammaIter, *gammaCSV); err != nil {
 			fmt.Fprintln(os.Stderr, "hisweep:", err)
 			os.Exit(1)
 		}

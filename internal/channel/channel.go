@@ -308,3 +308,12 @@ func (m *Model) MeanMatrix() [][]phys.DB {
 	}
 	return out
 }
+
+// MeanPL returns the mean path loss between two locations under these
+// parameters — the deterministic part of the model (distance power law
+// plus the NLoS body-shadowing penalty), before temporal variation and
+// blockage. The Γ-robust MILP compilation uses it to state link-budget
+// rows, with deviation magnitudes derived from Sigma.
+func (p Params) MeanPL(a, b body.Location) phys.DB {
+	return meanPathLoss(a, b, p)
+}

@@ -121,6 +121,11 @@ type Outcome struct {
 	// TerminatedByAlpha reports whether the α bound (line 5 of
 	// Algorithm 1) stopped the search before MILP exhaustion.
 	TerminatedByAlpha bool
+	// RobustRejected counts candidates that cleared the nominal
+	// reliability bound but were rejected by the robust scenario screen —
+	// the wasted-proposal count that Robust.ProposeGamma exists to drive
+	// down (0 with robust screening off).
+	RobustRejected int
 	// RepsSaved counts the simulator runs AdaptiveReps avoided: gated
 	// replications stopped early by the confidence test plus robust
 	// scenario evaluations short-circuited at family level (each credited
@@ -246,6 +251,25 @@ type RobustOptions struct {
 	// explicit scenarios screen every candidate (faults at locations a
 	// candidate does not use are inert).
 	Scenarios []*fault.Scenario
+	// PDRMin, when positive, is the reliability floor the robust
+	// (worst-case / quantile) statistic is enforced against, instead of
+	// Problem.PDRMin. The nominal check keeps Problem.PDRMin either way.
+	// Robust floors sit necessarily below the nominal bound: with N
+	// nodes and one hard failure the network PDR cannot exceed
+	// (N − (1−FailFrac))/N, which is already below the paper's 0.9 for
+	// every N <= 6.
+	PDRMin float64
+	// ProposeGamma, when positive, switches candidate generation to the
+	// Γ-robust MILP relaxation (RobustCompile lowering at Γ =
+	// ProposeGamma): Algorithm 1 then iterates on the protected problem,
+	// proposing only designs that already survive Γ coefficient
+	// deviations on paper, and the simulate-and-screen machinery above
+	// demotes from gatekeeper to verifier. Setting it implies Enabled.
+	ProposeGamma float64
+	// Compile tunes the Γ-robust lowering (deviation magnitudes, power
+	// budget) used when ProposeGamma > 0; its Gamma/PDRFloor/FailFrac
+	// fields are overridden by ProposeGamma, PDRMin and FailFrac above.
+	Compile RobustCompile
 }
 
 func (o Options) withDefaults() Options {
@@ -258,12 +282,15 @@ func (o Options) withDefaults() Options {
 	if o.ScreenMargin == 0 {
 		o.ScreenMargin = 0.05
 	}
+	if o.Robust.ProposeGamma > 0 {
+		o.Robust.Enabled = true
+	}
 	if o.Robust.Enabled {
 		if o.Robust.KFailures <= 0 {
 			o.Robust.KFailures = 1
 		}
 		if o.Robust.FailFrac <= 0 {
-			o.Robust.FailFrac = 0.25
+			o.Robust.FailFrac = fault.DefaultFailFrac
 		}
 	}
 	return o
@@ -301,6 +328,30 @@ func NewOptimizer(pr *design.Problem, opts Options) *Optimizer {
 		o.eng, o.engErr = engine.New(o.Options.Workers)
 	}
 	return o
+}
+
+// robustBound is the reliability floor the robust statistic is enforced
+// against: Robust.PDRMin when set, Problem.PDRMin otherwise.
+func (o *Optimizer) robustBound() float64 {
+	if o.Options.Robust.PDRMin > 0 {
+		return o.Options.Robust.PDRMin
+	}
+	return o.Problem.PDRMin
+}
+
+// robustCompile assembles the Γ-robust lowering configuration of this
+// run from the robust options (zero Gamma when ProposeGamma is off, in
+// which case buildRobustMILP degenerates to the nominal buildMILP).
+func (o *Optimizer) robustCompile() RobustCompile {
+	rc := o.Options.Robust.Compile
+	rc.Gamma = o.Options.Robust.ProposeGamma
+	if rc.PDRFloor <= 0 {
+		rc.PDRFloor = o.robustBound()
+	}
+	if rc.FailFrac <= 0 {
+		rc.FailFrac = o.Options.Robust.FailFrac
+	}
+	return rc
 }
 
 // screenSeedOffset keeps screening runs on random streams disjoint from
@@ -362,7 +413,11 @@ func (o *Optimizer) Run() (*Outcome, error) {
 		return nil, o.engErr
 	}
 	engStart := o.eng.Stats()
-	mm, err := buildMILP(o.Problem)
+	// With Robust.ProposeGamma set the oracle iterates on the Γ-protected
+	// relaxation: the protection families below are part of the warm
+	// state's matrix from the start, so designs that cannot survive Γ
+	// deviations never reach the simulator at all.
+	mm, _, err := buildRobustMILP(o.Problem, o.robustCompile())
 	if err != nil {
 		return nil, err
 	}
@@ -471,7 +526,11 @@ func (o *Optimizer) Run() (*Outcome, error) {
 			cand.Feasible = cand.PDR >= o.Problem.PDRMin-o.Options.FeasTol
 			if e.robust {
 				cand.WorstPDR = e.worstPDR
-				cand.Feasible = cand.Feasible && e.screenPDR >= o.Problem.PDRMin-o.Options.FeasTol
+				robustOK := e.screenPDR >= o.robustBound()-o.Options.FeasTol
+				if cand.Feasible && !robustOK {
+					out.RobustRejected++
+				}
+				cand.Feasible = cand.Feasible && robustOK
 			}
 			it.Candidates = append(it.Candidates, cand)
 			if cand.Feasible {
@@ -790,8 +849,8 @@ func (o *Optimizer) robustExhaustive(jobs []famJob, full map[uint32]*netsim.Resu
 // robustExhaustive; a sealed family reports the order statistic over its
 // evaluated prefix, which the breach count already pins below the bound.
 func (o *Optimizer) robustAdaptive(jobs []famJob, full map[uint32]*netsim.Result, pre func(design.Point) func(), robust map[uint32]robustStats, skippedRuns *int, skippedSeconds *float64) error {
-	bound := o.Problem.PDRMin - o.Options.FeasTol
-	gate := &netsim.Gate{PDRMin: o.Problem.PDRMin, Margin: o.Options.FeasTol}
+	bound := o.robustBound() - o.Options.FeasTol
+	gate := &netsim.Gate{PDRMin: o.robustBound(), Margin: o.Options.FeasTol}
 	type famState struct {
 		job       famJob
 		pdrs      []float64
@@ -942,9 +1001,15 @@ func WriteRelaxationLP(pr *design.Problem, w io.Writer) error {
 // returns it with the Eq. (9) objective expression — the pair needed to
 // drive the raw Algorithm 1 oracle loop (SolvePool, then prune with
 // AddExprRow(objective ≥ P̄* + ε)) outside the optimizer, e.g. from the
-// MILP benchmarks.
-func CompileMILP(pr *design.Problem) (*linexpr.Compiled, linexpr.Expr, error) {
-	mm, err := buildMILP(pr)
+// MILP benchmarks. An optional RobustCompile switches to the Γ-protected
+// lowering (with Gamma == 0 the output is bit-identical to the nominal
+// compilation); use CompileMILPRobust to also get the retarget handle.
+func CompileMILP(pr *design.Problem, robust ...RobustCompile) (*linexpr.Compiled, linexpr.Expr, error) {
+	var rc RobustCompile
+	if len(robust) > 0 {
+		rc = robust[0]
+	}
+	mm, _, err := buildRobustMILP(pr, rc)
 	if err != nil {
 		return nil, linexpr.Expr{}, err
 	}

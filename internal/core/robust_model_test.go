@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hiopt/internal/design"
+	"hiopt/internal/milp"
+	"hiopt/internal/netsim"
+)
+
+// TestRobustGammaZeroIsNominal: the Γ = 0 robust compilation must be
+// bit-identical to the nominal one — same arena, same objective — so
+// that every existing pin (pool classes, paper-chain powers) is
+// untouched by the robust machinery's existence.
+func TestRobustGammaZeroIsNominal(t *testing.T) {
+	pr := design.PaperProblem(0.9)
+	nomC, nomObj, err := CompileMILP(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robC, robObj, h, err := CompileMILPRobust(pr, RobustCompile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != nil {
+		t.Fatalf("Γ=0 compilation returned a handle: %+v", h)
+	}
+	if !reflect.DeepEqual(nomC, robC) {
+		t.Fatal("Γ=0 compiled arena differs from nominal")
+	}
+	if !reflect.DeepEqual(nomObj, robObj) {
+		t.Fatal("Γ=0 objective differs from nominal")
+	}
+}
+
+// TestRobustCompileStructure pins the shape of the Γ = 1 lowering: one
+// protected link row per non-coordinator location, one RHS-encoded
+// availability row, and the availability arithmetic N >= Γ(1−φ)/(1−floor).
+func TestRobustCompileStructure(t *testing.T) {
+	pr := design.PaperProblem(0.9)
+	c, _, h, err := CompileMILPRobust(pr, RobustCompile{Gamma: 1, PDRFloor: 0.83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == nil {
+		t.Fatal("no handle at Γ=1")
+	}
+	if want := pr.Constraints.M - 1; len(h.LinkRows) != want {
+		t.Fatalf("link rows: got %d, want %d", len(h.LinkRows), want)
+	}
+	if h.PowerRow != -1 {
+		t.Fatalf("power row %d present without a budget", h.PowerRow)
+	}
+	// The link and availability duals are eliminated in closed form;
+	// auxiliaries appear only with a multi-term power family.
+	if h.AuxVars != 0 {
+		t.Fatalf("aux vars: got %d, want 0 without a power budget", h.AuxVars)
+	}
+	cp, _, hp, err := CompileMILPRobust(pr, RobustCompile{Gamma: 1, PDRFloor: 0.83, PowerBudgetMW: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.PowerRow < 0 || hp.AuxVars == 0 {
+		t.Fatalf("power family missing: row %d, aux %d", hp.PowerRow, hp.AuxVars)
+	}
+	if !cp.Rows[hp.PowerRow].Skip {
+		t.Fatal("power row not Skip-tagged")
+	}
+	if got, want := c.Rows[h.AvailRow].RHS, -(1-0.25)*1.0; got != want {
+		t.Fatalf("avail RHS: got %g, want %g", got, want)
+	}
+	if !c.Rows[h.AvailRow].Skip {
+		t.Fatal("avail row not Skip-tagged for presolve opacity")
+	}
+	for _, r := range h.LinkRows {
+		if !c.Rows[r].Skip {
+			t.Fatalf("link row %d not Skip-tagged", r)
+		}
+	}
+	// Retarget validation: Γ=0 is structurally nominal, and crossing the
+	// min(Γ,1) saturation boundary changes the compiled link rows.
+	if err := h.RetargetArena(c, 0); err == nil {
+		t.Fatal("retarget to Γ=0 must be rejected")
+	}
+	if err := h.RetargetArena(c, 0.5); err == nil {
+		t.Fatal("retarget across the saturation boundary must be rejected")
+	}
+	if err := h.RetargetArena(c, 3); err != nil {
+		t.Fatalf("retarget 1 -> 3: %v", err)
+	}
+	if got, want := c.Rows[h.AvailRow].RHS, -(1-0.25)*3.0; got != want {
+		t.Fatalf("avail RHS after retarget: got %g, want %g", got, want)
+	}
+}
+
+// poolPointSet decodes and deduplicates a pool into design-point keys.
+func poolPointSet(t *testing.T, pr *design.Problem, rc RobustCompile, gamma float64) (map[uint32]design.Point, *milp.Solution) {
+	t.Helper()
+	rc.Gamma = gamma
+	mm, _, err := buildRobustMILP(pr, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, agg, err := milp.NewState(mm.model.Compile(), milp.Options{}).SolvePool(0, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[uint32]design.Point{}
+	for _, ps := range pool {
+		p := mm.decode(ps.X)
+		set[p.Key()] = p
+	}
+	return set, agg
+}
+
+// TestRetargetGammaWarmMatchesCold: sweeping Γ on a live warm state via
+// RetargetGamma must enumerate exactly the pools a cold recompile at
+// each Γ produces, across an up-down sweep — the correctness contract
+// behind the milp_gamma_warm benchmark and hisweep -gamma.
+func TestRetargetGammaWarmMatchesCold(t *testing.T) {
+	pr := design.PaperProblem(0.9)
+	rc := RobustCompile{PDRFloor: 0.83}
+	warmRC := rc
+	warmRC.Gamma = 1
+	mm, h, err := buildRobustMILP(pr, warmRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := milp.NewState(mm.model.Compile(), milp.Options{})
+	for _, gamma := range []float64{1, 2, 3, 2, 1} {
+		if err := h.RetargetGamma(st, gamma); err != nil {
+			t.Fatalf("retarget to Γ=%g: %v", gamma, err)
+		}
+		pool, agg, err := st.SolvePool(0, 1e-6)
+		if err != nil {
+			t.Fatalf("warm Γ=%g: %v", gamma, err)
+		}
+		warm := map[uint32]design.Point{}
+		for _, ps := range pool {
+			p := mm.decode(ps.X)
+			warm[p.Key()] = p
+		}
+		cold, coldAgg := poolPointSet(t, pr, rc, gamma)
+		if agg.Status != coldAgg.Status {
+			t.Fatalf("Γ=%g: status %v warm vs %v cold", gamma, agg.Status, coldAgg.Status)
+		}
+		if agg.Status == milp.Optimal && math.Abs(agg.Objective-coldAgg.Objective) > 1e-9 {
+			t.Fatalf("Γ=%g: objective %g warm vs %g cold", gamma, agg.Objective, coldAgg.Objective)
+		}
+		if len(warm) != len(cold) {
+			t.Fatalf("Γ=%g: pool %d warm vs %d cold", gamma, len(warm), len(cold))
+		}
+		for k := range cold {
+			if _, ok := warm[k]; !ok {
+				t.Fatalf("Γ=%g: cold pool member %v missing from warm pool", gamma, cold[k])
+			}
+		}
+	}
+}
+
+// TestGammaOnePoolShape pins what the Γ = 1 protected relaxation
+// proposes first at the 0.83 robust floor: the availability row demands
+// N >= 0.75/0.17 ⇒ N >= 5 (the N = 4 power classes the nominal oracle
+// would have to simulate and reject are never proposed), and the
+// protected link budget burns the ~4.8 dB ankle headroom, forcing the
+// strongest Tx mode on every star.
+func TestGammaOnePoolShape(t *testing.T) {
+	pr := design.PaperProblem(0.9)
+	set, agg := poolPointSet(t, pr, RobustCompile{PDRFloor: 0.83}, 1)
+	if agg.Status != milp.Optimal {
+		t.Fatalf("status %v", agg.Status)
+	}
+	if len(set) == 0 {
+		t.Fatal("empty pool")
+	}
+	for _, p := range set {
+		if p.N() < 5 {
+			t.Fatalf("pool member %v has N=%d < 5", p, p.N())
+		}
+		if p.Routing == netsim.Star && p.TxMode != 2 {
+			t.Fatalf("star pool member %v not forced to the strongest Tx mode", p)
+		}
+	}
+}

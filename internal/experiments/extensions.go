@@ -458,6 +458,19 @@ func (s *Suite) RB(ks []int, pdrMin float64, csvPath string) ([]*RBResult, error
 		results = append(results, res)
 		fmt.Fprintf(s.W, "  k=%d: %d nominally feasible, %d survive the worst case (%d dropped)\n",
 			k, res.NominallyFeasible, res.RobustFeasible, res.NominallyFeasible-res.RobustFeasible)
+		if csvPath == "" {
+			// No CSV sink: the per-configuration envelopes go to stdout
+			// instead, so a plain `hisweep -robust` run loses nothing.
+			var full [][]string
+			for _, row := range res.Rows {
+				full = append(full, []string{pointLabel(row.Point),
+					report.Pct(row.NominalPDR), report.Pct(row.WorstPDR),
+					row.WorstScenario, report.F(row.PowerMW, 4),
+					fmt.Sprintf("%v", row.RobustFeasible)})
+			}
+			report.Table(s.W, []string{"configuration", "nominal PDR", "worst PDR",
+				"worst scenario", "power mW", "robust"}, full)
+		}
 		var tbl [][]string
 		describe := func(label string, r *RBRow) {
 			if r == nil {

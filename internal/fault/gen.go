@@ -19,9 +19,17 @@ type ScenarioGen struct {
 	FailFrac float64
 }
 
+// DefaultFailFrac is the default hard-failure placement: a failed node
+// dies at DefaultFailFrac × horizon, so it delivers only that fraction
+// of its traffic. Shared with the Γ-robust MILP compilation, whose
+// availability protection row charges each adversarially failed node a
+// (1 − DefaultFailFrac) contribution loss — the two layers must agree
+// on what "a node fails" costs or the proposer and the verifier drift.
+const DefaultFailFrac = 0.25
+
 func (g ScenarioGen) failFrac() float64 {
 	if g.FailFrac <= 0 || g.FailFrac > 1 {
-		return 0.25
+		return DefaultFailFrac
 	}
 	return g.FailFrac
 }

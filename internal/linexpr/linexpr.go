@@ -205,6 +205,9 @@ type Model struct {
 	// emits a minimization problem.
 	maximize bool
 	names    map[string]VarID
+	// protected lists constraint indices whose compiled rows carry the
+	// Skip tag (robust protection rows — see AddRobust/Protect).
+	protected []int
 }
 
 // NewModel returns an empty model.
@@ -338,12 +341,17 @@ type Compiled struct {
 	Negated bool
 }
 
-// CompiledRow is a dense constraint row.
+// CompiledRow is a dense constraint row. Skip is an opaque row tag:
+// presolve-style reduction passes must leave tagged rows untouched and
+// derive nothing from them (robust protection rows carry it — their
+// right-hand sides may be retargeted after analysis, and their mixed
+// binary/continuous support is outside the reductions' assumptions).
 type CompiledRow struct {
 	Name  string
 	Coefs []float64
 	Sense Sense
 	RHS   float64
+	Skip  bool
 }
 
 // Compile lowers the model to matrix form. The returned structure is
@@ -379,6 +387,9 @@ func (m *Model) Compile() *Compiled {
 			row.Coefs[t.Var] += t.Coef
 		}
 		c.Rows = append(c.Rows, row)
+	}
+	for _, i := range m.protected {
+		c.Rows[i].Skip = true
 	}
 	return c
 }
@@ -421,7 +432,7 @@ func (c *Compiled) Clone() *Compiled {
 	}
 	out.Rows = make([]CompiledRow, len(c.Rows))
 	for i, r := range c.Rows {
-		out.Rows[i] = CompiledRow{Name: r.Name, Coefs: append([]float64(nil), r.Coefs...), Sense: r.Sense, RHS: r.RHS}
+		out.Rows[i] = CompiledRow{Name: r.Name, Coefs: append([]float64(nil), r.Coefs...), Sense: r.Sense, RHS: r.RHS, Skip: r.Skip}
 	}
 	return out
 }

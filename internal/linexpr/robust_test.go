@@ -1,0 +1,195 @@
+package linexpr
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// dualProtection evaluates the lowered machinery's protection value at a
+// binary assignment: the minimum of Γ·z + Σ_j p_j over the dual
+// feasible set {z + p_j >= d_j·x_j, z ∈ [0, dmax], p >= 0}. The optimal
+// z is one of the deviation values (or 0), so a scan over those
+// candidates is exact.
+func dualProtection(gamma float64, devs []RobustTerm, x []float64) float64 {
+	cands := []float64{0}
+	for _, d := range devs {
+		cands = append(cands, d.Dev*x[d.Var])
+	}
+	best := math.Inf(1)
+	for _, z := range cands {
+		v := gamma * z
+		for _, d := range devs {
+			if p := d.Dev*x[d.Var] - z; p > 0 {
+				v += p
+			}
+		}
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// bruteProtection enumerates every subset of at most ceil(gamma)
+// deviations, weighting the last member fractionally when gamma is not
+// integral — the defining adversarial maximum.
+func bruteProtection(gamma float64, devs []RobustTerm, x []float64) float64 {
+	n := len(devs)
+	best := 0.0
+	whole := int(gamma)
+	frac := gamma - float64(whole)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var vals []float64
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				vals = append(vals, devs[j].Dev*x[devs[j].Var])
+			}
+		}
+		if len(vals) > whole+1 || (len(vals) > whole && frac == 0) {
+			continue
+		}
+		// The fractional slot takes the smallest selected value.
+		sum, min := 0.0, math.Inf(1)
+		for _, v := range vals {
+			sum += v
+			if v < min {
+				min = v
+			}
+		}
+		if len(vals) == whole+1 {
+			sum -= (1 - frac) * min
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+func TestAddRobustLoweringStructure(t *testing.T) {
+	m := NewModel()
+	a := m.Binary("a")
+	b := m.Binary("b")
+	c := m.Binary("c")
+	devs := []RobustTerm{{a, 2.0}, {b, 3.0}, {c, 0.5}}
+	vars0, cons0 := m.NumVars(), m.NumConstraints()
+	aux := m.AddRobust("prot", Sum(a, b, c), 2.5, 2, devs)
+	if m.NumVars()-vars0 != 1+len(devs) {
+		t.Fatalf("want 1 z + %d p auxiliaries, got %d new vars", len(devs), m.NumVars()-vars0)
+	}
+	if m.NumConstraints()-cons0 != 1+len(devs) {
+		t.Fatalf("want 1 protected + %d dev rows, got %d new rows", len(devs), m.NumConstraints()-cons0)
+	}
+	if aux.Z < 0 || len(aux.P) != len(devs) || len(aux.DevRows) != len(devs) {
+		t.Fatalf("aux bookkeeping incomplete: %+v", aux)
+	}
+	if zv := m.Var(aux.Z); zv.Lo != 0 || zv.Hi != 3.0 {
+		t.Fatalf("z bounds [%g,%g], want [0, dmax=3]", zv.Lo, zv.Hi)
+	}
+	comp := m.Compile()
+	if !comp.Rows[aux.Row].Skip {
+		t.Fatalf("protected row not Skip-tagged")
+	}
+	for _, r := range aux.DevRows {
+		if !comp.Rows[r].Skip {
+			t.Fatalf("dev row %d not Skip-tagged", r)
+		}
+	}
+	// The protected row carries Γ on z and 1 on every p.
+	row := comp.Rows[aux.Row]
+	if row.Coefs[aux.Z] != 2 {
+		t.Fatalf("z coefficient %g, want Γ=2", row.Coefs[aux.Z])
+	}
+	for _, p := range aux.P {
+		if row.Coefs[p] != 1 {
+			t.Fatalf("p coefficient %g, want 1", row.Coefs[p])
+		}
+	}
+}
+
+func TestRobustProtectionExactness(t *testing.T) {
+	m := NewModel()
+	ids := []VarID{m.Binary("a"), m.Binary("b"), m.Binary("c"), m.Binary("d")}
+	devs := []RobustTerm{{ids[0], 1.5}, {ids[1], 4.0}, {ids[2], 2.25}, {ids[3], 0.75}}
+	for _, gamma := range []float64{0.5, 1, 1.5, 2, 3, 4, 7} {
+		for bits := 0; bits < 16; bits++ {
+			x := make([]float64, len(ids))
+			for j := range ids {
+				if bits&(1<<uint(j)) != 0 {
+					x[j] = 1
+				}
+			}
+			capped := gamma
+			if capped > float64(len(devs)) {
+				capped = float64(len(devs))
+			}
+			want := bruteProtection(capped, devs, x)
+			if got := ProtectionValue(gamma, devs, x); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("γ=%g x=%v: ProtectionValue %g != brute %g", gamma, x, got, want)
+			}
+			if got := dualProtection(capped, devs, x); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("γ=%g x=%v: dual optimum %g != brute %g (lowering not tight)", gamma, x, got, want)
+			}
+		}
+	}
+}
+
+func TestAddRobustGammaZeroIsNominal(t *testing.T) {
+	build := func(robust bool) *Compiled {
+		m := NewModel()
+		a := m.Binary("a")
+		b := m.Binary("b")
+		m.SetObjective(Sum(a, b), false)
+		if robust {
+			m.AddRobust("cap", Sum(a, b), 1.5, 0, []RobustTerm{{a, 1}, {b, 2}})
+		} else {
+			m.Add("cap", Sum(a, b), LE, 1.5)
+		}
+		return m.Compile()
+	}
+	if got, want := build(true), build(false); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Γ=0 AddRobust compilation differs from nominal:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestProtectMarksRow(t *testing.T) {
+	m := NewModel()
+	a := m.Binary("a")
+	m.Add("plain", TermOf(a, 1), LE, 1)
+	m.Add("tagged", TermOf(a, 1), LE, 2)
+	m.Protect(m.NumConstraints() - 1)
+	comp := m.Compile()
+	if comp.Rows[0].Skip {
+		t.Fatalf("untagged row marked Skip")
+	}
+	if !comp.Rows[1].Skip {
+		t.Fatalf("Protect did not tag the row")
+	}
+	if !comp.Clone().Rows[1].Skip {
+		t.Fatalf("Clone dropped the Skip tag")
+	}
+}
+
+func TestAddRobustRejectsBadDeviations(t *testing.T) {
+	for name, f := range map[string]func(*Model, VarID){
+		"negative-dev": func(m *Model, a VarID) {
+			m.AddRobust("r", TermOf(a, 1), 1, 1, []RobustTerm{{a, -1}})
+		},
+		"negative-domain": func(m *Model, a VarID) {
+			v := m.NewVar("v", Continuous, -1, 1)
+			m.AddRobust("r", TermOf(a, 1), 1, 1, []RobustTerm{{v, 1}})
+		},
+	} {
+		m := NewModel()
+		a := m.Binary("a")
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic", name)
+				}
+			}()
+			f(m, a)
+		}()
+	}
+}

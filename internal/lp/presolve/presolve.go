@@ -120,11 +120,15 @@ func Analyze(p *linexpr.Compiled) *Reductions {
 	}
 
 	// Fixing + redundancy to fixpoint. Each row is analyzed in its LE
-	// normalization (GE rows via sign flip): Σ a_j x_j ≤ b.
+	// normalization (GE rows via sign flip): Σ a_j x_j ≤ b. Skip-tagged
+	// rows (robust protection rows) are opaque: they are never dropped or
+	// tightened, and no fixing is derived from them — their right-hand
+	// sides may be retargeted after this analysis runs, which would
+	// invalidate any reduction reasoned from the pre-retarget value.
 	for changed := true; changed; {
 		changed = false
 		for i := range p.Rows {
-			if dropped[i] || p.Rows[i].Sense == linexpr.EQ {
+			if dropped[i] || p.Rows[i].Sense == linexpr.EQ || p.Rows[i].Skip {
 				continue
 			}
 			row := &p.Rows[i]
@@ -174,7 +178,7 @@ func Analyze(p *linexpr.Compiled) *Reductions {
 	// together by the slack; the binary feasible set is untouched and
 	// the relaxation tightens.
 	for i := range p.Rows {
-		if dropped[i] || p.Rows[i].Sense == linexpr.EQ {
+		if dropped[i] || p.Rows[i].Sense == linexpr.EQ || p.Rows[i].Skip {
 			continue
 		}
 		row := &p.Rows[i]

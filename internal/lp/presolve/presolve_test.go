@@ -190,3 +190,98 @@ func TestReductionsPreserveOptimalPool(t *testing.T) {
 	}
 	t.Logf("instances with reductions: %d/200", checked)
 }
+
+// TestSkipRowsAreOpaque is the row-tag safety property (robust
+// protection rows): on random binary MILPs with a subset of rows
+// Skip-tagged, (a) no reduction may touch or be derived from a tagged
+// row — it is never dropped, never tightened, and its coefficients and
+// RHS survive Apply bit-identical; (b) the postsolve identity still
+// holds: the reduced problem, with the tagged rows left in place, has
+// the same status, optimal objective, and full solution pool as the
+// original.
+func TestSkipRowsAreOpaque(t *testing.T) {
+	checked := 0
+	for seed := uint64(1); seed <= 200; seed++ {
+		g := rng.NewSource(seed).Stream("skiptag")
+		p := randomBinaryProblem(seed, 7, 6)
+		tagged := map[int]bool{}
+		for i := range p.Rows {
+			if g.Uniform(0, 1) < 0.4 {
+				p.Rows[i].Skip = true
+				tagged[i] = true
+			}
+		}
+		if len(tagged) == 0 {
+			p.Rows[0].Skip = true
+			tagged[0] = true
+		}
+		origPool, origAgg, err := milp.SolvePool(p.Clone(), milp.Options{}, 0, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := p.Clone()
+		red := presolve.Analyze(p)
+		red.Apply(p)
+		for _, r := range red.DropRows {
+			if tagged[r] {
+				t.Fatalf("seed %d: Skip row %d dropped", seed, r)
+			}
+		}
+		for i := range tagged {
+			br, ar := before.Rows[i], p.Rows[i]
+			if br.RHS != ar.RHS {
+				t.Fatalf("seed %d: Skip row %d RHS rewritten %g -> %g", seed, i, br.RHS, ar.RHS)
+			}
+			for j := range br.Coefs {
+				if br.Coefs[j] != ar.Coefs[j] {
+					t.Fatalf("seed %d: Skip row %d coef %d rewritten %g -> %g", seed, i, j, br.Coefs[j], ar.Coefs[j])
+				}
+			}
+		}
+		// Postsolve identity with tagged rows present: apply fixings as
+		// bounds, remove dropped rows (all untagged), keep everything else.
+		for j, b := range red.Fixed {
+			p.Lo[j], p.Hi[j] = b.Lo, b.Hi
+		}
+		drop := map[int]bool{}
+		for _, r := range red.DropRows {
+			drop[r] = true
+		}
+		rows := p.Rows[:0]
+		for i := range p.Rows {
+			if !drop[i] {
+				rows = append(rows, p.Rows[i])
+			}
+		}
+		p.Rows = rows
+		redPool, redAgg, err := milp.SolvePool(p, milp.Options{}, 0, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if origAgg.Status != redAgg.Status {
+			t.Fatalf("seed %d: status %v vs %v (reduced)", seed, origAgg.Status, redAgg.Status)
+		}
+		if origAgg.Status != milp.Optimal {
+			continue
+		}
+		if math.Abs(origAgg.Objective-redAgg.Objective) > 1e-9*(1+math.Abs(origAgg.Objective)) {
+			t.Fatalf("seed %d: obj %.12g vs %.12g (reduced)", seed, origAgg.Objective, redAgg.Objective)
+		}
+		ok, rk := poolKeys(origPool), poolKeys(redPool)
+		if len(ok) != len(rk) {
+			t.Fatalf("seed %d: pool %d vs %d (reduced)", seed, len(ok), len(rk))
+		}
+		for i := range ok {
+			if ok[i] != rk[i] {
+				t.Fatalf("seed %d member %d: %s vs %s", seed, i, ok[i], rk[i])
+			}
+		}
+		if s := red.Stats(); s.FixedVars+s.DroppedRows+s.TightenedCoefs > 0 {
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("generator too tame: only %d/200 tagged instances had reductions", checked)
+	}
+	t.Logf("tagged instances with reductions: %d/200", checked)
+}

@@ -809,6 +809,21 @@ func (s *SparseSolver) Solve() (*Solution, error) {
 	st := IterationLimit
 	if s.prepare(warm) {
 		st = s.dual()
+		if st == Infeasible && len(s.etas) > 0 {
+			// An infeasibility certificate derived through a stale eta
+			// file is not trustworthy: on heavily degenerate faces (pool
+			// enumeration slabs) accumulated drift in xB/z can manufacture
+			// a violated basic with no admissible entering column.
+			// Optimal claims are validated against the arena below;
+			// infeasible claims have no primal point to check, so confirm
+			// them by refactorizing the same basis — exact xB and reduced
+			// costs — and re-running the dual from it.
+			if s.factorizeBasis() == nil {
+				s.computeZ()
+				s.computeXB()
+				st = s.dual()
+			}
+		}
 		if st == Optimal {
 			sol := s.extract()
 			sol.Iterations = s.stats.Pivots - p0

@@ -56,6 +56,14 @@ type State struct {
 	retired   []int
 	poolCalls int
 
+	// infeasibleBasis marks that the last solve concluded Infeasible: the
+	// kernel's terminal basis is then not a trustworthy warm-start point
+	// once the caller mutates the problem again (an RHS retarget can chain
+	// two infeasible dual re-solves onto a basis that silently drifts and
+	// later closes feasible subtrees), so the next solving call rebuilds
+	// the solver from the arena first.
+	infeasibleBasis bool
+
 	// dead holds the arena index of every no-good row ever added. The
 	// arena keeps them (loose, non-binding) forever, but a fresh solver
 	// after resetSolver must shed them before building: re-ingesting
@@ -154,6 +162,27 @@ func (st *State) applyReductions() {
 // fallback path rather than the warm kernel.
 func (st *State) Legacy() bool { return st.legacy }
 
+// SetRowRHS retargets the right-hand side of arena row i on both the
+// arena and the live warm kernel, keeping the two views consistent: the
+// next SolvePool re-solves from the current basis via dual simplex
+// instead of a cold rebuild. This is how Γ-robust callers move a
+// protected row's budget (e.g. the availability floor encoding Γ)
+// between pool calls without recompiling the relaxation.
+//
+// The row must be one the state was built with (not an appended cut)
+// and must not have been eliminated by presolve — robust protection
+// rows satisfy both by construction: they carry the Skip tag, which
+// exempts them from every presolve reduction.
+func (st *State) SetRowRHS(i int, rhs float64) {
+	st.p.Rows[i].RHS = rhs
+	if st.legacy || st.sv == nil {
+		// The legacy clone path re-reads the arena on every call; the
+		// arena update alone retargets it.
+		return
+	}
+	st.sv.SetRowRHS(i, rhs)
+}
+
 // resetSolver discards the (possibly poisoned) warm solver and attaches a
 // fresh one to the arena. Arena rows carry loose protocol RHS values, so
 // the fresh solver starts from a semantically clean problem; dead no-good
@@ -174,6 +203,15 @@ func (st *State) resetSolver() {
 		sv.DropRow(r)
 	}
 	st.retired = st.retired[:0]
+	st.infeasibleBasis = false
+}
+
+// freshenAfterInfeasible rebuilds the solver when the previous solve
+// ended Infeasible (see infeasibleBasis); no-op otherwise.
+func (st *State) freshenAfterInfeasible() {
+	if st.infeasibleBasis && !st.legacy {
+		st.resetSolver()
+	}
 }
 
 // transition moves the solver's variable bounds from the currently applied
@@ -387,6 +425,7 @@ func (st *State) Solve() (*Solution, error) {
 	// unvalidated answers in the run (notably Infeasible prunes) may have
 	// come from the drifted basis, so the run is discarded and redone on
 	// a fresh solver. A second stale attempt falls through to legacy.
+	st.freshenAfterInfeasible()
 	for attempt := 0; attempt < 2 && !st.legacy; attempt++ {
 		s0 := st.sv.Stats()
 		sol, err := st.solveWithDive(0)
@@ -402,6 +441,7 @@ func (st *State) Solve() (*Solution, error) {
 		sol.ColdSolves += d.ColdSolves - s0.ColdSolves
 		sol.Refactorizations += d.Refactorizations - s0.Refactorizations
 		st.stampPresolve(sol)
+		st.infeasibleBasis = sol.Status == Infeasible
 		return sol, nil
 	}
 	st.resetSolver()
@@ -493,6 +533,7 @@ func (st *State) SolvePool(limit int, objTol float64) ([]PoolSolution, *Solution
 				p.Names[j], p.Lo[j], p.Hi[j])
 		}
 	}
+	st.freshenAfterInfeasible()
 	if st.legacy {
 		return SolvePool(p, st.opt, limit, objTol)
 	}
@@ -595,6 +636,7 @@ func (st *State) warmPoolOnce(limit int, objTol float64) ([]PoolSolution, *Solut
 		}
 	}
 
+	st.infeasibleBasis = agg.Status == Infeasible
 	agg.LPIterations += st.retireNoGoods(added)
 	d := st.sv.Stats()
 	// += so that parallel-dive task contributions (accumulated directly
