@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench-smoke benchcmp benchcmp-auto engine-smoke robust-smoke milp-smoke gamma-smoke
+.PHONY: check build test vet fmt race bench-smoke benchcmp benchcmp-auto engine-smoke robust-smoke milp-smoke gamma-smoke cache-smoke
 
 check: build test vet race fmt gamma-smoke benchcmp-auto
 
@@ -68,6 +68,21 @@ gamma-smoke:
 engine-smoke:
 	$(GO) test -race -count=1 ./internal/engine/
 	$(GO) test -run=NONE -bench='BenchmarkEngine' -benchtime=1x .
+
+# The persistent-cache gate: a cold hisweep populates a cache file, a
+# second process restarts from it, and the warm run must (a) produce a
+# bit-identical CSV and (b) answer >= 90% of its submissions without
+# re-simulating (the "N simulated" figure of the engine stats line).
+cache-smoke:
+	@rm -f /tmp/hiopt-cache-smoke.bin /tmp/hiopt-cache-cold.csv /tmp/hiopt-cache-warm.csv
+	$(GO) run ./cmd/hisweep -duration 5 -cachefile /tmp/hiopt-cache-smoke.bin -csv /tmp/hiopt-cache-cold.csv > /tmp/hiopt-cache-cold.out
+	$(GO) run ./cmd/hisweep -duration 5 -cachefile /tmp/hiopt-cache-smoke.bin -csv /tmp/hiopt-cache-warm.csv > /tmp/hiopt-cache-warm.out
+	cmp /tmp/hiopt-cache-cold.csv /tmp/hiopt-cache-warm.csv
+	@awk '/^engine:/ { sub(",", "", $$2); sub(",", "", $$4); sub(",", "", $$2); \
+		if ($$4 + 0 > 0.10 * $$2) { \
+			printf "cache-smoke: warm run re-simulated %s of %s submissions (> 10%%)\n", $$4, $$2; exit 1; } \
+		else { printf "cache-smoke: warm run re-simulated %s of %s submissions\n", $$4, $$2; ok = 1 } } \
+		END { if (!ok) { print "cache-smoke: no engine stats line in warm output"; exit 1 } }' /tmp/hiopt-cache-warm.out
 
 # A fast end-to-end robustness pass: one configuration evaluated against
 # its 1-node-failure family at quick fidelity.

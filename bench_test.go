@@ -23,6 +23,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -610,23 +613,131 @@ func BenchmarkEngineBatch(b *testing.B) {
 
 func BenchmarkEngineCacheHit(b *testing.B) {
 	// The same batch, keyed and pre-warmed: every op resolves from the
-	// unified cache without touching a simulator.
+	// unified cache without touching a simulator. EvaluateBatchInto with
+	// a reused results slice exercises the all-hits fast path — 0
+	// allocs/op, pinned by the hibench -cmp allocation gate.
 	eng, err := engine.New(1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	reqs := engineBatchRequests(true)
-	if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+	results := make([]*netsim.Result, len(reqs))
+	if err := eng.EvaluateBatchInto(results, reqs, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+		if err := eng.EvaluateBatchInto(results, reqs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(len(reqs)), "hits/op")
+}
+
+// contendHits hammers the engine's cache-hit path from g goroutines, each
+// performing hitsPerWorker single-request lookups over the keyed request
+// set with per-goroutine phase offsets (colliding keys, distinct access
+// order) — the access pattern of cache-heavy concurrent batches.
+func contendHits(b *testing.B, eng *engine.Engine, reqs []engine.Request, g, hitsPerWorker int) {
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < hitsPerWorker; i++ {
+				if _, err := eng.Evaluate(reqs[(w+i)%len(reqs)]); err != nil {
+					b.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkEngineShardContention(b *testing.B) {
+	// GOMAXPROCS goroutines hammering cache hits on the lock-striped
+	// cache. The same workload against a single-stripe engine (the old
+	// single-mutex layout, NewSharded(…, 1)) is timed before the
+	// measured loop; speedup_vs_mutex1 is the contended-hit throughput
+	// ratio — ≈1 on a 1-CPU host where goroutines serialize anyway, and
+	// growing with cores as stripes stop the lock convoy.
+	const hitsPerWorker = 1000
+	g := runtime.GOMAXPROCS(0)
+	reqs := engineBatchRequests(true)
+
+	m1, err := engine.NewSharded(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m1.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	contendHits(b, m1, reqs, g, hitsPerWorker) // warm up the baseline
+	t0 := time.Now()
+	const baseRounds = 3
+	for i := 0; i < baseRounds; i++ {
+		contendHits(b, m1, reqs, g, hitsPerWorker)
+	}
+	base := time.Since(t0).Seconds() / baseRounds
+
+	sharded, err := engine.NewSharded(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sharded.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	contendHits(b, sharded, reqs, g, hitsPerWorker)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		contendHits(b, sharded, reqs, g, hitsPerWorker)
+	}
+	b.StopTimer()
+	per := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(base/per, "speedup_vs_mutex1")
+	b.ReportMetric(float64(g*hitsPerWorker), "hits/op")
+	b.ReportMetric(float64(g), "goroutines")
+}
+
+func BenchmarkEngineDiskWarm(b *testing.B) {
+	// The warm-restart path end to end: a cold engine evaluates the keyed
+	// batch once and saves it; every op then builds a fresh engine, loads
+	// the cache file, and answers the whole batch from the persisted tier
+	// without a single fresh simulation.
+	path := filepath.Join(b.TempDir(), "cache.bin")
+	sig := engine.ContextSig(10, 1, 1)
+	cold, err := engine.New(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := engineBatchRequests(true)
+	if _, err := cold.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cold.SaveCache(path, sig); err != nil {
+		b.Fatal(err)
+	}
+	results := make([]*netsim.Result, len(reqs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm, err := engine.New(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warm.LoadCache(path, sig); err != nil {
+			b.Fatal(err)
+		}
+		if err := warm.EvaluateBatchInto(results, reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+		if st := warm.Stats(); st.Simulated != 0 || st.DiskHits != int64(len(reqs)) {
+			b.Fatalf("disk-warm op simulated %d / %d disk hits, want 0 / %d", st.Simulated, st.DiskHits, len(reqs))
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "disk_hits/op")
 }
 
 // engineRepBatchRequests builds 16 distinct configurations, each
@@ -925,4 +1036,40 @@ func BenchmarkMILPGammaSweep(b *testing.B) {
 			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
 		})
 	}
+}
+
+// BenchmarkGammaOneSlabLegacyFallback measures the Γ = 1 known-cost
+// regression pinned by core's TestGammaOneSecondClassSlab: enumerating
+// the degenerate 132-member second power class, where the warm
+// single-tree pool trips its stale-twice guard and falls back to the
+// legacy clone-based enumeration. The ~tens-of-seconds per op ARE the
+// regression being tracked (hisweep -gamma pays this once per sweep) —
+// far too slow for BENCH_simcore.json's repeat-3 protocol, so it is
+// deliberately absent from hibench -benchjson; run it directly with
+// -benchtime 1x when touching the pool enumeration or the Γ lowering.
+func BenchmarkGammaOneSlabLegacyFallback(b *testing.B) {
+	pr := design.PaperProblem(0.9)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work, obj, _, err := core.CompileMILPRobust(pr, core.RobustCompile{Gamma: 1, PDRFloor: 0.83})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := milp.NewState(work, milp.Options{})
+		_, agg1, err := st.SolvePool(0, 1e-6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work.AddExprRow("prune_0", obj, linexpr.GE, agg1.Objective+1e-4)
+		b.StartTimer()
+		pool, agg2, err := st.SolvePool(0, 1e-6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pool) != 132 || agg2.WarmSolves != 0 || agg2.ColdSolves != 0 {
+			b.Fatalf("slab shape moved: %d members, warm=%d cold=%d (want 132 via the legacy fallback)",
+				len(pool), agg2.WarmSolves, agg2.ColdSolves)
+		}
+	}
+	b.ReportMetric(132, "members/op")
 }

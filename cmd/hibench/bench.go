@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -88,22 +90,24 @@ func writeBenchJSON(path string, expSeconds map[string]float64) error {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		Benchmarks: map[string]benchEntry{
-			"des_steady_state":       measure(benchDESSteadyState),
-			"netsim_one_second":      measure(benchNetsimOneSecond),
-			"channel_pathloss_at":    measure(benchChannelPathLossAt),
-			"robust_eval":            measure(benchRobustEval),
-			"engine_batch":           measure(benchEngineBatch),
-			"engine_cache_hit":       measure(benchEngineCacheHit),
-			"engine_reps_parallel":   measure(benchEngineRepsParallel),
-			"engine_adaptive_screen": measure(benchEngineAdaptiveScreen),
-			"milp_pool":              measure(benchMILPPoolWarm),
-			"milp_pool_cold":         measure(benchMILPPoolCold),
-			"milp_sparse_pool":       measure(benchMILPSparsePool),
-			"milp_dense_m40":         measure(benchMILPDenseM40),
-			"milp_presolve":          measure(benchMILPPresolve),
-			"milp_parallel_bb":       measure(benchMILPParallelBB),
-			"milp_gamma_warm":        measure(benchMILPGammaWarm),
-			"milp_gamma_cold":        measure(benchMILPGammaCold),
+			"des_steady_state":        measure(benchDESSteadyState),
+			"netsim_one_second":       measure(benchNetsimOneSecond),
+			"channel_pathloss_at":     measure(benchChannelPathLossAt),
+			"robust_eval":             measure(benchRobustEval),
+			"engine_batch":            measure(benchEngineBatch),
+			"engine_cache_hit":        measure(benchEngineCacheHit),
+			"engine_reps_parallel":    measure(benchEngineRepsParallel),
+			"engine_adaptive_screen":  measure(benchEngineAdaptiveScreen),
+			"engine_shard_contention": measure(benchEngineShardContention),
+			"engine_disk_warm":        measure(benchEngineDiskWarm),
+			"milp_pool":               measure(benchMILPPoolWarm),
+			"milp_pool_cold":          measure(benchMILPPoolCold),
+			"milp_sparse_pool":        measure(benchMILPSparsePool),
+			"milp_dense_m40":          measure(benchMILPDenseM40),
+			"milp_presolve":           measure(benchMILPPresolve),
+			"milp_parallel_bb":        measure(benchMILPParallelBB),
+			"milp_gamma_warm":         measure(benchMILPGammaWarm),
+			"milp_gamma_cold":         measure(benchMILPGammaCold),
 		},
 		ExperimentSeconds: expSeconds,
 	}
@@ -221,24 +225,127 @@ func benchEngineBatch(b *testing.B) {
 }
 
 // benchEngineCacheHit mirrors BenchmarkEngineCacheHit: the same batch,
-// keyed and pre-warmed, so every op resolves from the unified cache.
+// keyed and pre-warmed, answered through the EvaluateBatchInto all-hits
+// fast path — 0 allocs/op, pinned by the -cmp allocation gate.
 func benchEngineCacheHit(b *testing.B) {
 	eng, err := engine.New(1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	reqs := engineBatchRequests(true)
-	if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+	results := make([]*netsim.Result, len(reqs))
+	if err := eng.EvaluateBatchInto(results, reqs, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.EvaluateBatch(reqs, nil); err != nil {
+		if err := eng.EvaluateBatchInto(results, reqs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(len(reqs)), "hits/op")
+}
+
+// contendHits mirrors the root-level helper: g goroutines hammering the
+// cache-hit path with phase-offset colliding keys.
+func contendHits(b *testing.B, eng *engine.Engine, reqs []engine.Request, g, hitsPerWorker int) {
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < hitsPerWorker; i++ {
+				if _, err := eng.Evaluate(reqs[(w+i)%len(reqs)]); err != nil {
+					b.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// benchEngineShardContention mirrors BenchmarkEngineShardContention:
+// GOMAXPROCS goroutines of contended cache hits on the lock-striped
+// cache, with the single-stripe (old single-mutex) baseline timed inline
+// and reported as speedup_vs_mutex1 (≈1 on a 1-CPU host, growing with
+// cores).
+func benchEngineShardContention(b *testing.B) {
+	const hitsPerWorker = 1000
+	g := runtime.GOMAXPROCS(0)
+	reqs := engineBatchRequests(true)
+
+	m1, err := engine.NewSharded(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m1.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	contendHits(b, m1, reqs, g, hitsPerWorker)
+	t0 := time.Now()
+	const baseRounds = 3
+	for i := 0; i < baseRounds; i++ {
+		contendHits(b, m1, reqs, g, hitsPerWorker)
+	}
+	base := time.Since(t0).Seconds() / baseRounds
+
+	sharded, err := engine.NewSharded(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sharded.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	contendHits(b, sharded, reqs, g, hitsPerWorker)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		contendHits(b, sharded, reqs, g, hitsPerWorker)
+	}
+	b.StopTimer()
+	per := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(base/per, "speedup_vs_mutex1")
+	b.ReportMetric(float64(g*hitsPerWorker), "hits/op")
+	b.ReportMetric(float64(g), "goroutines")
+}
+
+// benchEngineDiskWarm mirrors BenchmarkEngineDiskWarm: each op builds a
+// fresh engine, loads the saved cache file, and answers the whole keyed
+// batch from the persisted tier — zero fresh simulations.
+func benchEngineDiskWarm(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "cache.bin")
+	sig := engine.ContextSig(10, 1, 1)
+	cold, err := engine.New(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := engineBatchRequests(true)
+	if _, err := cold.EvaluateBatch(reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cold.SaveCache(path, sig); err != nil {
+		b.Fatal(err)
+	}
+	results := make([]*netsim.Result, len(reqs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm, err := engine.New(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warm.LoadCache(path, sig); err != nil {
+			b.Fatal(err)
+		}
+		if err := warm.EvaluateBatchInto(results, reqs, nil); err != nil {
+			b.Fatal(err)
+		}
+		if st := warm.Stats(); st.Simulated != 0 || st.DiskHits != int64(len(reqs)) {
+			b.Fatalf("disk-warm op simulated %d / %d disk hits, want 0 / %d", st.Simulated, st.DiskHits, len(reqs))
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "disk_hits/op")
 }
 
 // engineRepBatchRequests mirrors the root-level helper: 16 distinct

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"hiopt/internal/engine"
 	"hiopt/internal/experiments"
 	"hiopt/internal/profiling"
 )
@@ -48,6 +49,7 @@ func main() {
 		benchJSON  = flag.String("benchjson", "", "measure the simulator micro-benchmarks and write BENCH_simcore.json-style output to this file")
 		cmp        = flag.Bool("cmp", false, "compare two -benchjson files: hibench -cmp OLD NEW (exits non-zero on >10% ns/op, allocs/op, or B/op regressions)")
 		nsDelta    = flag.Float64("nsdelta", 0, "-cmp ns/op regression threshold (0 = the default 0.10; allocs/op and B/op always gate at 0.10 — widen this on noisy shared machines where timings flap but allocation counts stay exact)")
+		cacheFile  = flag.String("cachefile", "", "persistent result cache: load completed simulations from this file and append fresh ones, so a repeated run at the same fidelity starts warm")
 	)
 	flag.Parse()
 
@@ -72,6 +74,22 @@ func main() {
 		fid.Seed = *seed
 	}
 	suite := experiments.NewSuite(fid, os.Stdout)
+	var eng *engine.Engine
+	if *cacheFile != "" {
+		eng, err = engine.New(0)
+		if err == nil {
+			var n int
+			n, err = eng.AttachCacheFile(*cacheFile, fid.Sig())
+			if n > 0 {
+				fmt.Printf("cache: loaded %d entries from %s\n", n, *cacheFile)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hibench:", err)
+			os.Exit(1)
+		}
+		suite.SetEngine(eng)
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*expFlag, ",") {
@@ -122,6 +140,13 @@ func main() {
 		run("gm", func() error { _, err := suite.Gamma(nil, 0, 8, *csvPath); return err })
 	}
 
+	if eng != nil {
+		if err := eng.CloseSpill(); err != nil {
+			fmt.Fprintln(os.Stderr, "hibench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("engine: %s\n", suite.EngineStats())
+	}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, expSeconds); err != nil {
 			fmt.Fprintln(os.Stderr, "hibench:", err)

@@ -16,6 +16,7 @@ import (
 
 	"hiopt/internal/core"
 	"hiopt/internal/design"
+	"hiopt/internal/engine"
 	"hiopt/internal/lp"
 	"hiopt/internal/report"
 )
@@ -41,6 +42,7 @@ func main() {
 		gammaFlag = flag.Float64("gamma", 0, "Γ protection budget: compile the Γ-robust relaxation into the proposer (> 0 implies -robust)")
 		robustMin = flag.Float64("robustpdrmin", 0, "robust reliability floor (0 = -pdrmin; the worst-case PDR ceiling is (N−0.75)/N)")
 		maxIter   = flag.Int("maxiter", 0, "Algorithm 1 iteration cap (0 = unlimited)")
+		cacheFile = flag.String("cachefile", "", "persistent result cache: load completed simulations from this file and append fresh ones, so a repeated search at the same fidelity starts warm")
 	)
 	flag.Parse()
 
@@ -102,6 +104,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	var eng *engine.Engine
+	if *cacheFile != "" {
+		var err error
+		eng, err = engine.New(0)
+		if err == nil {
+			var n int
+			n, err = eng.AttachCacheFile(*cacheFile, engine.ContextSig(pr.Duration, pr.Runs, pr.Seed))
+			if n > 0 {
+				fmt.Printf("cache:        loaded %d entries from %s\n", n, *cacheFile)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiopt:", err)
+			os.Exit(1)
+		}
+		opts.Engine = eng
+	}
 	t0 := time.Now()
 	out, err := core.NewOptimizer(pr, opts).Run()
 	if err != nil {
@@ -109,6 +128,12 @@ func main() {
 		os.Exit(1)
 	}
 	elapsed := time.Since(t0)
+	if eng != nil {
+		if err := eng.CloseSpill(); err != nil {
+			fmt.Fprintln(os.Stderr, "hiopt:", err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("status:       %s\n", out.Status)
 	fmt.Printf("iterations:   %d\n", len(out.Iterations))

@@ -58,6 +58,7 @@ func main() {
 		faults   = flag.String("faults", "", "robust evaluation against a generated scenario family, e.g. \"knode=1\" or \"coord-outage\"")
 		adaptive = flag.Bool("adaptive", false, "confidence-gated replication stopping in the -faults evaluation (scenarios decisively clear of -pdrmin stop early)")
 		pdrMinF  = flag.Float64("pdrmin", 0.9, "reliability bound the -adaptive gate tests scenario PDRs against")
+		cacheRaw = flag.String("cachefile", "", "persistent result cache: load completed simulations from this file and append fresh ones, so a repeated run at the same fidelity starts warm (ignored with -trace, whose runs exist for their side effects)")
 	)
 	flag.Parse()
 
@@ -108,17 +109,22 @@ func main() {
 		cfg.Scenario = sc
 	}
 
+	cacheFile := *cacheRaw
+	if cfg.Trace != nil {
+		cacheFile = "" // trace runs exist for their side effects
+	}
+
 	if *faults != "" {
 		var gate *netsim.Gate
 		if *adaptive {
 			gate = &netsim.Gate{PDRMin: *pdrMinF, Margin: 0.001}
 		}
-		fatalIf(runRobust(cfg, *faults, *runs, *seed, gate))
+		fatalIf(runRobust(cfg, *faults, *runs, *seed, gate, cacheFile))
 		return
 	}
 
 	t0 := time.Now()
-	res, err := netsim.RunAveraged(cfg, *runs, *seed)
+	res, err := runSingle(cfg, *runs, *seed, cacheFile)
 	fatalIf(err)
 
 	names := body.Names(body.Default())
@@ -140,6 +146,71 @@ func main() {
 		fmt.Println()
 		report.Table(os.Stdout, []string{"loc", "site", "PDR", "power"}, rows)
 	}
+}
+
+// cfgKey derives a stable 32-bit cache identity from hisim's free-form
+// configuration flags (locations, MAC, routing, TX mode) — the
+// counterpart of design.Point.Key() for configurations that need not
+// exist in the paper's design space. FNV-1a keeps it stable across
+// processes, which is what makes -cachefile warm restarts work; the
+// duration/runs/seed dimensions are covered by the cache file's context
+// signature.
+func cfgKey(cfg netsim.Config) uint32 {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= uint32(byte(v >> (8 * i)))
+			h *= 16777619
+		}
+	}
+	mix(uint32(len(cfg.Locations)))
+	for _, loc := range cfg.Locations {
+		mix(uint32(loc))
+	}
+	mix(uint32(cfg.MAC))
+	mix(uint32(cfg.Routing))
+	mix(uint32(cfg.TxMode))
+	if h == 0 {
+		h = 1 // zero is the engine's reserved "uncached" point key
+	}
+	return h
+}
+
+// cacheKey is the engine cache identity of cfg, folding in a custom
+// -scenario when one is injected.
+func cacheKey(cfg netsim.Config) engine.Key {
+	if cfg.Scenario != nil {
+		return engine.ScenarioKey(cfgKey(cfg), cfg.Scenario.Key())
+	}
+	return engine.PointKey(cfgKey(cfg))
+}
+
+// runSingle evaluates one configuration, through a cache-file-backed
+// engine when -cachefile is set (a repeated invocation at the same
+// fidelity answers from disk) and directly otherwise.
+func runSingle(cfg netsim.Config, runs int, seed uint64, cacheFile string) (*netsim.Result, error) {
+	if cacheFile == "" {
+		return netsim.RunAveraged(cfg, runs, seed)
+	}
+	eng, err := engine.New(0)
+	if err != nil {
+		return nil, err
+	}
+	n, err := eng.AttachCacheFile(cacheFile, engine.ContextSig(cfg.Duration, runs, seed))
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		fmt.Printf("cache:         loaded %d entries from %s\n", n, cacheFile)
+	}
+	res, err := eng.Evaluate(engine.Request{Cfg: cfg, Runs: runs, Seed: seed, Key: cacheKey(cfg)})
+	if err != nil {
+		return nil, err
+	}
+	if st := eng.Stats(); st.DiskHits > 0 {
+		fmt.Printf("engine:        %s\n", st)
+	}
+	return res, eng.CloseSpill()
 }
 
 // parseFamily builds the generated scenario family named by the -faults
@@ -175,7 +246,10 @@ func parseFamily(cfg netsim.Config, spec string, seed uint64) ([]*fault.Scenario
 // prints the nominal result, the per-scenario table, and the worst case.
 // A non-nil gate replication-gates the scenario runs (the nominal run
 // keeps its full budget); the engine stats line then shows the savings.
-func runRobust(cfg netsim.Config, spec string, runs int, seed uint64, gate *netsim.Gate) error {
+// With a cache file attached the requests are keyed, so a repeated
+// invocation answers the whole family from disk. Trace runs stay
+// unkeyed: they exist for their side effects.
+func runRobust(cfg netsim.Config, spec string, runs int, seed uint64, gate *netsim.Gate, cacheFile string) error {
 	scenarios, err := parseFamily(cfg, spec, seed)
 	if err != nil {
 		return err
@@ -188,14 +262,33 @@ func runRobust(cfg netsim.Config, spec string, runs int, seed uint64, gate *nets
 	if err != nil {
 		return err
 	}
+	keyed := cfg.Trace == nil
+	if cacheFile != "" {
+		n, err := eng.AttachCacheFile(cacheFile, engine.ContextSig(cfg.Duration, runs, seed))
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Printf("cache:         loaded %d entries from %s\n", n, cacheFile)
+		}
+	}
 	base := cfg
 	base.Scenario = nil
+	point := cfgKey(base)
 	reqs := make([]engine.Request, 0, len(scenarios)+1)
-	reqs = append(reqs, engine.Request{Cfg: base, Runs: runs, Seed: seed, Label: "nominal"})
+	nomReq := engine.Request{Cfg: base, Runs: runs, Seed: seed, Label: "nominal"}
+	if keyed {
+		nomReq.Key = engine.PointKey(point)
+	}
+	reqs = append(reqs, nomReq)
 	for _, sc := range scenarios {
 		c := base
 		c.Scenario = sc
-		reqs = append(reqs, engine.Request{Cfg: c, Runs: runs, Seed: seed, Label: sc.Label(), Adaptive: gate})
+		req := engine.Request{Cfg: c, Runs: runs, Seed: seed, Label: sc.Label(), Adaptive: gate}
+		if keyed {
+			req.Key = engine.ScenarioKey(point, sc.Key())
+		}
+		reqs = append(reqs, req)
 	}
 	t0 := time.Now()
 	results, err := eng.EvaluateBatch(reqs, nil)
@@ -227,7 +320,7 @@ func runRobust(cfg netsim.Config, spec string, runs int, seed uint64, gate *nets
 	fmt.Printf("worst case:    PDR %s, lifetime %s (scenario %s)\n",
 		report.Pct(worstPDR), report.Days(worstNLT), worstScenario)
 	fmt.Printf("engine:        %s\n", eng.Stats())
-	return nil
+	return eng.CloseSpill()
 }
 
 func fatalIf(err error) {

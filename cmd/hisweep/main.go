@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"hiopt/internal/engine"
 	"hiopt/internal/experiments"
 	"hiopt/internal/profiling"
 )
@@ -38,6 +39,7 @@ func main() {
 		gammaIter  = flag.Int("gammaiter", 8, "Algorithm 1 iteration cap per Γ point (0 = unlimited)")
 		robustMin  = flag.Float64("robustpdrmin", 0, "robust reliability floor of the -gamma study (0 = the attainable default)")
 		adaptive   = flag.Bool("adaptive", false, "confidence-gated adaptive evaluation in the -robust comparison (short-circuits decisively infeasible scenario families)")
+		cacheFile  = flag.String("cachefile", "", "persistent result cache: load completed simulations from this file and append fresh ones, so a repeated sweep at the same fidelity starts warm")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -57,6 +59,22 @@ func main() {
 	t0 := time.Now()
 	suite := experiments.NewSuite(fid, os.Stdout)
 	suite.Adaptive = *adaptive
+	var eng *engine.Engine
+	if *cacheFile != "" {
+		eng, err = engine.New(0)
+		if err == nil {
+			var n int
+			n, err = eng.AttachCacheFile(*cacheFile, fid.Sig())
+			if n > 0 {
+				fmt.Printf("cache: loaded %d entries from %s\n", n, *cacheFile)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hisweep:", err)
+			os.Exit(1)
+		}
+		suite.SetEngine(eng)
+	}
 	if _, err := suite.Fig3(*csvPath); err != nil {
 		fmt.Fprintln(os.Stderr, "hisweep:", err)
 		os.Exit(1)
@@ -99,6 +117,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if eng != nil {
+		if err := eng.CloseSpill(); err != nil {
+			fmt.Fprintln(os.Stderr, "hisweep:", err)
+			os.Exit(1)
+		}
+	}
+	// Totals across every study above, printed to the terminal even when
+	// -csv/-robustcsv/-gammacsv redirected the tables — the counterpart
+	// of hiopt's engine-stats line.
+	fmt.Printf("engine:       %s\n", suite.EngineStats())
 	fmt.Printf("sweep completed in %s\n", time.Since(t0).Round(time.Millisecond))
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "hisweep:", err)

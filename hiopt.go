@@ -93,13 +93,16 @@ type (
 // Evaluation-engine types.
 type (
 	// Engine is the unified evaluation service behind every search layer:
-	// a fixed worker pool over reusable simulation kernels with a shared
-	// (point, fidelity, scenario) result cache and in-flight
-	// deduplication. Share one engine across Optimize, ExhaustiveSearch,
-	// and Anneal (via their Options.Engine fields) to share its cache.
+	// a fixed worker pool over reusable simulation kernels with a
+	// lock-striped (point, fidelity, scenario) result cache, in-flight
+	// deduplication, and an optional persistent tier
+	// (Engine.AttachCacheFile / SaveCache / LoadCache). Share one engine
+	// across Optimize, ExhaustiveSearch, and Anneal (via their
+	// Options.Engine fields) to share its cache.
 	Engine = engine.Engine
 	// EngineStats are an engine's observability counters (submitted,
-	// simulated, cache hits, dedup hits, per-fidelity simulated seconds).
+	// simulated, cache hits, dedup hits, disk hits, per-fidelity
+	// simulated seconds).
 	EngineStats = engine.Stats
 )
 

@@ -13,9 +13,18 @@
 //     counter — so a single replication-heavy request can occupy the
 //     whole pool, and parallelism is capped by total replications, not by
 //     the number of points;
-//   - one cache keyed by (point key, fidelity, scenario key) with
-//     in-flight deduplication (singleflight): concurrent requests for the
-//     same key simulate once, and the waiters share the leader's result;
+//   - a lock-striped cache keyed by (point key, fidelity, scenario key):
+//     the key hash selects one of N shards, each owning its completed-map,
+//     its persisted-tier map, and its in-flight (singleflight) table
+//     behind a private mutex — concurrent cache-heavy batches contend on
+//     N locks instead of one. Concurrent requests for the same key still
+//     simulate once, and the waiters share the leader's result;
+//   - a persistent tier underneath the shards: SaveCache/LoadCache
+//     snapshot completed results to a compact binary file (versioned
+//     header, per-entry checksum — see snapshot.go), and SpillTo streams
+//     fresh results to an append-mode file from a background goroutine so
+//     workers never block on disk. Requests answered from loaded entries
+//     count as disk hits;
 //   - a checked-out netsim.Evaluator per worker: exactly Workers reusable
 //     DES kernels exist, handed out through a channel for the duration of
 //     a batch (or a single Evaluate call) and replaced with a fresh one
@@ -25,8 +34,9 @@
 //     stop once the PDR confidence interval settles against the gate's
 //     band, and the saved replications are counted in Stats;
 //   - a Stats counter block (submitted, simulated, cache hits, dedup
-//     hits, per-fidelity simulated seconds, adaptive savings) so every
-//     layer can report the cost and cache behaviour of its search.
+//     hits, disk hits, per-fidelity simulated seconds, adaptive savings)
+//     so every layer can report the cost and cache behaviour of its
+//     search.
 //
 // Determinism: a simulation's outcome depends only on (Config, Runs,
 // Seed) — netsim.Evaluator is bit-identical to one-shot construction —
@@ -34,10 +44,13 @@
 // with netsim's Accumulate/Finalize API, which performs the same
 // floating-point operations in the same order as the sequential
 // RunAveraged. Batch results are therefore bit-identical across worker
-// counts and across repeated runs. Errors are likewise
-// scheduling-independent: after the first failure the remaining sub-tasks
-// are skipped, each failed request reports its lowest-replication error,
-// and all collected errors are sorted before being joined.
+// counts, across shard counts (sharding only changes which mutex guards a
+// key, never what is computed), and across cold-vs-warm runs (snapshot
+// entries store the exact float bits of the in-memory Result). Errors are
+// likewise scheduling-independent: after the first failure the remaining
+// sub-tasks are skipped, each failed request reports its
+// lowest-replication error, and all collected errors are sorted before
+// being joined.
 //
 // Sharing one Engine between layers shares its cache: an exhaustive sweep
 // can warm-fill the optimizer's full-fidelity entries, because both
@@ -111,6 +124,22 @@ func ScenarioKey(point uint32, scenario uint64) Key {
 // non-zero key does).
 func (k Key) Cacheable() bool { return k != Key{} }
 
+// hash spreads the key over the shard array with a SplitMix64-style
+// finalizer. Point keys are dense small integers and scenario keys are
+// already well-mixed SplitMix64 outputs; folding both through the
+// finalizer keeps neighbouring point keys from landing on neighbouring
+// shards (which would serialize a sweep's natural submission order).
+func (k Key) hash() uint64 {
+	x := uint64(k.Point)<<8 | uint64(k.Fidelity)
+	x ^= k.Scenario
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // Request describes one simulation to run.
 type Request struct {
 	// Cfg, Runs, and Seed define the simulation exactly as
@@ -152,19 +181,23 @@ func (r *Request) label() string {
 // search.
 type Stats struct {
 	// Submitted counts requests received; Simulated counts the ones that
-	// ran a fresh simulation (the rest were answered by the cache or by a
-	// concurrent in-flight leader).
+	// ran a fresh simulation (the rest were answered by the cache, by the
+	// persisted tier, or by a concurrent in-flight leader).
 	Submitted int64
 	Simulated int64
 	// SimRuns counts individual simulator runs (a fresh request
 	// contributes the replications it actually ran: max(1, Runs), or
 	// fewer when an adaptive gate stopped early).
 	SimRuns int64
-	// CacheHits counts requests answered by a completed cache entry;
-	// DedupHits counts requests that waited on a concurrent in-flight
-	// evaluation of the same key (singleflight).
+	// CacheHits counts requests answered by a completed in-memory cache
+	// entry; DedupHits counts requests that waited on a concurrent
+	// in-flight evaluation of the same key (singleflight); DiskHits
+	// counts requests answered by an entry loaded from a cache file
+	// (each loaded entry is counted once — after the first disk hit it
+	// is an ordinary in-memory entry and later hits are CacheHits).
 	CacheHits int64
 	DedupHits int64
+	DiskHits  int64
 	// FullSeconds and ScreenSeconds total the fresh simulated time per
 	// fidelity (Cfg.Duration × replications actually run).
 	FullSeconds   float64
@@ -188,6 +221,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		SimRuns:       s.SimRuns - prev.SimRuns,
 		CacheHits:     s.CacheHits - prev.CacheHits,
 		DedupHits:     s.DedupHits - prev.DedupHits,
+		DiskHits:      s.DiskHits - prev.DiskHits,
 		FullSeconds:   s.FullSeconds - prev.FullSeconds,
 		ScreenSeconds: s.ScreenSeconds - prev.ScreenSeconds,
 		RepsSaved:     s.RepsSaved - prev.RepsSaved,
@@ -198,16 +232,56 @@ func (s Stats) Sub(prev Stats) Stats {
 func (s Stats) String() string {
 	msg := fmt.Sprintf("%d submitted, %d simulated (%d runs, %.6g s simulated), %d cache hits, %d dedup hits",
 		s.Submitted, s.Simulated, s.SimRuns, s.SimSeconds(), s.CacheHits, s.DedupHits)
+	if s.DiskHits > 0 {
+		msg += fmt.Sprintf(", %d disk hits", s.DiskHits)
+	}
 	if s.RepsSaved > 0 {
 		msg += fmt.Sprintf(", %d reps saved (%.6g s)", s.RepsSaved, s.SavedSeconds)
 	}
 	return msg
 }
 
-// entry is one cache slot. done is closed when the leader finishes; res
-// and err are valid only after that. Failed entries are removed from the
-// map before done closes, so a mapped entry with a closed done channel
-// always carries a result.
+// engineStats is the engine's internal counter block. The hot counters
+// (hits, submissions) are atomics so the cache-hit fast path never takes
+// a lock; the float accumulators are only touched when a fresh simulation
+// completes, where a mutex is noise against the simulation itself.
+type engineStats struct {
+	submitted atomic.Int64
+	simulated atomic.Int64
+	simRuns   atomic.Int64
+	cacheHits atomic.Int64
+	dedupHits atomic.Int64
+	diskHits  atomic.Int64
+
+	mu            sync.Mutex
+	fullSeconds   float64
+	screenSeconds float64
+	repsSaved     int64
+	savedSeconds  float64
+}
+
+func (s *engineStats) snapshot() Stats {
+	s.mu.Lock()
+	out := Stats{
+		FullSeconds:   s.fullSeconds,
+		ScreenSeconds: s.screenSeconds,
+		RepsSaved:     s.repsSaved,
+		SavedSeconds:  s.savedSeconds,
+	}
+	s.mu.Unlock()
+	out.Submitted = s.submitted.Load()
+	out.Simulated = s.simulated.Load()
+	out.SimRuns = s.simRuns.Load()
+	out.CacheHits = s.cacheHits.Load()
+	out.DedupHits = s.dedupHits.Load()
+	out.DiskHits = s.diskHits.Load()
+	return out
+}
+
+// entry is one in-flight cache slot. done is closed when the leader
+// finishes; res and err are valid only after that. Failed entries are
+// removed from the in-flight table before done closes, and successful
+// ones move to the shard's completed map.
 type entry struct {
 	done chan struct{}
 	res  *netsim.Result
@@ -221,6 +295,28 @@ type entry struct {
 // was unregistered).
 var errAborted = errors.New("evaluation aborted: batch failed")
 
+// shard is one lock stripe of the cache. Completed results live in done
+// as bare *netsim.Result (no entry boxing — the cache-hit fast path
+// returns them without allocating); disk holds results loaded from a
+// cache file that have not been requested yet (promotion to done on
+// first use is what makes DiskHits count each loaded entry exactly
+// once); inflight is the singleflight table. The padding keeps adjacent
+// shards on separate cache lines so striping actually removes
+// contention instead of moving it to false sharing.
+type shard struct {
+	mu       sync.Mutex
+	done     map[Key]*netsim.Result
+	disk     map[Key]*netsim.Result
+	inflight map[Key]*entry
+	_        [32]byte
+}
+
+// DefaultShards is the shard count selected by New and by
+// NewSharded(…, 0). 16 stripes keep the expected load per lock low even
+// at high worker counts while costing only a few hundred bytes of empty
+// maps on small runs.
+const DefaultShards = 16
+
 // Engine is the shared evaluation service. It is safe for concurrent use;
 // nested use from inside a Request.Pre hook or an EvaluateBatch progress
 // callback would deadlock on the evaluator pool and is not supported.
@@ -230,24 +326,56 @@ type Engine struct {
 	// evaluators exist, either parked here or checked out by a worker.
 	evals chan *netsim.Evaluator
 
-	mu    sync.Mutex
-	cache map[Key]*entry
-	stats Stats
+	// shards is the lock-striped cache; len(shards) is a power of two
+	// and mask = len(shards)-1 turns a key hash into a shard index.
+	shards []shard
+	mask   uint64
+
+	stats engineStats
+
+	// spill, when non-nil, receives every freshly simulated cacheable
+	// result for background append to a cache file (see spill.go).
+	spill atomic.Pointer[spillWriter]
 }
 
-// New builds an engine with the given worker count: 0 selects
-// GOMAXPROCS, negative counts are rejected.
+// New builds an engine with the given worker count and the default shard
+// count: 0 workers selects GOMAXPROCS, negative counts are rejected.
 func New(workers int) (*Engine, error) {
+	return NewSharded(workers, 0)
+}
+
+// NewSharded builds an engine with an explicit cache shard count: 0
+// selects DefaultShards, other values are rounded up to the next power
+// of two (1 reproduces the old single-mutex behaviour, useful as a
+// contention baseline). Negative counts are rejected. Shard count never
+// affects results — only which mutex guards a key.
+func NewSharded(workers, shards int) (*Engine, error) {
 	if workers < 0 {
 		return nil, fmt.Errorf("engine: Workers must be >= 0 (0 selects GOMAXPROCS), got %d", workers)
 	}
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if shards < 0 {
+		return nil, fmt.Errorf("engine: Shards must be >= 0 (0 selects the default %d), got %d", DefaultShards, shards)
+	}
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
 	e := &Engine{
 		workers: workers,
 		evals:   make(chan *netsim.Evaluator, workers),
-		cache:   make(map[Key]*entry),
+		shards:  make([]shard, n),
+		mask:    uint64(n - 1),
+	}
+	for i := range e.shards {
+		e.shards[i].done = make(map[Key]*netsim.Result)
+		e.shards[i].disk = make(map[Key]*netsim.Result)
+		e.shards[i].inflight = make(map[Key]*entry)
 	}
 	for i := 0; i < workers; i++ {
 		e.evals <- netsim.NewEvaluator()
@@ -258,40 +386,58 @@ func New(workers int) (*Engine, error) {
 // Workers reports the fixed worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// Stats returns a snapshot of the engine's cumulative counters.
-func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
-}
+// Shards reports the cache shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
 
-// Cached reports whether a completed result for k is in the cache.
+func (e *Engine) shard(k Key) *shard { return &e.shards[k.hash()&e.mask] }
+
+// Stats returns a snapshot of the engine's cumulative counters.
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+
+// Cached reports whether a completed result for k is available without
+// simulating — in the in-memory cache or in the loaded persisted tier.
 func (e *Engine) Cached(k Key) bool {
 	if !k.Cacheable() {
 		return false
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	en := e.cache[k]
-	if en == nil {
-		return false
-	}
-	select {
-	case <-en.done:
+	sh := e.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.done[k]; ok {
 		return true
-	default:
-		return false
 	}
+	_, ok := sh.disk[k]
+	return ok
 }
 
-// Evaluate runs (or recalls) a single request: a one-request batch, so a
-// replication-heavy or adaptive request still uses the scheduler.
+// lookupDone returns the completed in-memory entry for k, or nil. It
+// never touches the persisted tier, so a nil return does not mean the
+// key must simulate — the batch resolution pass handles disk promotion.
+func (e *Engine) lookupDone(k Key) *netsim.Result {
+	sh := e.shard(k)
+	sh.mu.Lock()
+	r := sh.done[k]
+	sh.mu.Unlock()
+	return r
+}
+
+// Evaluate runs (or recalls) a single request. A completed cache entry is
+// returned directly — zero allocations on the hot path — and anything
+// else becomes a one-request batch, so a replication-heavy or adaptive
+// request still uses the scheduler.
 func (e *Engine) Evaluate(req Request) (*netsim.Result, error) {
-	res, err := e.EvaluateBatch([]Request{req}, nil)
-	if err != nil {
+	if req.Key.Cacheable() {
+		if r := e.lookupDone(req.Key); r != nil {
+			e.stats.submitted.Add(1)
+			e.stats.cacheHits.Add(1)
+			return r, nil
+		}
+	}
+	var one [1]*netsim.Result
+	if err := e.EvaluateBatchInto(one[:], []Request{req}, nil); err != nil {
 		return nil, err
 	}
-	return res[0], nil
+	return one[0], nil
 }
 
 // job tracks one batch request that must simulate fresh: its in-flight
@@ -337,55 +483,118 @@ type batch struct {
 }
 
 // EvaluateBatch evaluates every request on the fixed worker pool and
-// returns the results in submission order. Fresh requests are expanded
-// into per-replication sub-tasks, so parallelism is bounded by the total
-// replication count, not the request count; the partials are merged in
-// replication order, keeping results bit-identical to sequential
-// evaluation for any Workers value. onDone, when non-nil, is called under
-// a lock after each completed request with the completed and total
-// counts. After the first failure the remaining sub-tasks are skipped;
-// all collected errors are sorted and joined, so the reported error does
-// not depend on goroutine scheduling.
+// returns the results in submission order. See EvaluateBatchInto for the
+// scheduling and determinism contract.
 func (e *Engine) EvaluateBatch(reqs []Request, onDone func(done, total int)) ([]*netsim.Result, error) {
+	results := make([]*netsim.Result, len(reqs))
+	if err := e.EvaluateBatchInto(results, reqs, onDone); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// EvaluateBatchInto is EvaluateBatch writing into a caller-owned results
+// slice (len(results) must equal len(reqs)) — a cache-hot batch completes
+// without allocating. Fresh requests are expanded into per-replication
+// sub-tasks, so parallelism is bounded by the total replication count,
+// not the request count; the partials are merged in replication order,
+// keeping results bit-identical to sequential evaluation for any Workers
+// value. onDone, when non-nil, is called under a lock after each
+// completed request with the completed and total counts. After the first
+// failure the remaining sub-tasks are skipped; all collected errors are
+// sorted and joined, so the reported error does not depend on goroutine
+// scheduling.
+func (e *Engine) EvaluateBatchInto(results []*netsim.Result, reqs []Request, onDone func(done, total int)) error {
+	if len(results) != len(reqs) {
+		return fmt.Errorf("engine: results slice length %d does not match %d requests", len(results), len(reqs))
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+
+	// Fast path: when every request is answered by a completed in-memory
+	// entry, fill the results and commit the counters without building
+	// batch state — zero allocations. The scan is read-only and commits
+	// nothing until it has seen all requests hit, so a miss falls
+	// through to the full path with the stats untouched (results written
+	// by a partial scan are simply overwritten below).
+	allHit := true
+	for i := range reqs {
+		k := reqs[i].Key
+		if !k.Cacheable() {
+			allHit = false
+			break
+		}
+		r := e.lookupDone(k)
+		if r == nil {
+			allHit = false
+			break
+		}
+		results[i] = r
+	}
+	if allHit {
+		n := int64(len(reqs))
+		e.stats.submitted.Add(n)
+		e.stats.cacheHits.Add(n)
+		if onDone != nil {
+			for i := range reqs {
+				onDone(i+1, len(reqs))
+			}
+		}
+		return nil
+	}
+
 	b := &batch{
 		e:       e,
-		results: make([]*netsim.Result, len(reqs)),
+		results: results,
 		onDone:  onDone,
 		total:   len(reqs),
 	}
-	if len(reqs) == 0 {
-		return b.results, nil
-	}
 
-	// Resolution pass, sequential under the cache lock: answer completed
-	// cache entries, enlist on in-flight ones (dedup), register this
-	// batch's leaders, and expand everything that must simulate into
-	// per-replication sub-tasks. Resolving before any worker starts makes
-	// the hit/dedup/leader assignment — and so the stats — independent of
-	// goroutine scheduling.
+	// Resolution pass, sequential in submission order: answer completed
+	// cache entries (promoting persisted-tier entries on first use),
+	// enlist on in-flight ones (dedup), register this batch's leaders,
+	// and expand everything that must simulate into per-replication
+	// sub-tasks. Each key's decision is atomic under its shard lock, and
+	// resolving before any worker starts makes the hit/dedup/leader
+	// assignment — and so the stats — independent of goroutine
+	// scheduling.
 	var hits []int
-	e.mu.Lock()
 	for i := range reqs {
 		req := &reqs[i]
-		e.stats.Submitted++
+		e.stats.submitted.Add(1)
+		b.results[i] = nil
 		j := &job{req: req, idx: i, runs: max(1, req.Runs)}
 		if req.Key.Cacheable() {
-			if en, ok := e.cache[req.Key]; ok {
-				select {
-				case <-en.done:
-					// Completed entries in the map always succeeded
-					// (failed leaders remove theirs before closing done).
-					e.stats.CacheHits++
-					b.results[i] = en.res
-					hits = append(hits, i)
-				default:
-					e.stats.DedupHits++
-					b.tasks = append(b.tasks, task{idx: i, wait: en})
-				}
+			sh := e.shard(req.Key)
+			sh.mu.Lock()
+			if r, ok := sh.done[req.Key]; ok {
+				sh.mu.Unlock()
+				e.stats.cacheHits.Add(1)
+				b.results[i] = r
+				hits = append(hits, i)
+				continue
+			}
+			if r, ok := sh.disk[req.Key]; ok {
+				// First use of a loaded entry: promote it to the
+				// in-memory cache and count the disk hit.
+				delete(sh.disk, req.Key)
+				sh.done[req.Key] = r
+				sh.mu.Unlock()
+				e.stats.diskHits.Add(1)
+				b.results[i] = r
+				hits = append(hits, i)
+				continue
+			}
+			if en, ok := sh.inflight[req.Key]; ok {
+				sh.mu.Unlock()
+				e.stats.dedupHits.Add(1)
+				b.tasks = append(b.tasks, task{idx: i, wait: en})
 				continue
 			}
 			j.en = &entry{done: make(chan struct{})}
-			e.cache[req.Key] = j.en
+			sh.inflight[req.Key] = j.en
+			sh.mu.Unlock()
 		}
 		if req.Adaptive != nil || j.runs == 1 {
 			// One scheduling unit: a single run, or an adaptive loop whose
@@ -401,7 +610,6 @@ func (e *Engine) EvaluateBatch(reqs []Request, onDone func(done, total int)) ([]
 			}
 		}
 	}
-	e.mu.Unlock()
 	for _, i := range hits {
 		b.finish(i, b.results[i])
 	}
@@ -414,9 +622,9 @@ func (e *Engine) EvaluateBatch(reqs []Request, onDone func(done, total int)) ([]
 
 	if len(b.errs) > 0 {
 		sort.Slice(b.errs, func(i, j int) bool { return b.errs[i].Error() < b.errs[j].Error() })
-		return nil, errors.Join(b.errs...)
+		return errors.Join(b.errs...)
 	}
-	return b.results, nil
+	return nil
 }
 
 // RunDrain fans n index-addressed tasks over min(workers, n) goroutines.
@@ -478,11 +686,16 @@ func (b *batch) finish(i int, res *netsim.Result) {
 }
 
 // worker drains sub-tasks from the shared counter on one checked-out
-// evaluator. Deadlock-freedom with dedup waits: a leader's replication
-// sub-tasks always precede its same-batch waiters in task order and the
-// counter is monotone, so by the time a worker blocks on a wait, every
-// leader sub-task is either done or actively running on another worker
-// (a worker never holds an unfinished sub-task while blocked).
+// evaluator. Deadlock-freedom with dedup waits: within a batch, a
+// leader's replication sub-tasks always precede its same-batch waiters
+// in task order and the counter is monotone, so by the time a worker
+// blocks on a wait, every same-batch leader sub-task is either done or
+// actively running on another worker. Across batches the ordering
+// argument does not hold — the foreign leader may still be queued
+// behind this batch's own workers for an evaluator — so a waiter parks
+// its evaluator before blocking: a blocked worker never holds a pool
+// resource the leader it waits on might need (with Workers == 1 the
+// hold-and-wait would deadlock the whole pool).
 func (b *batch) worker(claim func() int) {
 	e := b.e
 	ev := <-e.evals
@@ -498,7 +711,14 @@ func (b *batch) worker(claim func() int) {
 				// The batch is doomed; don't block on a foreign leader.
 				continue
 			}
-			<-tk.wait.done
+			select {
+			case <-tk.wait.done:
+				// Already published; no need to give up the evaluator.
+			default:
+				e.evals <- ev
+				<-tk.wait.done
+				ev = <-e.evals
+			}
 			if err := tk.wait.err; err != nil {
 				// An abort caused by this batch's own failure is already
 				// accounted for by its root cause.
@@ -589,9 +809,10 @@ func (b *batch) completeTask(j *job, rep int, res *netsim.Result, ran int, err e
 // finalizeJob publishes a completed job. On success it merges the
 // per-replication partials in replication order (netsim's
 // Accumulate/Finalize — bit-identical to the sequential RunAveraged),
-// records the stats, fills the cache entry, and reports the result. On
-// failure or abort it unregisters the in-flight entry so a later request
-// can retry, and releases waiters with the error.
+// records the stats, publishes the result to its shard (and to the spill
+// writer, when attached), and reports it. On failure or abort it
+// unregisters the in-flight entry so a later request can retry, and
+// releases waiters with the error.
 func (b *batch) finalizeJob(j *job) {
 	e := b.e
 	if j.err == nil && !j.aborted {
@@ -607,24 +828,30 @@ func (b *batch) finalizeJob(j *job) {
 			res.Finalize(j.runs, j.req.Cfg.BatteryJ, pdrs)
 		}
 		secs := j.req.Cfg.Duration
-		e.mu.Lock()
-		e.stats.Simulated++
-		e.stats.SimRuns += int64(j.ran)
+		e.stats.simulated.Add(1)
+		e.stats.simRuns.Add(int64(j.ran))
+		e.stats.mu.Lock()
 		if j.req.Key.Fidelity == Screen {
-			e.stats.ScreenSeconds += secs * float64(j.ran)
+			e.stats.screenSeconds += secs * float64(j.ran)
 		} else {
-			e.stats.FullSeconds += secs * float64(j.ran)
+			e.stats.fullSeconds += secs * float64(j.ran)
 		}
 		if saved := j.runs - j.ran; saved > 0 {
-			e.stats.RepsSaved += int64(saved)
-			e.stats.SavedSeconds += secs * float64(saved)
+			e.stats.repsSaved += int64(saved)
+			e.stats.savedSeconds += secs * float64(saved)
 		}
+		e.stats.mu.Unlock()
 		if j.en != nil {
+			sh := e.shard(j.req.Key)
+			sh.mu.Lock()
+			sh.done[j.req.Key] = res
+			delete(sh.inflight, j.req.Key)
+			sh.mu.Unlock()
 			j.en.res = res
-		}
-		e.mu.Unlock()
-		if j.en != nil {
 			close(j.en.done)
+			if w := e.spill.Load(); w != nil {
+				w.enqueue(j.req.Key, res)
+			}
 		}
 		b.finish(j.idx, res)
 		return
@@ -634,10 +861,11 @@ func (b *batch) finalizeJob(j *job) {
 		err = fmt.Errorf("engine: evaluation of %s skipped: %w", j.req.label(), errAborted)
 	}
 	if j.en != nil {
-		e.mu.Lock()
-		delete(e.cache, j.req.Key)
+		sh := e.shard(j.req.Key)
+		sh.mu.Lock()
+		delete(sh.inflight, j.req.Key)
+		sh.mu.Unlock()
 		j.en.err = err
-		e.mu.Unlock()
 		close(j.en.done)
 	}
 	if j.err != nil {

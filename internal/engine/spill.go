@@ -1,0 +1,171 @@
+// Spill: the append-mode half of the persistent cache tier. SpillTo
+// attaches a cache file to the engine; from then on every freshly
+// simulated cacheable result is handed to a background goroutine that
+// serializes and appends it, so workers publish results without ever
+// touching the disk. Entries answered from the cache, the dedup table,
+// or the loaded persisted tier are never re-written — across restarts a
+// spill file accumulates exactly the union of fresh work.
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+
+	"hiopt/internal/netsim"
+)
+
+type spillRecord struct {
+	k   Key
+	res *netsim.Result
+}
+
+// spillWriter owns the cache file opened for append and the queue of
+// completed entries awaiting serialization. enqueue never blocks on I/O:
+// it appends to the queue under a mutex and signals the writer
+// goroutine, which drains the queue in batches.
+type spillWriter struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []spillRecord
+	closed bool
+	err    error // first write error; later entries are discarded
+
+	f    *os.File
+	done chan struct{}
+}
+
+// SpillTo opens path for background append and attaches it to the
+// engine. An existing file with a matching header is extended (after
+// trimming a truncated tail left by a killed process); a missing,
+// foreign, version-bumped, or context-mismatched file is recreated
+// fresh — stale entries under another context must never survive into a
+// file that now claims this one. At most one spill file can be attached;
+// call CloseSpill to flush and detach it. Typical warm-restart wiring is
+// LoadCache then SpillTo on the same path (see AttachCacheFile).
+func (e *Engine) SpillTo(path string, sig uint64) error {
+	if e.spill.Load() != nil {
+		return fmt.Errorf("engine: spill already attached")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("engine: spill: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("engine: spill: %w", err)
+	}
+	valid := 0
+	if checkSnapHeader(data, sig) {
+		valid = scanSnapshot(data, func(Key, *netsim.Result) {})
+	}
+	if valid == 0 {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return fmt.Errorf("engine: spill: %w", err)
+		}
+		if _, err := f.WriteAt(appendSnapHeader(nil, sig), 0); err != nil {
+			f.Close()
+			return fmt.Errorf("engine: spill: %w", err)
+		}
+		valid = snapHeaderLen
+	} else if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return fmt.Errorf("engine: spill: %w", err)
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("engine: spill: %w", err)
+	}
+	w := &spillWriter{f: f, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	if !e.spill.CompareAndSwap(nil, w) {
+		f.Close()
+		return fmt.Errorf("engine: spill already attached")
+	}
+	go w.run()
+	return nil
+}
+
+// AttachCacheFile is the standard warm-restart wiring: load path into
+// the persisted tier, then open the same file for background append. It
+// returns the number of entries loaded.
+func (e *Engine) AttachCacheFile(path string, sig uint64) (int, error) {
+	n, err := e.LoadCache(path, sig)
+	if err != nil {
+		return n, err
+	}
+	return n, e.SpillTo(path, sig)
+}
+
+// CloseSpill detaches the spill file after flushing every queued entry,
+// returning the first write error encountered (entries after it were
+// discarded). It is a no-op when no spill is attached.
+func (e *Engine) CloseSpill() error {
+	w := e.spill.Swap(nil)
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Signal()
+	w.mu.Unlock()
+	<-w.done
+	err := w.err
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// enqueue hands one completed entry to the writer goroutine. It only
+// appends to a slice under the writer's mutex — the engine's workers
+// never wait for the disk.
+func (w *spillWriter) enqueue(k Key, res *netsim.Result) {
+	w.mu.Lock()
+	if !w.closed {
+		w.queue = append(w.queue, spillRecord{k, res})
+		w.cond.Signal()
+	}
+	w.mu.Unlock()
+}
+
+// run drains the queue in batches, serializing and appending each entry,
+// until CloseSpill marks it closed and the queue is empty. The first
+// write error is recorded and later entries are dropped — a spill file
+// is an accelerator, so a full disk degrades to a shorter (still valid)
+// cache, never to a failed run.
+func (w *spillWriter) run() {
+	defer close(w.done)
+	bw := bufio.NewWriter(w.f)
+	var buf []byte
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		batch := w.queue
+		w.queue = nil
+		last := w.closed && len(batch) == 0
+		w.mu.Unlock()
+		if last {
+			return
+		}
+		for _, rec := range batch {
+			if w.err != nil {
+				continue
+			}
+			buf = appendSnapEntry(buf[:0], rec.k, rec.res)
+			if _, err := bw.Write(buf); err != nil {
+				w.err = err
+			}
+		}
+		if w.err == nil {
+			if err := bw.Flush(); err != nil {
+				w.err = err
+			}
+		}
+	}
+}

@@ -88,6 +88,33 @@ func (s *Suite) engine() *engine.Engine {
 	return s.eng
 }
 
+// SetEngine injects a caller-built engine — typically one attached to a
+// persistent cache file — as the suite's shared evaluation engine. It
+// must be called before the first experiment runs; replacing an engine
+// already in use would split results across two caches.
+func (s *Suite) SetEngine(e *engine.Engine) {
+	if s.eng != nil {
+		panic("experiments: SetEngine called after the suite engine was already in use")
+	}
+	s.eng = e
+}
+
+// EngineStats snapshots the shared engine's cumulative counters (zero
+// when no experiment has needed the engine yet).
+func (s *Suite) EngineStats() engine.Stats {
+	if s.eng == nil {
+		return engine.Stats{}
+	}
+	return s.eng.Stats()
+}
+
+// Sig is the fidelity's persistent-cache context signature: a cache file
+// written at one (duration, runs, seed) must never answer for another
+// (see engine.ContextSig).
+func (f Fidelity) Sig() uint64 {
+	return engine.ContextSig(f.Duration, f.Runs, f.Seed)
+}
+
 // NewSuite builds an experiment suite writing to w (os.Stdout if nil).
 func NewSuite(fid Fidelity, w io.Writer) *Suite {
 	if w == nil {
