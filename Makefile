@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench-smoke benchcmp benchcmp-auto engine-smoke robust-smoke milp-smoke gamma-smoke cache-smoke
+.PHONY: check build test vet fmt race bench-smoke benchcmp benchcmp-auto engine-smoke robust-smoke milp-smoke gamma-smoke cache-smoke serve-smoke
 
-check: build test vet race fmt gamma-smoke benchcmp-auto
+check: build test vet race fmt gamma-smoke serve-smoke benchcmp-auto
 
 build:
 	$(GO) build ./...
@@ -26,8 +26,12 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# -timeout 30m: internal/core carries the ~50 s Γ=1 slab known-cost pin
+# (DESIGN.md §14), which the race detector stretches past go test's
+# default 10 m per-package budget on slow boxes.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/exhaustive/ ./internal/netsim/ ./internal/fault/ ./internal/lp/ ./internal/lp/presolve/ ./internal/milp/
+	$(GO) test -race -timeout 30m ./internal/engine/ ./internal/core/ ./internal/exhaustive/ ./internal/netsim/ ./internal/fault/ ./internal/lp/ ./internal/lp/presolve/ ./internal/milp/
+	$(GO) test -race -short -timeout 30m ./internal/serve/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -83,6 +87,13 @@ cache-smoke:
 			printf "cache-smoke: warm run re-simulated %s of %s submissions (> 10%%)\n", $$4, $$2; exit 1; } \
 		else { printf "cache-smoke: warm run re-simulated %s of %s submissions\n", $$4, $$2; ok = 1 } } \
 		END { if (!ok) { print "cache-smoke: no engine stats line in warm output"; exit 1 } }' /tmp/hiopt-cache-warm.out
+
+# The daemon gate: assemble the real hiserve stack and run three
+# concurrent personalized requests — one cancelled mid-stream — then
+# assert a byte-identical repeat response and a clean shutdown, under
+# the race detector (DESIGN.md §16).
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke|TestCancelMidStream' -v ./internal/serve/
 
 # A fast end-to-end robustness pass: one configuration evaluated against
 # its 1-node-failure family at quick fidelity.

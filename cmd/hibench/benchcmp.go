@@ -67,13 +67,14 @@ func compareBench(oldBF, newBF *benchFile, nsThreshold float64, w io.Writer) []s
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var regressed []string
+	var regressed, added []string
 	fmt.Fprintf(w, "%-24s %12s %12s %8s %10s %8s %12s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "delta", "allocs/op", "delta", "B/op", "delta")
 	for _, name := range names {
 		ne := newBF.Benchmarks[name]
 		oe, ok := oldBF.Benchmarks[name]
 		if !ok {
+			added = append(added, name)
 			fmt.Fprintf(w, "%-24s %12s %12.0f %8s %10d %8s %12d %8s\n",
 				name, "—", ne.NsPerOp, "new", ne.AllocsPerOp, "", ne.BytesPerOp, "")
 			continue
@@ -108,6 +109,10 @@ func compareBench(oldBF, newBF *benchFile, nsThreshold float64, w io.Writer) []s
 	sort.Strings(dropped)
 	for _, name := range dropped {
 		fmt.Fprintf(w, "%-24s %12.0f %12s %8s\n", name, oldBF.Benchmarks[name].NsPerOp, "—", "gone")
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(w, "note: %d benchmark(s) not in the old baseline, skipped (no regression gate): %v\n",
+			len(added), added)
 	}
 	return regressed
 }

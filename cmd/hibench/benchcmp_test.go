@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bf(entries map[string]benchEntry) *benchFile {
+	return &benchFile{Benchmarks: entries}
+}
+
+func TestCompareBenchNewBenchmarkSkipped(t *testing.T) {
+	oldBF := bf(map[string]benchEntry{
+		"Old": {NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1000},
+	})
+	newBF := bf(map[string]benchEntry{
+		"Old":   {NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1000},
+		"Added": {NsPerOp: 1e9, AllocsPerOp: 1 << 20, BytesPerOp: 1 << 30},
+	})
+	var out strings.Builder
+	regressed := compareBench(oldBF, newBF, regressionThreshold, &out)
+	if len(regressed) != 0 {
+		t.Fatalf("a benchmark with no baseline counted as a regression: %v", regressed)
+	}
+	if !strings.Contains(out.String(), "new") {
+		t.Fatalf("missing-in-OLD row not marked new:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "not in the old baseline, skipped") ||
+		!strings.Contains(out.String(), "Added") {
+		t.Fatalf("no skip notice naming the new benchmark:\n%s", out.String())
+	}
+}
+
+func TestCompareBenchGoneBenchmarkSkipped(t *testing.T) {
+	oldBF := bf(map[string]benchEntry{
+		"Kept":    {NsPerOp: 100},
+		"Removed": {NsPerOp: 100},
+	})
+	newBF := bf(map[string]benchEntry{
+		"Kept": {NsPerOp: 100},
+	})
+	var out strings.Builder
+	regressed := compareBench(oldBF, newBF, regressionThreshold, &out)
+	if len(regressed) != 0 {
+		t.Fatalf("a removed benchmark counted as a regression: %v", regressed)
+	}
+	if !strings.Contains(out.String(), "gone") {
+		t.Fatalf("missing-in-NEW row not marked gone:\n%s", out.String())
+	}
+}
+
+func TestCompareBenchRegressionFlagged(t *testing.T) {
+	oldBF := bf(map[string]benchEntry{
+		"Hot": {NsPerOp: 100, AllocsPerOp: 1000, BytesPerOp: 100000},
+	})
+	newBF := bf(map[string]benchEntry{
+		"Hot": {NsPerOp: 150, AllocsPerOp: 1000, BytesPerOp: 100000},
+	})
+	var out strings.Builder
+	regressed := compareBench(oldBF, newBF, regressionThreshold, &out)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "Hot") || !strings.Contains(regressed[0], "ns/op") {
+		t.Fatalf("50%% ns/op regression not flagged: %v", regressed)
+	}
+	// The same delta clears a widened threshold.
+	regressed = compareBench(oldBF, newBF, 0.60, &out)
+	if len(regressed) != 0 {
+		t.Fatalf("regression flagged beyond the widened threshold: %v", regressed)
+	}
+}
+
+func TestCompareBenchAllocFloors(t *testing.T) {
+	// A large relative allocs/B jump below the absolute floors is noise,
+	// not a regression.
+	oldBF := bf(map[string]benchEntry{
+		"Tiny": {NsPerOp: 100, AllocsPerOp: 2, BytesPerOp: 128},
+	})
+	newBF := bf(map[string]benchEntry{
+		"Tiny": {NsPerOp: 100, AllocsPerOp: 20, BytesPerOp: 1280},
+	})
+	var out strings.Builder
+	if regressed := compareBench(oldBF, newBF, regressionThreshold, &out); len(regressed) != 0 {
+		t.Fatalf("sub-floor allocation jump flagged: %v", regressed)
+	}
+	// Above the floors it is real.
+	oldBF = bf(map[string]benchEntry{
+		"Big": {NsPerOp: 100, AllocsPerOp: 1000, BytesPerOp: 100000},
+	})
+	newBF = bf(map[string]benchEntry{
+		"Big": {NsPerOp: 100, AllocsPerOp: 2000, BytesPerOp: 100000},
+	})
+	if regressed := compareBench(oldBF, newBF, regressionThreshold, &out); len(regressed) != 1 {
+		t.Fatalf("above-floor allocation regression not flagged: %v", regressed)
+	}
+}

@@ -50,8 +50,13 @@ func main() {
 		cmp        = flag.Bool("cmp", false, "compare two -benchjson files: hibench -cmp OLD NEW (exits non-zero on >10% ns/op, allocs/op, or B/op regressions)")
 		nsDelta    = flag.Float64("nsdelta", 0, "-cmp ns/op regression threshold (0 = the default 0.10; allocs/op and B/op always gate at 0.10 — widen this on noisy shared machines where timings flap but allocation counts stay exact)")
 		cacheFile  = flag.String("cachefile", "", "persistent result cache: load completed simulations from this file and append fresh ones, so a repeated run at the same fidelity starts warm")
+		shards     = flag.Int("shards", 0, "engine cache shard count, a power of two (0 = default)")
 	)
 	flag.Parse()
+	if err := engine.CheckShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, "hibench:", err)
+		os.Exit(1)
+	}
 
 	if *cmp {
 		if flag.NArg() != 2 {
@@ -75,9 +80,9 @@ func main() {
 	}
 	suite := experiments.NewSuite(fid, os.Stdout)
 	var eng *engine.Engine
-	if *cacheFile != "" {
-		eng, err = engine.New(0)
-		if err == nil {
+	if *cacheFile != "" || *shards != 0 {
+		eng, err = engine.NewSharded(0, *shards)
+		if err == nil && *cacheFile != "" {
 			var n int
 			n, err = eng.AttachCacheFile(*cacheFile, fid.Sig())
 			if n > 0 {

@@ -43,8 +43,13 @@ func main() {
 		robustMin = flag.Float64("robustpdrmin", 0, "robust reliability floor (0 = -pdrmin; the worst-case PDR ceiling is (N−0.75)/N)")
 		maxIter   = flag.Int("maxiter", 0, "Algorithm 1 iteration cap (0 = unlimited)")
 		cacheFile = flag.String("cachefile", "", "persistent result cache: load completed simulations from this file and append fresh ones, so a repeated search at the same fidelity starts warm")
+		shards    = flag.Int("shards", 0, "engine cache shard count, a power of two (0 = default)")
 	)
 	flag.Parse()
+	if err := engine.CheckShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, "hiopt:", err)
+		os.Exit(1)
+	}
 
 	pr := design.PaperProblem(*pdrMin)
 	pr.Duration = *duration
@@ -105,10 +110,10 @@ func main() {
 		}
 	}
 	var eng *engine.Engine
-	if *cacheFile != "" {
+	if *cacheFile != "" || *shards != 0 {
 		var err error
-		eng, err = engine.New(0)
-		if err == nil {
+		eng, err = engine.NewSharded(0, *shards)
+		if err == nil && *cacheFile != "" {
 			var n int
 			n, err = eng.AttachCacheFile(*cacheFile, engine.ContextSig(pr.Duration, pr.Runs, pr.Seed))
 			if n > 0 {

@@ -26,6 +26,10 @@ import (
 	"hiopt/internal/report"
 )
 
+// engineShards is the -shards flag: the cache shard count of every
+// engine this command builds (0 = the engine default).
+var engineShards int
+
 func parseLocs(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -59,8 +63,11 @@ func main() {
 		adaptive = flag.Bool("adaptive", false, "confidence-gated replication stopping in the -faults evaluation (scenarios decisively clear of -pdrmin stop early)")
 		pdrMinF  = flag.Float64("pdrmin", 0.9, "reliability bound the -adaptive gate tests scenario PDRs against")
 		cacheRaw = flag.String("cachefile", "", "persistent result cache: load completed simulations from this file and append fresh ones, so a repeated run at the same fidelity starts warm (ignored with -trace, whose runs exist for their side effects)")
+		shards   = flag.Int("shards", 0, "engine cache shard count, a power of two (0 = default)")
 	)
 	flag.Parse()
+	fatalIf(engine.CheckShards(*shards))
+	engineShards = *shards
 
 	locs, err := parseLocs(*locsFlag)
 	fatalIf(err)
@@ -192,7 +199,7 @@ func runSingle(cfg netsim.Config, runs int, seed uint64, cacheFile string) (*net
 	if cacheFile == "" {
 		return netsim.RunAveraged(cfg, runs, seed)
 	}
-	eng, err := engine.New(0)
+	eng, err := engine.NewSharded(0, engineShards)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +265,7 @@ func runRobust(cfg netsim.Config, spec string, runs int, seed uint64, gate *nets
 	if cfg.Trace != nil {
 		workers = 1 // keep event-trace writes serial
 	}
-	eng, err := engine.New(workers)
+	eng, err := engine.NewSharded(workers, engineShards)
 	if err != nil {
 		return err
 	}

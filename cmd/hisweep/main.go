@@ -40,10 +40,15 @@ func main() {
 		robustMin  = flag.Float64("robustpdrmin", 0, "robust reliability floor of the -gamma study (0 = the attainable default)")
 		adaptive   = flag.Bool("adaptive", false, "confidence-gated adaptive evaluation in the -robust comparison (short-circuits decisively infeasible scenario families)")
 		cacheFile  = flag.String("cachefile", "", "persistent result cache: load completed simulations from this file and append fresh ones, so a repeated sweep at the same fidelity starts warm")
+		shards     = flag.Int("shards", 0, "engine cache shard count, a power of two (0 = default)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if err := engine.CheckShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, "hisweep:", err)
+		os.Exit(1)
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -60,9 +65,9 @@ func main() {
 	suite := experiments.NewSuite(fid, os.Stdout)
 	suite.Adaptive = *adaptive
 	var eng *engine.Engine
-	if *cacheFile != "" {
-		eng, err = engine.New(0)
-		if err == nil {
+	if *cacheFile != "" || *shards != 0 {
+		eng, err = engine.NewSharded(0, *shards)
+		if err == nil && *cacheFile != "" {
 			var n int
 			n, err = eng.AttachCacheFile(*cacheFile, fid.Sig())
 			if n > 0 {

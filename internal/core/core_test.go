@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -344,7 +345,7 @@ func TestCacheAvoidsResimulation(t *testing.T) {
 		{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<5, TxMode: 0, Routing: netsim.Star},
 		{Topology: 1<<0 | 1<<1 | 1<<3 | 1<<5, TxMode: 0, Routing: netsim.Star},
 	}
-	res, stats, err := o.simulateAll(pts)
+	res, stats, err := o.simulateAll(context.Background(), pts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ func TestCacheAvoidsResimulation(t *testing.T) {
 		t.Errorf("seconds = %v, want %v", stats.seconds, pr.Duration*float64(pr.Runs))
 	}
 	// A later call with the same point must be free.
-	_, stats2, err := o.simulateAll(pts[:1])
+	_, stats2, err := o.simulateAll(context.Background(), pts[:1])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -220,8 +221,41 @@ type Options struct {
 	// Robust configures worst-case screening against a fault-scenario
 	// family.
 	Robust RobustOptions
+	// CacheSalt, when nonzero, is folded into the scenario component of
+	// every engine cache key this optimizer generates. Two optimizers
+	// sharing one engine describe the same simulation by the same key —
+	// which becomes a lie in a multi-tenant service where each tenant's
+	// problem perturbs parameters the point key does not capture (body
+	// scale, channel deviations, battery state, simulation horizon). A
+	// per-tenant salt keeps such tenants in disjoint cache namespaces of
+	// the shared engine, while identical tenants (same salt) still share
+	// warm results. Zero leaves every key unchanged.
+	CacheSalt uint64
 	// Progress, when non-nil, receives a line per iteration.
 	Progress func(format string, args ...interface{})
+	// OnIteration, when non-nil, receives a structured event after each
+	// completed RunMILP → RunSim round — the streaming-progress hook
+	// (internal/serve emits these as NDJSON lines mid-solve). It is called
+	// synchronously from the optimization loop: a slow consumer slows the
+	// search, so hand off to a channel or buffer if that matters.
+	OnIteration func(IterationEvent)
+}
+
+// IterationEvent is the structured per-round progress report delivered
+// to Options.OnIteration.
+type IterationEvent struct {
+	// Iter is the 0-based round index.
+	Iter int `json:"iter"`
+	// PBarStar is the round's MILP optimum P̄* (mW).
+	PBarStar float64 `json:"pbar_star_mw"`
+	// PoolSize and FeasibleCount describe the round's candidate pool.
+	PoolSize      int `json:"pool"`
+	FeasibleCount int `json:"feasible"`
+	// BestPowerMW is the incumbent's simulated power after the round
+	// (0 while no feasible incumbent exists; real powers are positive).
+	BestPowerMW float64 `json:"best_mw,omitempty"`
+	// BestPoint labels the incumbent configuration ("" when none).
+	BestPoint string `json:"best_point,omitempty"`
 }
 
 // RobustOptions configure the robust evaluation mode: every nominally
@@ -354,6 +388,18 @@ func (o *Optimizer) robustCompile() RobustCompile {
 	return rc
 }
 
+// saltKey applies Options.CacheSalt to an engine key by folding the salt
+// into the scenario component (the same SplitMix64 mixing that derives
+// scenario keys, so salted namespaces are as collision-resistant as the
+// scenario space itself). With a zero salt the key is returned unchanged,
+// preserving cross-layer cache sharing for single-tenant use.
+func (o *Optimizer) saltKey(k engine.Key) engine.Key {
+	if o.Options.CacheSalt != 0 {
+		k.Scenario = fault.CombineKeys(o.Options.CacheSalt, k.Scenario)
+	}
+	return k
+}
+
 // screenSeedOffset keeps screening runs on random streams disjoint from
 // the full evaluations'.
 const screenSeedOffset = 7777
@@ -409,6 +455,17 @@ func (o *Optimizer) alpha(best design.Point) float64 {
 
 // Run executes Algorithm 1 and returns the outcome.
 func (o *Optimizer) Run() (*Outcome, error) {
+	return o.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a cancellation context, checked at iteration
+// granularity here and at replication granularity inside the engine: a
+// cancelled caller's in-flight simulation batch stops claiming work and
+// the loop exits with ctx's error instead of a best-effort Outcome.
+// MILP solves are not interruptible (they are CPU-bounded and short
+// relative to simulation), so cancellation latency is one MILP solve
+// plus one engine sub-task.
+func (o *Optimizer) RunCtx(ctx context.Context) (*Outcome, error) {
 	if o.engErr != nil {
 		return nil, o.engErr
 	}
@@ -441,6 +498,9 @@ func (o *Optimizer) Run() (*Outcome, error) {
 	start := time.Now()
 
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if o.Options.MaxIterations > 0 && iter >= o.Options.MaxIterations {
 			progress("iter %d: iteration budget exhausted", iter)
 			out.Status = StatusBudgetExceeded
@@ -500,7 +560,7 @@ func (o *Optimizer) Run() (*Outcome, error) {
 		}
 
 		// Line 7: RunSim over the candidate set (parallel, cached).
-		evals, stats, err := o.simulateAll(points)
+		evals, stats, err := o.simulateAll(ctx, points)
 		if err != nil {
 			return nil, err
 		}
@@ -554,6 +614,17 @@ func (o *Optimizer) Run() (*Outcome, error) {
 		out.Iterations = append(out.Iterations, it)
 		progress("iter %d: P̄*=%.4g mW, pool=%d, feasible=%d, P̄min=%.4g",
 			iter, pStar, len(pool), it.FeasibleCount, pMin)
+		if o.Options.OnIteration != nil {
+			ev := IterationEvent{
+				Iter: iter, PBarStar: pStar,
+				PoolSize: len(pool), FeasibleCount: it.FeasibleCount,
+			}
+			if out.Best != nil {
+				ev.BestPowerMW = pMin
+				ev.BestPoint = fmt.Sprintf("%v", out.Best.Point)
+			}
+			o.Options.OnIteration(ev)
+		}
 
 		// Line 11: Update(P̃, P̄ > P̄*) — prune the explored power class.
 		work.AddExprRow(fmt.Sprintf("prune_%d", iter), mm.objective, linexpr.GE, pStar+o.Options.CutEpsilonMW)
@@ -602,7 +673,7 @@ type pointEval struct {
 // singleflight handle duplicates and cross-iteration reuse. Panics and
 // errors inside evaluations surface as the engine's deterministic joined
 // error.
-func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, error) {
+func (o *Optimizer) simulateAll(ctx context.Context, points []design.Point) ([]pointEval, simStats, error) {
 	var stats simStats
 	if o.engErr != nil {
 		return nil, stats, o.engErr
@@ -647,7 +718,7 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, e
 	if o.Options.TwoStage {
 		var toScreen []design.Point
 		for _, p := range uniq {
-			if !o.eng.Cached(engine.PointKey(p.Key())) {
+			if !o.eng.Cached(o.saltKey(engine.PointKey(p.Key()))) {
 				toScreen = append(toScreen, p)
 			}
 		}
@@ -657,7 +728,7 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, e
 			cfg.Duration /= 5
 			reqs[i] = engine.Request{
 				Cfg: cfg, Runs: 1, Seed: o.Problem.Seed + screenSeedOffset,
-				Key: engine.ScreenKey(p.Key()), Label: fmt.Sprintf("%v", p), Pre: pre(p),
+				Key: o.saltKey(engine.ScreenKey(p.Key())), Label: fmt.Sprintf("%v", p), Pre: pre(p),
 			}
 			if o.Options.AdaptiveReps {
 				// Same Duration/5 worst-case budget, split into equal
@@ -677,7 +748,7 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, e
 				}
 			}
 		}
-		srs, err := o.eng.EvaluateBatch(reqs, nil)
+		srs, err := o.eng.EvaluateBatchCtx(ctx, reqs, nil)
 		if err != nil {
 			collect()
 			return nil, stats, err
@@ -701,10 +772,10 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, e
 	for i, p := range need {
 		reqs[i] = engine.Request{
 			Cfg: o.Problem.Config(p), Runs: o.Problem.Runs, Seed: o.Problem.Seed,
-			Key: engine.PointKey(p.Key()), Label: fmt.Sprintf("%v", p), Pre: pre(p),
+			Key: o.saltKey(engine.PointKey(p.Key())), Label: fmt.Sprintf("%v", p), Pre: pre(p),
 		}
 	}
-	frs, err := o.eng.EvaluateBatch(reqs, nil)
+	frs, err := o.eng.EvaluateBatchCtx(ctx, reqs, nil)
 	if err != nil {
 		collect()
 		return nil, stats, err
@@ -731,9 +802,9 @@ func (o *Optimizer) simulateAll(points []design.Point) ([]pointEval, simStats, e
 		}
 		var err error
 		if o.Options.AdaptiveReps {
-			err = o.robustAdaptive(jobs, full, pre, robust, &skippedRuns, &skippedSeconds)
+			err = o.robustAdaptive(ctx, jobs, full, pre, robust, &skippedRuns, &skippedSeconds)
 		} else {
-			err = o.robustExhaustive(jobs, full, pre, robust)
+			err = o.robustExhaustive(ctx, jobs, full, pre, robust)
 		}
 		if err != nil {
 			collect()
@@ -795,7 +866,7 @@ func (o *Optimizer) quantileIndex(n int) int {
 
 // robustExhaustive evaluates every family in full, as one flat batch
 // reduced per candidate in family order.
-func (o *Optimizer) robustExhaustive(jobs []famJob, full map[uint32]*netsim.Result, pre func(design.Point) func(), robust map[uint32]robustStats) error {
+func (o *Optimizer) robustExhaustive(ctx context.Context, jobs []famJob, full map[uint32]*netsim.Result, pre func(design.Point) func(), robust map[uint32]robustStats) error {
 	var rreqs []engine.Request
 	base := make([]int, len(jobs))
 	for ji, job := range jobs {
@@ -805,12 +876,12 @@ func (o *Optimizer) robustExhaustive(jobs []famJob, full map[uint32]*netsim.Resu
 			cfg.Scenario = sc
 			rreqs = append(rreqs, engine.Request{
 				Cfg: cfg, Runs: o.Problem.Runs, Seed: o.Problem.Seed,
-				Key:   engine.ScenarioKey(job.p.Key(), sc.Key()),
+				Key:   o.saltKey(engine.ScenarioKey(job.p.Key(), sc.Key())),
 				Label: fmt.Sprintf("%v under %s", job.p, sc.Label()), Pre: pre(job.p),
 			})
 		}
 	}
-	rres, err := o.eng.EvaluateBatch(rreqs, nil)
+	rres, err := o.eng.EvaluateBatchCtx(ctx, rreqs, nil)
 	if err != nil {
 		return err
 	}
@@ -848,7 +919,7 @@ func (o *Optimizer) robustExhaustive(jobs []famJob, full map[uint32]*netsim.Resu
 // exhaustively and reduces to the same order statistic as
 // robustExhaustive; a sealed family reports the order statistic over its
 // evaluated prefix, which the breach count already pins below the bound.
-func (o *Optimizer) robustAdaptive(jobs []famJob, full map[uint32]*netsim.Result, pre func(design.Point) func(), robust map[uint32]robustStats, skippedRuns *int, skippedSeconds *float64) error {
+func (o *Optimizer) robustAdaptive(ctx context.Context, jobs []famJob, full map[uint32]*netsim.Result, pre func(design.Point) func(), robust map[uint32]robustStats, skippedRuns *int, skippedSeconds *float64) error {
 	bound := o.robustBound() - o.Options.FeasTol
 	gate := &netsim.Gate{PDRMin: o.robustBound(), Margin: o.Options.FeasTol}
 	type famState struct {
@@ -884,7 +955,7 @@ func (o *Optimizer) robustAdaptive(jobs []famJob, full map[uint32]*netsim.Result
 			cfg.Scenario = sc
 			reqs = append(reqs, engine.Request{
 				Cfg: cfg, Runs: o.Problem.Runs, Seed: o.Problem.Seed,
-				Key:      engine.ScenarioKey(fs.job.p.Key(), sc.Key()),
+				Key:      o.saltKey(engine.ScenarioKey(fs.job.p.Key(), sc.Key())),
 				Label:    fmt.Sprintf("%v under %s", fs.job.p, sc.Label()),
 				Pre:      pre(fs.job.p),
 				Adaptive: gate,
@@ -894,7 +965,7 @@ func (o *Optimizer) robustAdaptive(jobs []famJob, full map[uint32]*netsim.Result
 		if len(reqs) == 0 {
 			break
 		}
-		res, err := o.eng.EvaluateBatch(reqs, nil)
+		res, err := o.eng.EvaluateBatchCtx(ctx, reqs, nil)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -243,7 +244,7 @@ func TestScenarioCacheAvoidsResimulation(t *testing.T) {
 		t.Fatal(err)
 	}
 	pts := points[:1]
-	first, stats1, err := o.simulateAll(pts)
+	first, stats1, err := o.simulateAll(context.Background(), pts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestScenarioCacheAvoidsResimulation(t *testing.T) {
 		t.Fatalf("first robust evaluation ran only %d runs; no scenario family evaluated", stats1.runs)
 	}
 	o.Problem.PDRMin = 0.3 // a bound sweep must not invalidate the scenario cache
-	second, stats2, err := o.simulateAll(pts)
+	second, stats2, err := o.simulateAll(context.Background(), pts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -162,6 +162,12 @@ type Problem struct {
 
 	// Channel is the wireless environment.
 	Channel channel.Params
+	// BodyLocations overrides the placement geometry (nil selects
+	// body.Default()). Personalized problems scale the standard geometry
+	// to a subject's stature; the channel model derives its path-loss
+	// matrix from these coordinates, so the scale flows into every
+	// simulated link budget.
+	BodyLocations []body.Location
 	// Duration and Runs set the simulation fidelity (the paper's
 	// T_sim = 600 s averaged over 3 runs).
 	Duration float64
@@ -220,6 +226,7 @@ func (pr *Problem) Config(p Point) netsim.Config {
 	cfg.App.RatePPS = pr.RatePPS
 	cfg.App.Bytes = pr.PacketBytes
 	cfg.Channel = pr.Channel
+	cfg.BodyLocations = pr.BodyLocations
 	cfg.Duration = pr.Duration
 	cfg.SlotSeconds = pr.SlotSeconds
 	return cfg

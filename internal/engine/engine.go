@@ -58,6 +58,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -317,6 +318,21 @@ type shard struct {
 // maps on small runs.
 const DefaultShards = 16
 
+// CheckShards validates a user-facing shard-count setting strictly: 0
+// (select DefaultShards) and exact powers of two are accepted, anything
+// else is an error. NewSharded itself rounds odd counts up — convenient
+// for programmatic callers — but a CLI flag should reject them so a typo
+// like -shards 10 fails loudly instead of silently running with 16.
+func CheckShards(n int) error {
+	if n < 0 {
+		return fmt.Errorf("engine: shard count must be >= 0 (0 selects the default %d), got %d", DefaultShards, n)
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("engine: shard count %d is not a power of two (use 1, 2, 4, ... or 0 for the default %d)", n, DefaultShards)
+	}
+	return nil
+}
+
 // Engine is the shared evaluation service. It is safe for concurrent use;
 // nested use from inside a Request.Pre hook or an EvaluateBatch progress
 // callback would deadlock on the evaluator pool and is not supported.
@@ -426,6 +442,14 @@ func (e *Engine) lookupDone(k Key) *netsim.Result {
 // else becomes a one-request batch, so a replication-heavy or adaptive
 // request still uses the scheduler.
 func (e *Engine) Evaluate(req Request) (*netsim.Result, error) {
+	return e.EvaluateCtx(nil, req)
+}
+
+// EvaluateCtx is Evaluate under a cancellation context (nil behaves like
+// an uncancellable context). A cache hit is answered even after
+// cancellation — it costs nothing — but fresh work is abandoned at
+// replication granularity once ctx is done.
+func (e *Engine) EvaluateCtx(ctx context.Context, req Request) (*netsim.Result, error) {
 	if req.Key.Cacheable() {
 		if r := e.lookupDone(req.Key); r != nil {
 			e.stats.submitted.Add(1)
@@ -434,7 +458,7 @@ func (e *Engine) Evaluate(req Request) (*netsim.Result, error) {
 		}
 	}
 	var one [1]*netsim.Result
-	if err := e.EvaluateBatchInto(one[:], []Request{req}, nil); err != nil {
+	if err := e.EvaluateBatchIntoCtx(ctx, one[:], []Request{req}, nil); err != nil {
 		return nil, err
 	}
 	return one[0], nil
@@ -460,34 +484,76 @@ type job struct {
 
 // task is one schedulable unit of a batch: one replication of a job
 // (j != nil), or a wait on another batch's in-flight evaluation of the
-// same key (wait != nil).
+// same key (wait != nil; req is kept so an aborted foreign leader can be
+// replaced by this waiter — see batch.waitTask).
 type task struct {
 	j    *job
 	rep  int
 	idx  int
 	wait *entry
+	req  *Request
 }
 
 // batch is the shared state of one EvaluateBatch call.
 type batch struct {
 	e       *Engine
+	ctx     context.Context // nil = uncancellable
 	results []*netsim.Result
 	onDone  func(done, total int)
 	total   int
 	tasks   []task
 
-	failed atomic.Bool
-	mu     sync.Mutex // guards results/done reporting, errs, and job state
-	errs   []error
-	done   int
+	failed     atomic.Bool
+	ctxErrOnce sync.Once  // records ctx's error into errs exactly once
+	mu         sync.Mutex // guards results/done reporting, errs, and job state
+	errs       []error
+	done       int
+}
+
+// cancelled reports (and, on the first observation, records) the batch
+// context's cancellation. Every worker polls it between sub-tasks, so a
+// disconnected caller's in-flight work stops within one replication
+// instead of running the batch to completion.
+func (b *batch) cancelled() bool {
+	if b.ctx == nil {
+		return false
+	}
+	err := b.ctx.Err()
+	if err == nil {
+		return false
+	}
+	b.ctxErrOnce.Do(func() {
+		b.failed.Store(true)
+		b.mu.Lock()
+		b.errs = append(b.errs, err)
+		b.mu.Unlock()
+	})
+	return true
+}
+
+// isCtxErr reports whether err is (or wraps) the batch context's
+// cancellation error.
+func (b *batch) isCtxErr(err error) bool {
+	return b.ctx != nil && b.ctx.Err() != nil && errors.Is(err, b.ctx.Err())
 }
 
 // EvaluateBatch evaluates every request on the fixed worker pool and
 // returns the results in submission order. See EvaluateBatchInto for the
 // scheduling and determinism contract.
 func (e *Engine) EvaluateBatch(reqs []Request, onDone func(done, total int)) ([]*netsim.Result, error) {
+	return e.EvaluateBatchCtx(nil, reqs, onDone)
+}
+
+// EvaluateBatchCtx is EvaluateBatch under a cancellation context. Once
+// ctx is done the batch stops claiming fresh sub-tasks (in-flight
+// replications finish; nothing new starts), unregisters its in-flight
+// cache entries so other batches can retry the keys, and returns an
+// error wrapping ctx.Err(). Results computed before the cancellation
+// still enter the cache — cancellation never corrupts or forks the
+// cache, it only bounds this caller's work.
+func (e *Engine) EvaluateBatchCtx(ctx context.Context, reqs []Request, onDone func(done, total int)) ([]*netsim.Result, error) {
 	results := make([]*netsim.Result, len(reqs))
-	if err := e.EvaluateBatchInto(results, reqs, onDone); err != nil {
+	if err := e.EvaluateBatchIntoCtx(ctx, results, reqs, onDone); err != nil {
 		return nil, err
 	}
 	return results, nil
@@ -505,11 +571,23 @@ func (e *Engine) EvaluateBatch(reqs []Request, onDone func(done, total int)) ([]
 // sorted and joined, so the reported error does not depend on goroutine
 // scheduling.
 func (e *Engine) EvaluateBatchInto(results []*netsim.Result, reqs []Request, onDone func(done, total int)) error {
+	return e.EvaluateBatchIntoCtx(nil, results, reqs, onDone)
+}
+
+// EvaluateBatchIntoCtx is EvaluateBatchInto under a cancellation context
+// (nil behaves like an uncancellable context); see EvaluateBatchCtx for
+// the cancellation contract.
+func (e *Engine) EvaluateBatchIntoCtx(ctx context.Context, results []*netsim.Result, reqs []Request, onDone func(done, total int)) error {
 	if len(results) != len(reqs) {
 		return fmt.Errorf("engine: results slice length %d does not match %d requests", len(results), len(reqs))
 	}
 	if len(reqs) == 0 {
 		return nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 
 	// Fast path: when every request is answered by a completed in-memory
@@ -546,6 +624,7 @@ func (e *Engine) EvaluateBatchInto(results []*netsim.Result, reqs []Request, onD
 
 	b := &batch{
 		e:       e,
+		ctx:     ctx,
 		results: results,
 		onDone:  onDone,
 		total:   len(reqs),
@@ -589,7 +668,7 @@ func (e *Engine) EvaluateBatchInto(results []*netsim.Result, reqs []Request, onD
 			if en, ok := sh.inflight[req.Key]; ok {
 				sh.mu.Unlock()
 				e.stats.dedupHits.Add(1)
-				b.tasks = append(b.tasks, task{idx: i, wait: en})
+				b.tasks = append(b.tasks, task{idx: i, wait: en, req: req})
 				continue
 			}
 			j.en = &entry{done: make(chan struct{})}
@@ -705,32 +784,10 @@ func (b *batch) worker(claim func() int) {
 		if t < 0 {
 			return
 		}
+		b.cancelled() // fold a done context into the failed state
 		tk := b.tasks[t]
 		if tk.wait != nil {
-			if b.failed.Load() {
-				// The batch is doomed; don't block on a foreign leader.
-				continue
-			}
-			select {
-			case <-tk.wait.done:
-				// Already published; no need to give up the evaluator.
-			default:
-				e.evals <- ev
-				<-tk.wait.done
-				ev = <-e.evals
-			}
-			if err := tk.wait.err; err != nil {
-				// An abort caused by this batch's own failure is already
-				// accounted for by its root cause.
-				if !errors.Is(err, errAborted) || !b.failed.Load() {
-					b.failed.Store(true)
-					b.mu.Lock()
-					b.errs = append(b.errs, err)
-					b.mu.Unlock()
-				}
-				continue
-			}
-			b.finish(tk.idx, tk.wait.res)
+			ev = b.waitTask(ev, tk)
 			continue
 		}
 		if b.failed.Load() {
@@ -751,6 +808,201 @@ func (b *batch) worker(claim func() int) {
 	}
 }
 
+// fail marks the batch failed and records err.
+func (b *batch) fail(err error) {
+	b.failed.Store(true)
+	b.mu.Lock()
+	b.errs = append(b.errs, err)
+	b.mu.Unlock()
+}
+
+// waitTask resolves one dedup sub-task: wait for the foreign leader of
+// the same key and adopt its published result. Two multi-tenant concerns
+// shape it beyond a plain channel receive:
+//
+//   - cancellation: while blocked on a foreign leader the waiter also
+//     watches its own batch context, so a disconnected caller does not
+//     stay parked until someone else's simulation finishes;
+//   - failure isolation: when the foreign leader's batch failed or was
+//     cancelled *before the evaluation ran* (errAborted), the key is
+//     retryable and this batch must not inherit the foreign failure — the
+//     waiter re-resolves the key and, if nobody else claimed it, promotes
+//     itself to leader and evaluates the request sequentially (the
+//     replication-order merge makes that bit-identical to the fan-out
+//     path). Without the retry, one tenant cancelling a request could
+//     fail another tenant's identical concurrent request.
+//
+// It returns the (possibly replaced) evaluator the worker should keep.
+func (b *batch) waitTask(ev *netsim.Evaluator, tk task) *netsim.Evaluator {
+	e := b.e
+	en := tk.wait
+	for {
+		if b.failed.Load() {
+			// The batch is doomed; don't block on a foreign leader.
+			return ev
+		}
+		select {
+		case <-en.done:
+			// Already published; no need to give up the evaluator.
+		default:
+			// Park the evaluator before blocking: a blocked worker must
+			// never hold a pool resource the leader it waits on might need
+			// (with Workers == 1 the hold-and-wait would deadlock).
+			e.evals <- ev
+			if b.ctx == nil {
+				<-en.done
+			} else {
+				select {
+				case <-en.done:
+				case <-b.ctx.Done():
+					b.cancelled()
+					return <-e.evals
+				}
+			}
+			ev = <-e.evals
+		}
+		err := en.err
+		if err == nil {
+			b.finish(tk.idx, en.res)
+			return ev
+		}
+		if !errors.Is(err, errAborted) {
+			// A real evaluation failure: every batch sharing the key
+			// reports it.
+			b.fail(err)
+			return ev
+		}
+		if b.failed.Load() {
+			// The abort came from this batch's own failure (or our
+			// context's cancellation); its root cause is already recorded.
+			return ev
+		}
+		// Foreign abort: re-resolve the key.
+		req := tk.req
+		sh := e.shard(req.Key)
+		sh.mu.Lock()
+		if r, ok := sh.done[req.Key]; ok {
+			sh.mu.Unlock()
+			b.finish(tk.idx, r)
+			return ev
+		}
+		if r, ok := sh.disk[req.Key]; ok {
+			delete(sh.disk, req.Key)
+			sh.done[req.Key] = r
+			sh.mu.Unlock()
+			// Reclassify: the request is answered by the persisted tier,
+			// not by a concurrent leader.
+			e.stats.dedupHits.Add(-1)
+			e.stats.diskHits.Add(1)
+			b.finish(tk.idx, r)
+			return ev
+		}
+		if next, ok := sh.inflight[req.Key]; ok {
+			sh.mu.Unlock()
+			en = next // a new leader took over; wait on it
+			continue
+		}
+		en = &entry{done: make(chan struct{})}
+		sh.inflight[req.Key] = en
+		sh.mu.Unlock()
+		// Promote: this waiter is now the leader. It is no longer a dedup
+		// hit — the fresh simulation below counts under Simulated, keeping
+		// the submitted = simulated+cache+dedup+disk identity intact.
+		e.stats.dedupHits.Add(-1)
+		return b.leadRetry(ev, req, en, tk.idx)
+	}
+}
+
+// leadRetry evaluates req sequentially on ev after a waiter promoted
+// itself to leader, publishing the result (or failure) exactly like
+// finalizeJob. A failure caused by this batch's own cancellation is
+// published to other waiters as errAborted — retryable — never as this
+// tenant's context error.
+func (b *batch) leadRetry(ev *netsim.Evaluator, req *Request, en *entry, idx int) *netsim.Evaluator {
+	e := b.e
+	res, ran, err, poisoned := b.runRetry(ev, req)
+	if poisoned {
+		ev = netsim.NewEvaluator()
+	}
+	if err != nil {
+		pub := err
+		if b.isCtxErr(err) {
+			pub = fmt.Errorf("engine: evaluation of %s skipped: %w", req.label(), errAborted)
+		}
+		sh := e.shard(req.Key)
+		sh.mu.Lock()
+		delete(sh.inflight, req.Key)
+		sh.mu.Unlock()
+		en.err = pub
+		close(en.done)
+		if b.isCtxErr(err) {
+			b.cancelled()
+		} else {
+			b.fail(err)
+		}
+		return ev
+	}
+	runs := max(1, req.Runs)
+	secs := req.Cfg.Duration
+	e.stats.simulated.Add(1)
+	e.stats.simRuns.Add(int64(ran))
+	e.stats.mu.Lock()
+	if req.Key.Fidelity == Screen {
+		e.stats.screenSeconds += secs * float64(ran)
+	} else {
+		e.stats.fullSeconds += secs * float64(ran)
+	}
+	if saved := runs - ran; saved > 0 {
+		e.stats.repsSaved += int64(saved)
+		e.stats.savedSeconds += secs * float64(saved)
+	}
+	e.stats.mu.Unlock()
+	sh := e.shard(req.Key)
+	sh.mu.Lock()
+	sh.done[req.Key] = res
+	delete(sh.inflight, req.Key)
+	sh.mu.Unlock()
+	en.res = res
+	close(en.done)
+	if w := e.spill.Load(); w != nil {
+		w.enqueue(req.Key, res)
+	}
+	b.finish(idx, res)
+	return ev
+}
+
+// runRetry executes a promoted waiter's whole request sequentially,
+// recovering panics like runTask. ran is the number of simulator runs
+// performed.
+func (b *batch) runRetry(ev *netsim.Evaluator, req *Request) (res *netsim.Result, ran int, err error, poisoned bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, ran, err = nil, 0, fmt.Errorf("engine: evaluation of %s panicked: %v", req.label(), r)
+			poisoned = true
+		}
+	}()
+	if req.Pre != nil {
+		req.Pre()
+	}
+	runs := max(1, req.Runs)
+	ctx := b.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Adaptive != nil {
+		r, n, err := ev.RunAdaptiveCtx(ctx, req.Cfg, runs, req.Seed, *req.Adaptive)
+		if err != nil {
+			return nil, 0, err, false
+		}
+		return r, n, nil, false
+	}
+	r, err := ev.RunAveragedCtx(ctx, req.Cfg, runs, req.Seed)
+	if err != nil {
+		return nil, 0, err, false
+	}
+	return r, runs, nil, false
+}
+
 // runTask executes one replication sub-task — or, for an adaptive
 // request, the whole gated replication loop — on ev, recovering panics
 // (from the Pre hook or the simulator) into errors. ran is the number of
@@ -768,7 +1020,10 @@ func (b *batch) runTask(ev *netsim.Evaluator, j *job, rep int) (res *netsim.Resu
 		}
 	})
 	if j.req.Adaptive != nil {
-		res, ran, err = ev.RunAdaptive(j.req.Cfg, j.runs, j.req.Seed, *j.req.Adaptive)
+		// The adaptive loop is one scheduling unit that may run many
+		// replications, so it takes the batch context itself: a cancelled
+		// caller stops it at the next replication boundary.
+		res, ran, err = ev.RunAdaptiveCtx(b.ctx, j.req.Cfg, j.runs, j.req.Seed, *j.req.Adaptive)
 		if err != nil {
 			return nil, 0, err, false
 		}
@@ -857,7 +1112,12 @@ func (b *batch) finalizeJob(j *job) {
 		return
 	}
 	err := j.err
-	if err == nil {
+	if err == nil || b.isCtxErr(err) {
+		// A skipped job, or one whose adaptive loop was stopped by this
+		// batch's own cancellation: the evaluation never ran to completion,
+		// so the key is retryable. Publish errAborted — never this tenant's
+		// context error — so waiters from other batches re-resolve the key
+		// instead of inheriting a foreign cancellation.
 		err = fmt.Errorf("engine: evaluation of %s skipped: %w", j.req.label(), errAborted)
 	}
 	if j.en != nil {
@@ -869,8 +1129,12 @@ func (b *batch) finalizeJob(j *job) {
 		close(j.en.done)
 	}
 	if j.err != nil {
-		b.mu.Lock()
-		b.errs = append(b.errs, j.err)
-		b.mu.Unlock()
+		if b.isCtxErr(j.err) {
+			b.cancelled() // records ctx's error exactly once
+		} else {
+			b.mu.Lock()
+			b.errs = append(b.errs, j.err)
+			b.mu.Unlock()
+		}
 	}
 }

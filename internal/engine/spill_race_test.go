@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hiopt/internal/netsim"
+)
+
+// TestConcurrentSaveCacheVsSpill: two engines sharing one -cachefile — A
+// spilling fresh results through the background writer while B
+// repeatedly SaveCaches over the same path (the operator snapshotting a
+// second process mid-run). The file's two writers are not coordinated,
+// so the bytes on disk may interleave arbitrarily; the contracts under
+// test are that (a) neither engine errors or trips the race detector,
+// (b) both engines' counters stay consistent, and (c) the checksummed
+// entry framing lets a fresh engine load whatever survived — corrupt
+// entries are skipped, never served.
+func TestConcurrentSaveCacheVsSpill(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.bin")
+
+	// B owns a warm in-memory cache of the keyed test requests.
+	b, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := b.EvaluateBatch(testRequests(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A attaches the (empty) file: loads nothing, spills everything fresh.
+	a, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := a.AttachCacheFile(path, testSig()); n != 0 || err != nil {
+		t.Fatalf("AttachCacheFile = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// B snapshots over the live spill file as fast as it can while A
+	// simulates and spills the same keyed work.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := b.SaveCache(path, testSig()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	resA, err := a.EvaluateBatch(testRequests(true), nil)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CloseSpill(); err != nil {
+		t.Fatalf("CloseSpill after concurrent SaveCache: %v", err)
+	}
+
+	// A's results are unaffected by the disk-level races (determinism
+	// lives above the persistence tier), and both engines' counters obey
+	// the submission identity.
+	for i := range clean {
+		if !reflect.DeepEqual(*resA[i], *clean[i]) {
+			t.Fatalf("result %d diverged under concurrent snapshotting", i)
+		}
+	}
+	for name, e := range map[string]*Engine{"A": a, "B": b} {
+		st := e.Stats()
+		if st.Submitted != st.Simulated+st.CacheHits+st.DedupHits+st.DiskHits {
+			t.Fatalf("engine %s counters inconsistent: %+v", name, st)
+		}
+	}
+
+	// Recovery: a fresh engine must load the file without error. Every
+	// entry that survived the interleaved writes must answer with a
+	// bit-identical result; torn entries must have been dropped by the
+	// checksum, not served.
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.LoadCache(path, testSig())
+	if err != nil {
+		t.Fatalf("LoadCache after concurrent writers: %v", err)
+	}
+	reqs := testRequests(true)
+	if n > len(reqs) {
+		t.Fatalf("loaded %d entries from a universe of %d keys", n, len(reqs))
+	}
+	loaded := 0
+	for _, r := range reqs {
+		if c.Cached(r.Key) {
+			loaded++
+		}
+	}
+	if loaded != n {
+		t.Fatalf("LoadCache reported %d entries but %d keys answer Cached", n, loaded)
+	}
+	resC, err := c.EvaluateBatch(reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if !reflect.DeepEqual(*resC[i], *clean[i]) {
+			t.Fatalf("recovered result %d diverged (corrupt entry served?)", i)
+		}
+	}
+	st := c.Stats()
+	if st.DiskHits != int64(n) || st.Simulated != int64(len(reqs)-n) {
+		t.Fatalf("recovery stats = %+v, want %d disk hits + %d simulated", st, n, len(reqs)-n)
+	}
+}
+
+// TestConcurrentSpillWritersSeparateEngines: the supported two-process
+// sharing pattern — each engine spills to its OWN file; a third engine
+// may load either. This pins the per-engine single-spill invariant
+// (double attach rejected) while two spill writers run concurrently in
+// one address space.
+func TestConcurrentSpillWritersSeparateEngines(t *testing.T) {
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.bin")
+	pathB := filepath.Join(dir, "b.bin")
+
+	run := func(path string) (*Engine, []*netsim.Result) {
+		e, err := New(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.AttachCacheFile(path, testSig()); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.EvaluateBatch(testRequests(true), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, res
+	}
+	var engA, engB *Engine
+	var resA, resB []*netsim.Result
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); engA, resA = run(pathA) }()
+	go func() { defer wg.Done(); engB, resB = run(pathB) }()
+	wg.Wait()
+
+	if err := engA.SpillTo(pathB, testSig()); err == nil {
+		t.Fatal("second SpillTo on one engine succeeded; want rejection")
+	}
+	if err := engA.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := engB.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range resA {
+		if !reflect.DeepEqual(*resA[i], *resB[i]) {
+			t.Fatalf("result %d differs between the two engines", i)
+		}
+	}
+	c, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := testRequests(true)
+	if n, err := c.LoadCache(pathA, testSig()); err != nil || n != len(reqs) {
+		t.Fatalf("LoadCache(a.bin) = (%d, %v), want (%d, nil)", n, err, len(reqs))
+	}
+}

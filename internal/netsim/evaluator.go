@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"context"
+
 	"hiopt/internal/des"
 )
 
@@ -53,8 +55,31 @@ func (ev *Evaluator) Run(cfg Config, seed uint64) (*Result, error) {
 // (seed, seed+1, ...) and averages PDR and power metrics on the reusable
 // kernel; semantics match the package-level RunAveraged.
 func (ev *Evaluator) RunAveraged(cfg Config, runs int, seed uint64) (*Result, error) {
+	return ev.RunAveragedCtx(context.Background(), cfg, runs, seed)
+}
+
+// ctxErr is the replication-boundary cancellation check shared by the
+// ...Ctx run loops: a nil context never cancels. A replication is the
+// atomic unit of work — cancellation between replications keeps every
+// completed Result exact while bounding the abandoned work to one
+// simulator run.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// RunAveragedCtx is RunAveraged with a cancellation point between
+// replications: once ctx is done the loop abandons the remaining
+// replications and returns ctx's error. An uncancelled run is
+// bit-identical to RunAveraged.
+func (ev *Evaluator) RunAveragedCtx(ctx context.Context, cfg Config, runs int, seed uint64) (*Result, error) {
 	if runs < 1 {
 		runs = 1
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	// The first repetition's (fresh) Result doubles as the accumulator and
 	// the return value; later repetitions land in the reused scratch.
@@ -64,6 +89,9 @@ func (ev *Evaluator) RunAveraged(cfg Config, runs int, seed uint64) (*Result, er
 	}
 	ev.pdrs = append(ev.pdrs[:0], acc.PDR)
 	for r := 1; r < runs; r++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if err := ev.runInto(cfg, seed+uint64(r), &ev.scratch); err != nil {
 			return nil, err
 		}
@@ -83,8 +111,18 @@ func (ev *Evaluator) RunAveraged(cfg Config, runs int, seed uint64) (*Result, er
 // decides reproduces RunAveraged bit-for-bit. Returns the averaged
 // Result over however many replications actually ran, and that count.
 func (ev *Evaluator) RunAdaptive(cfg Config, runs int, seed uint64, gate Gate) (*Result, int, error) {
+	return ev.RunAdaptiveCtx(context.Background(), cfg, runs, seed, gate)
+}
+
+// RunAdaptiveCtx is RunAdaptive with a cancellation point between
+// replications (same contract as RunAveragedCtx: an uncancelled run is
+// bit-identical to RunAdaptive).
+func (ev *Evaluator) RunAdaptiveCtx(ctx context.Context, cfg Config, runs int, seed uint64, gate Gate) (*Result, int, error) {
 	if runs < 1 {
 		runs = 1
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, 0, err
 	}
 	acc, err := ev.Run(cfg, seed)
 	if err != nil {
@@ -93,6 +131,9 @@ func (ev *Evaluator) RunAdaptive(cfg Config, runs int, seed uint64, gate Gate) (
 	ev.pdrs = append(ev.pdrs[:0], acc.PDR)
 	ran := 1
 	for r := 1; r < runs && !gate.Decided(ev.pdrs); r++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, 0, err
+		}
 		if err := ev.runInto(cfg, seed+uint64(r), &ev.scratch); err != nil {
 			return nil, 0, err
 		}

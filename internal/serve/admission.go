@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errBusy is returned by admission.acquire when the wait queue is full;
+// the HTTP layer translates it to 429 + Retry-After.
+var errBusy = errors.New("serve: at capacity, wait queue full")
+
+// admission is a weighted semaphore with a bounded FIFO wait queue — the
+// backpressure valve in front of the solver. Weights keep a burst of
+// Γ-robust requests (each worth several nominal ones in simulation load)
+// from monopolizing the engine: heavy requests consume more units, so
+// fewer of them run concurrently while cheap nominal requests keep
+// flowing through the remaining capacity. The queue is strictly FIFO —
+// a heavy request at the head blocks later light ones rather than being
+// starved by them — and strictly bounded: beyond maxQueue the caller is
+// told to back off immediately instead of piling latency onto a queue
+// that cannot drain in time.
+type admission struct {
+	mu    sync.Mutex
+	cap   int // total weight units
+	used  int
+	queue []*waiter
+	maxQ  int
+}
+
+type waiter struct {
+	weight int
+	ready  chan struct{} // closed by release when capacity is granted
+}
+
+func newAdmission(capacity, maxQueue int) *admission {
+	return &admission{cap: capacity, maxQ: maxQueue}
+}
+
+// acquire blocks until weight units are granted, ctx is done, or the
+// wait queue is full (errBusy, immediately). Weights above the total
+// capacity are clamped to it so an extra-heavy request degrades to
+// "exclusive" instead of unadmittable.
+func (a *admission) acquire(ctx context.Context, weight int) error {
+	if weight < 1 {
+		weight = 1
+	}
+	a.mu.Lock()
+	if weight > a.cap {
+		weight = a.cap
+	}
+	if len(a.queue) == 0 && a.used+weight <= a.cap {
+		a.used += weight
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQ {
+		a.mu.Unlock()
+		return errBusy
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// Lost the race: the grant landed before the cancellation
+			// took effect. Give the units straight back (releaseLocked
+			// may cascade them to the next waiter).
+			a.releaseLocked(w.weight)
+			a.mu.Unlock()
+		default:
+			for i, q := range a.queue {
+				if q == w {
+					a.queue = append(a.queue[:i], a.queue[i+1:]...)
+					break
+				}
+			}
+			a.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// release returns weight units (as clamped by acquire) and grants the
+// queue head(s) that now fit.
+func (a *admission) release(weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	a.mu.Lock()
+	if weight > a.cap {
+		weight = a.cap
+	}
+	a.releaseLocked(weight)
+	a.mu.Unlock()
+}
+
+func (a *admission) releaseLocked(weight int) {
+	a.used -= weight
+	for len(a.queue) > 0 && a.used+a.queue[0].weight <= a.cap {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.used += w.weight
+		close(w.ready)
+	}
+}
+
+// load reports the current usage for diagnostics: units in use, total
+// units, and queued requests.
+func (a *admission) loadStats() (used, capacity, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used, a.cap, len(a.queue)
+}

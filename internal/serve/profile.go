@@ -1,0 +1,207 @@
+// Package serve wraps the engine/core stack in a multi-tenant
+// design-as-a-service HTTP daemon: every request is a personalized Human
+// Intranet design problem (per-user body geometry scale, channel and
+// shadowing deviations, battery state, reliability floor) solved by
+// Algorithm 1 over a shared evaluation engine, with admission control,
+// chunked NDJSON progress streaming, and per-tenant cache namespacing.
+// See DESIGN.md §16.
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"hiopt/internal/body"
+	"hiopt/internal/core"
+	"hiopt/internal/design"
+	"hiopt/internal/engine"
+	"hiopt/internal/fault"
+	"hiopt/internal/netsim"
+	"hiopt/internal/phys"
+)
+
+// Profile is the request body of POST /v1/design: one user's deviation
+// from the paper's §4.1 design example. Zero values select the defaults
+// noted per field, so `{}` is the canonical nominal problem.
+//
+// Every simulation-affecting field is quantized onto a coarse grid
+// before use (see Normalize), and the personalized problem is built FROM
+// the quantized values — so the tenant cache salt derived from the grid
+// is exactly the simulation identity, and two users whose profiles round
+// to the same grid point share warm engine results bit-for-bit.
+type Profile struct {
+	// BodyScale scales the standard 1.75 m placement geometry to the
+	// subject's stature (default 1; range [0.5, 2]; grid 0.01). The
+	// channel model synthesizes its path-loss matrix from the scaled
+	// coordinates, so taller users see longer, lossier links.
+	BodyScale float64 `json:"body_scale,omitempty"`
+	// ShadowDB adds to the through-body NLoS shadowing penalty (default
+	// 0 dB; range [-10, 20]; grid 0.5) — body composition deviation.
+	ShadowDB float64 `json:"shadow_db,omitempty"`
+	// SigmaScale scales the temporal channel variation σ (default 1;
+	// range [0.25, 4]; grid 0.05) — activity-level deviation.
+	SigmaScale float64 `json:"sigma_scale,omitempty"`
+	// BatteryFrac derates the CR2032 stored energy to the device's
+	// current state of charge (default 1; range [0.05, 1]; grid 0.01).
+	BatteryFrac float64 `json:"battery_frac,omitempty"`
+	// PDRMin is the reliability floor of constraint (8d) (default 0.9;
+	// range [0.05, 1]; grid 0.01). It steers the MILP and feasibility
+	// screening but not the simulations, so tenants differing only in
+	// PDRMin share every cached result.
+	PDRMin float64 `json:"pdr_min,omitempty"`
+	// Gamma, when positive, requests a Γ-robust design: Algorithm 1
+	// iterates on the Bertsimas–Sim protected relaxation and candidates
+	// are additionally screened against the k-node-failure family
+	// (range [0, 6]; grid 0.25). Robust requests weigh heavier in
+	// admission control.
+	Gamma float64 `json:"gamma,omitempty"`
+	// RobustPDRMin is the floor enforced on the fault-scenario statistic
+	// when Gamma > 0 (default 0.5; range [0.05, 1]; grid 0.01). Hard
+	// node failures necessarily pull the family PDR below the nominal
+	// floor, so this sits below PDRMin.
+	RobustPDRMin float64 `json:"robust_pdr_min,omitempty"`
+	// Duration and Runs set the simulation fidelity (defaults 20 s × 1;
+	// Duration range [1, 600] on a 1 s grid, Runs range [1, 10]). Seed
+	// (default 1) picks the random streams.
+	Duration float64 `json:"duration,omitempty"`
+	Runs     int     `json:"runs,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+	// MaxIterations caps the RunMILP → RunSim rounds (default 40; range
+	// [1, 200]); a capped run returns status "budget-exceeded" with the
+	// best-so-far design.
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// Stream selects chunked NDJSON progress streaming: one
+	// {"event":"iteration",...} line per Algorithm 1 round, then a final
+	// {"event":"result",...} line carrying the same Response a
+	// non-streaming request returns.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// grid bounds and steps of the quantized fields.
+var profileGrid = []struct {
+	name      string
+	def       float64
+	min, max  float64
+	step      float64
+	get       func(*Profile) float64
+	set       func(*Profile, float64)
+	simSalted bool // participates in the tenant cache salt
+}{
+	{"body_scale", 1, 0.5, 2, 0.01,
+		func(p *Profile) float64 { return p.BodyScale }, func(p *Profile, v float64) { p.BodyScale = v }, true},
+	{"shadow_db", 0, -10, 20, 0.5,
+		func(p *Profile) float64 { return p.ShadowDB }, func(p *Profile, v float64) { p.ShadowDB = v }, true},
+	{"sigma_scale", 1, 0.25, 4, 0.05,
+		func(p *Profile) float64 { return p.SigmaScale }, func(p *Profile, v float64) { p.SigmaScale = v }, true},
+	{"battery_frac", 1, 0.05, 1, 0.01,
+		func(p *Profile) float64 { return p.BatteryFrac }, func(p *Profile, v float64) { p.BatteryFrac = v }, true},
+	{"pdr_min", 0.9, 0.05, 1, 0.01,
+		func(p *Profile) float64 { return p.PDRMin }, func(p *Profile, v float64) { p.PDRMin = v }, false},
+	{"gamma", 0, 0, 6, 0.25,
+		func(p *Profile) float64 { return p.Gamma }, func(p *Profile, v float64) { p.Gamma = v }, false},
+	{"robust_pdr_min", 0.5, 0.05, 1, 0.01,
+		func(p *Profile) float64 { return p.RobustPDRMin }, func(p *Profile, v float64) { p.RobustPDRMin = v }, false},
+	{"duration", 20, 1, 600, 1,
+		func(p *Profile) float64 { return p.Duration }, func(p *Profile, v float64) { p.Duration = v }, false},
+}
+
+// Normalize applies defaults, validates bounds, and snaps every
+// personalization field onto its grid, returning the canonical profile.
+// Out-of-range values are rejected, not clamped: a silently clamped
+// request would return a design for a different user than described.
+func (p Profile) Normalize() (Profile, error) {
+	for _, g := range profileGrid {
+		v := g.get(&p)
+		if v == 0 && g.def != 0 {
+			v = g.def
+		}
+		if v < g.min || v > g.max {
+			return p, fmt.Errorf("serve: %s = %g out of range [%g, %g]", g.name, v, g.min, g.max)
+		}
+		g.set(&p, math.Round(v/g.step)*g.step)
+	}
+	if p.Runs == 0 {
+		p.Runs = 1
+	}
+	if p.Runs < 1 || p.Runs > 10 {
+		return p, fmt.Errorf("serve: runs = %d out of range [1, 10]", p.Runs)
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.MaxIterations == 0 {
+		p.MaxIterations = 40
+	}
+	if p.MaxIterations < 1 || p.MaxIterations > 200 {
+		return p, fmt.Errorf("serve: max_iterations = %d out of range [1, 200]", p.MaxIterations)
+	}
+	return p, nil
+}
+
+// salt derives the tenant's engine-cache namespace from the normalized
+// profile: every simulation-affecting grid field plus the
+// (duration, runs, seed) context signature (the engine key deliberately
+// excludes the latter — a single-tenant engine covers them with the
+// cache-file ContextSig, but a shared multi-tenant engine must not alias
+// across fidelities). PDRMin, Gamma, RobustPDRMin, and MaxIterations are
+// deliberately excluded: they steer the search, not the simulations, so
+// tenants differing only in them share every cached result — the
+// "similar users share warm results" contract.
+func (p Profile) salt() uint64 {
+	s := fault.CombineKeys(0x68697365727665, 1) // "hiserve", version 1
+	for _, g := range profileGrid {
+		if !g.simSalted {
+			continue
+		}
+		// Snap to the integer grid index; quantized values are exact
+		// multiples of step up to float rounding, so Round is stable.
+		s = fault.CombineKeys(s, uint64(int64(math.Round(g.get(&p)/g.step))))
+	}
+	return fault.CombineKeys(s, engine.ContextSig(p.Duration, p.Runs, p.Seed))
+}
+
+// problem builds the personalized design problem from a normalized
+// profile. Everything derives from the §4.1 paper problem; the profile's
+// deviations flow into the body geometry, the channel model, the battery
+// model, and the reliability floor — and from there into both the MILP
+// relaxation and every simulator configuration.
+func (p Profile) problem() *design.Problem {
+	pr := design.PaperProblem(p.PDRMin)
+	pr.Duration = p.Duration
+	pr.Runs = p.Runs
+	pr.Seed = p.Seed
+	pr.BatteryJ = phys.Joule(float64(netsim.CR2032EnergyJ) * p.BatteryFrac)
+	pr.Channel.NLoSPenalty += phys.DB(p.ShadowDB)
+	pr.Channel.Sigma *= p.SigmaScale
+	if p.BodyScale != 1 {
+		locs := body.Default()
+		for i := range locs {
+			locs[i].X *= p.BodyScale
+			locs[i].Y *= p.BodyScale
+			locs[i].Z *= p.BodyScale
+		}
+		pr.BodyLocations = locs
+	}
+	return pr
+}
+
+// options builds the per-request optimizer options over the shared
+// engine: the tenant salt keys this profile's simulations into their own
+// namespace of eng's cache, and onIter (when non-nil) streams iteration
+// events.
+func (p Profile) options(eng *engine.Engine, onIter func(core.IterationEvent)) core.Options {
+	opts := core.Options{
+		Engine:        eng,
+		CacheSalt:     p.salt(),
+		MaxIterations: p.MaxIterations,
+		OnIteration:   onIter,
+	}
+	if p.Gamma > 0 {
+		opts.Robust = core.RobustOptions{
+			Enabled:      true,
+			ProposeGamma: p.Gamma,
+			PDRMin:       p.RobustPDRMin,
+		}
+	}
+	return opts
+}
