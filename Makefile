@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt race bench-smoke benchcmp benchcmp-auto engine-smoke robust-smoke milp-smoke gamma-smoke cache-smoke serve-smoke
+.PHONY: check build test vet fmt race bench-smoke benchcmp benchcmp-auto engine-smoke robust-smoke milp-smoke gamma-smoke cache-smoke serve-smoke pareto-smoke
 
-check: build test vet race fmt gamma-smoke serve-smoke benchcmp-auto
+check: build test vet race fmt gamma-smoke serve-smoke pareto-smoke benchcmp-auto
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,19 @@ cache-smoke:
 			printf "cache-smoke: warm run re-simulated %s of %s submissions (> 10%%)\n", $$4, $$2; exit 1; } \
 		else { printf "cache-smoke: warm run re-simulated %s of %s submissions\n", $$4, $$2; ok = 1 } } \
 		END { if (!ok) { print "cache-smoke: no engine stats line in warm output"; exit 1 } }' /tmp/hiopt-cache-warm.out
+
+# The ε-constraint front gate: (a) the warm record-replay sweep must
+# select the exact per-bound optima of independent cold runs at >= 5×
+# fewer simplex pivots (the acceptance property test), and (b) a small
+# hisweep -pareto front run twice must emit byte-identical CSVs (the
+# sweep is deterministic end to end).
+pareto-smoke:
+	$(GO) test -count=1 -run 'TestParetoSweepWarmMatchesCold' -v ./internal/core/
+	@rm -f /tmp/hiopt-pareto-a.csv /tmp/hiopt-pareto-b.csv
+	$(GO) run ./cmd/hisweep -pareto -duration 10 -bounds 0.5,0.65,0.8 -paretocsv /tmp/hiopt-pareto-a.csv > /dev/null
+	$(GO) run ./cmd/hisweep -pareto -duration 10 -bounds 0.5,0.65,0.8 -paretocsv /tmp/hiopt-pareto-b.csv > /dev/null
+	cmp /tmp/hiopt-pareto-a.csv /tmp/hiopt-pareto-b.csv
+	@echo "pareto-smoke: warm front matches cold, repeated CSV byte-identical"
 
 # The daemon gate: assemble the real hiserve stack and run three
 # concurrent personalized requests — one cancelled mid-stream — then

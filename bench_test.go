@@ -1038,6 +1038,124 @@ func BenchmarkMILPGammaSweep(b *testing.B) {
 	}
 }
 
+// paretoFrontBounds is the 16-point ε grid of the front benchmarks:
+// 0.60 → 0.87 in steps of 0.018, crossing the Γ = 1 node-count ceilings
+// (n − 0.75)/n at 0.8125 (n = 4), 0.85 (n = 5), and 0.875 (n = 6), so
+// the sweep repeatedly changes which power classes the floor row prunes.
+func paretoFrontBounds() []float64 {
+	bounds := make([]float64, 16)
+	for i := range bounds {
+		bounds[i] = 0.60 + 0.018*float64(i)
+	}
+	return bounds
+}
+
+// paretoFrontChain drives one 16-point ε-constraint front enumeration —
+// the MILP-layer workload behind hisweep -pareto — over the Γ = 1
+// protected relaxation at the attainable 0.6 robust floor, pooling at
+// each bound. Warm moves the floor with ParetoHandle.Retarget on one
+// persistent state (a single right-hand-side mutation, dual-simplex
+// re-solve); cold recompiles the pareto relaxation and rebuilds a fresh
+// state per bound, like hisweep -paretocold.
+func paretoFrontChain(b *testing.B, warm bool, st *milp.State, h *core.ParetoHandle) (pivots, nodes int) {
+	pr := design.PaperProblem(0.9)
+	for _, eps := range paretoFrontBounds() {
+		var pool []milp.PoolSolution
+		var agg *milp.Solution
+		var err error
+		if warm {
+			h.Retarget(st, eps)
+			pool, agg, err = st.SolvePool(0, 1e-6)
+		} else {
+			var work *linexpr.Compiled
+			work, _, _, err = core.CompileMILPPareto(pr, core.RobustCompile{Gamma: 1, PDRFloor: 0.6}, eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool, agg, err = milp.NewState(work, milp.Options{}).SolvePool(0, 1e-6)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Status != milp.Optimal || len(pool) == 0 {
+			b.Fatalf("ε=%g: status %v, %d members", eps, agg.Status, len(pool))
+		}
+		pivots += agg.LPIterations
+		nodes += agg.Nodes
+	}
+	return pivots, nodes
+}
+
+// BenchmarkMILPParetoFront measures the 16-point ε-constraint front
+// enumeration. warm is the Retarget path hisweep -pareto rides (the
+// pareto_warm_front entry of BENCH_simcore.json); cold is the
+// recompile-per-bound baseline. pivots/op warm vs cold is the recorded
+// incremental-re-solve payoff of the warm front.
+func BenchmarkMILPParetoFront(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"warm", true}, {"cold", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var st *milp.State
+			var h *core.ParetoHandle
+			if mode.warm {
+				work, _, hh, err := core.CompileMILPPareto(design.PaperProblem(0.9), core.RobustCompile{Gamma: 1, PDRFloor: 0.6}, 0.6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				h = hh
+				st = milp.NewState(work, milp.Options{})
+			}
+			points := len(paretoFrontBounds())
+			var pivots, nodes int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, n := paretoFrontChain(b, mode.warm, st, h)
+				pivots += p
+				nodes += n
+			}
+			b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+			b.ReportMetric(float64(points)/(b.Elapsed().Seconds()/float64(b.N)), "points/sec")
+		})
+	}
+}
+
+// BenchmarkExtParetoSweep measures one warm ε-constraint Pareto sweep —
+// the full hisweep -pareto pipeline (warm MILP retargets + record replay
+// + shared-cache evaluation) — over an 8-bound grid at 20 s fidelity on
+// a fresh engine per op, reporting the front-sharing metrics alongside
+// ns/op.
+func BenchmarkExtParetoSweep(b *testing.B) {
+	bounds := []float64{0.5, 0.56, 0.62, 0.68, 0.74, 0.8, 0.86, 0.92}
+	mkProblem := func() *design.Problem {
+		pr := design.PaperProblem(0.5)
+		pr.Duration = 20
+		pr.Runs = 1
+		return pr
+	}
+	if _, err := core.ParetoSweep(mkProblem(), core.SweepOptions{Bounds: bounds}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pivots int
+	var fresh float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.ParetoSweep(mkProblem(), core.SweepOptions{Bounds: bounds})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pivots += res.LPIterations
+		fresh += res.FreshEvalFrac()
+	}
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+	b.ReportMetric(fresh/float64(b.N), "fresh_eval_frac")
+	b.ReportMetric(float64(len(bounds)), "points/op")
+}
+
 // BenchmarkGammaOneSlabLegacyFallback measures the Γ = 1 known-cost
 // regression pinned by core's TestGammaOneSecondClassSlab: enumerating
 // the degenerate 132-member second power class, where the warm

@@ -108,6 +108,8 @@ func writeBenchJSON(path string, expSeconds map[string]float64) error {
 			"milp_parallel_bb":        measure(benchMILPParallelBB),
 			"milp_gamma_warm":         measure(benchMILPGammaWarm),
 			"milp_gamma_cold":         measure(benchMILPGammaCold),
+			"pareto_warm_front":       measure(benchParetoWarmFront),
+			"pareto_cold_front":       measure(benchParetoColdFront),
 		},
 		ExperimentSeconds: expSeconds,
 	}
@@ -641,6 +643,89 @@ func benchMILPGammaWarm(b *testing.B) { benchMILPGamma(b, true) }
 // benchMILPGammaCold mirrors BenchmarkMILPGammaSweep/cold: the
 // recompile-per-Γ baseline.
 func benchMILPGammaCold(b *testing.B) { benchMILPGamma(b, false) }
+
+// paretoFrontBounds is the 16-point ε grid of the front benchmarks:
+// 0.60 → 0.87 in steps of 0.018, crossing the Γ = 1 node-count ceilings
+// (n − 0.75)/n at 0.8125 (n = 4), 0.85 (n = 5), and 0.875 (n = 6), so
+// the sweep repeatedly changes which power classes the floor row prunes.
+func paretoFrontBounds() []float64 {
+	bounds := make([]float64, 16)
+	for i := range bounds {
+		bounds[i] = 0.60 + 0.018*float64(i)
+	}
+	return bounds
+}
+
+// paretoFrontChain mirrors the root-level helper: one 16-point
+// ε-constraint front enumeration over the Γ = 1 protected relaxation at
+// the attainable 0.6 robust floor, pooling at each bound. Warm moves the
+// floor with ParetoHandle.Retarget on one persistent state (a single
+// right-hand-side mutation, dual-simplex re-solve); cold recompiles the
+// pareto relaxation and rebuilds a fresh state per bound — the MILP-layer
+// core of hisweep -pareto vs its -paretocold baseline.
+func paretoFrontChain(b *testing.B, warm bool, st *milp.State, h *core.ParetoHandle) (pivots, nodes int) {
+	pr := design.PaperProblem(0.9)
+	for _, eps := range paretoFrontBounds() {
+		var pool []milp.PoolSolution
+		var agg *milp.Solution
+		var err error
+		if warm {
+			h.Retarget(st, eps)
+			pool, agg, err = st.SolvePool(0, 1e-6)
+		} else {
+			var work *linexpr.Compiled
+			work, _, _, err = core.CompileMILPPareto(pr, core.RobustCompile{Gamma: 1, PDRFloor: 0.6}, eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool, agg, err = milp.NewState(work, milp.Options{}).SolvePool(0, 1e-6)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Status != milp.Optimal || len(pool) == 0 {
+			b.Fatalf("ε=%g: status %v, %d members", eps, agg.Status, len(pool))
+		}
+		pivots += agg.LPIterations
+		nodes += agg.Nodes
+	}
+	return pivots, nodes
+}
+
+// benchParetoWarmFront mirrors BenchmarkMILPParetoFront/warm: the
+// ε-retarget path behind hisweep -pareto. pivots/op vs
+// pareto_cold_front is the recorded incremental-re-solve payoff of the
+// warm front.
+func benchParetoWarmFront(b *testing.B) { benchParetoFront(b, true) }
+
+// benchParetoColdFront mirrors BenchmarkMILPParetoFront/cold: the
+// recompile-per-bound baseline.
+func benchParetoColdFront(b *testing.B) { benchParetoFront(b, false) }
+
+func benchParetoFront(b *testing.B, warm bool) {
+	b.ReportAllocs()
+	var st *milp.State
+	var h *core.ParetoHandle
+	if warm {
+		work, _, hh, err := core.CompileMILPPareto(design.PaperProblem(0.9), core.RobustCompile{Gamma: 1, PDRFloor: 0.6}, 0.6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h = hh
+		st = milp.NewState(work, milp.Options{})
+	}
+	points := len(paretoFrontBounds())
+	var pivots, nodes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, n := paretoFrontChain(b, warm, st, h)
+		pivots += p
+		nodes += n
+	}
+	b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+	b.ReportMetric(float64(points)/(b.Elapsed().Seconds()/float64(b.N)), "points/sec")
+}
 
 func benchMILPGamma(b *testing.B, warm bool) {
 	b.ReportAllocs()

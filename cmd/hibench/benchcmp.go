@@ -114,7 +114,44 @@ func compareBench(oldBF, newBF *benchFile, nsThreshold float64, w io.Writer) []s
 		fmt.Fprintf(w, "note: %d benchmark(s) not in the old baseline, skipped (no regression gate): %v\n",
 			len(added), added)
 	}
+	printMetricDeltas(names, oldBF, newBF, w)
 	return regressed
+}
+
+// printMetricDeltas reports the custom ReportMetric figures (pivots/op,
+// points/sec, speedup_vs_mutex1, ...) benchmark by benchmark. These are
+// informational only — they carry the benchmarks' semantic claims (how
+// many pivots a warm front costs, how much a gate saved) whose healthy
+// direction varies per metric, so they never gate; the point is that a
+// -cmp run surfaces their drift instead of silently ignoring them.
+func printMetricDeltas(names []string, oldBF, newBF *benchFile, w io.Writer) {
+	header := false
+	for _, name := range names {
+		ne := newBF.Benchmarks[name]
+		if len(ne.Metrics) == 0 {
+			continue
+		}
+		oe := oldBF.Benchmarks[name]
+		keys := make([]string, 0, len(ne.Metrics))
+		for k := range ne.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !header {
+				fmt.Fprintf(w, "custom metrics (informational, never gated):\n")
+				fmt.Fprintf(w, "%-24s %-22s %12s %12s %8s\n", "benchmark", "metric", "old", "new", "delta")
+				header = true
+			}
+			nv := ne.Metrics[k]
+			ov, ok := oe.Metrics[k]
+			if !ok {
+				fmt.Fprintf(w, "%-24s %-22s %12s %12.4g %8s\n", name, k, "—", nv, "new")
+				continue
+			}
+			fmt.Fprintf(w, "%-24s %-22s %12.4g %12.4g %+7.1f%%\n", name, k, ov, nv, 100*relDelta(ov, nv))
+		}
+	}
 }
 
 func joinComma(s []string) string {

@@ -92,3 +92,38 @@ func TestCompareBenchAllocFloors(t *testing.T) {
 		t.Fatalf("above-floor allocation regression not flagged: %v", regressed)
 	}
 }
+
+func TestCompareBenchMetricDeltasInformational(t *testing.T) {
+	oldBF := bf(map[string]benchEntry{
+		"Front": {NsPerOp: 100, Metrics: map[string]float64{"pivots/op": 1000, "points/sec": 50}},
+	})
+	newBF := bf(map[string]benchEntry{
+		"Front": {NsPerOp: 100, Metrics: map[string]float64{
+			"pivots/op": 5000, "points/sec": 50, "fresh_sim_frac": 0.25}},
+	})
+	var out strings.Builder
+	regressed := compareBench(oldBF, newBF, regressionThreshold, &out)
+	if len(regressed) != 0 {
+		t.Fatalf("a custom-metric delta counted as a regression: %v", regressed)
+	}
+	s := out.String()
+	if !strings.Contains(s, "custom metrics") {
+		t.Fatalf("no custom-metrics section:\n%s", s)
+	}
+	if !strings.Contains(s, "pivots/op") || !strings.Contains(s, "+400.0%") {
+		t.Fatalf("pivots/op delta not reported:\n%s", s)
+	}
+	if !strings.Contains(s, "fresh_sim_frac") {
+		t.Fatalf("metric missing from the old baseline not reported as new:\n%s", s)
+	}
+}
+
+func TestCompareBenchNoMetricsNoSection(t *testing.T) {
+	oldBF := bf(map[string]benchEntry{"Plain": {NsPerOp: 100}})
+	newBF := bf(map[string]benchEntry{"Plain": {NsPerOp: 100}})
+	var out strings.Builder
+	compareBench(oldBF, newBF, regressionThreshold, &out)
+	if strings.Contains(out.String(), "custom metrics") {
+		t.Fatalf("custom-metrics section printed with no metrics present:\n%s", out.String())
+	}
+}

@@ -9,8 +9,9 @@
 //	hibench -paper               # the paper's full 600 s × 3-run setting
 //
 // Experiment identifiers: t1, f1, f3, r1, r2, r3, a1..a11, pf, all, plus
-// rb (nominal-vs-robust comparison) and gm (Γ-robust proposer vs
-// screen-and-cut price curve), both excluded from "all" for cost.
+// rb (nominal-vs-robust comparison), gm (Γ-robust proposer vs
+// screen-and-cut price curve), and fr (warm ε-constraint
+// NLT/PDR/latency front), all excluded from "all" for cost.
 //
 // Performance tooling: -cpuprofile/-memprofile write pprof profiles of
 // the run, and -benchjson measures the simulator micro-benchmarks
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (t1,f1,f3,r1,r2,r3,a1..a11,pf,rb,gm,all)")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (t1,f1,f3,r1,r2,r3,a1..a11,pf,rb,gm,fr,all)")
 		duration   = flag.Float64("duration", 60, "simulation horizon in seconds")
 		runs       = flag.Int("runs", 1, "runs to average")
 		seed       = flag.Uint64("seed", 1, "master random seed")
@@ -143,6 +144,12 @@ func main() {
 	// k=1 fault verifier — likewise explicit-only.
 	if want["gm"] {
 		run("gm", func() error { _, err := suite.Gamma(nil, 0, 8, *csvPath); return err })
+	}
+	// fr enumerates the warm ε-constraint front over the default 16-bound
+	// grid (one full Algorithm 1 enumeration plus incremental re-solves)
+	// — likewise explicit-only.
+	if want["fr"] {
+		run("fr", func() error { _, err := suite.FR(nil, 0, false, *csvPath); return err })
 	}
 
 	if eng != nil {

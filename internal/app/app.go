@@ -65,8 +65,14 @@ type Layer struct {
 	SentTo   []uint64
 	RecvFrom []uint64
 	// Latencies records the end-to-end delay of every unique delivery at
-	// this node, in seconds.
+	// this node, in seconds. It holds at most latencyCapLimit samples;
+	// deliveries past the cap are counted in LatencyDropped instead so the
+	// latency summary is explicit about truncation rather than silently
+	// unbounded in memory.
 	Latencies []float64
+	// LatencyDropped counts deliveries whose latency sample was discarded
+	// because Latencies already held latencyCapLimit entries.
+	LatencyDropped uint64
 	// stopped halts generation (set when the node fails).
 	stopped bool
 	// timer is the armed generation timer, kept so Stop can cancel it
@@ -100,9 +106,14 @@ func (l *Layer) Resume() {
 	l.timer = l.env.After(l.nextPeriod(), l.generateFn)
 }
 
-// latencyCapLimit bounds the up-front latency-buffer reservation so
-// open-ended horizons (stepped benchmarks) cannot demand huge buffers;
-// beyond it the slice falls back to amortized append growth.
+// latencyCapLimit bounds both the up-front latency-buffer reservation and
+// the number of samples a node records, so open-ended horizons (stepped
+// benchmarks, long soak runs) cannot demand unbounded memory. Deliveries
+// beyond the cap still count toward PDR; only their latency sample is
+// dropped, and the drop is surfaced via Layer.LatencyDropped (and
+// Result.LatencyDropped after collection) instead of vanishing silently.
+// At the standard fidelities (10 pps × 600 s ≈ 6000 deliveries per node)
+// the cap is never reached.
 const latencyCapLimit = 1 << 16
 
 // New builds an application layer that will hand generated packets to rt.
@@ -179,6 +190,10 @@ func (l *Layer) generate() {
 // at-most-once semantics per flow key.
 func (l *Layer) OnDeliver(p stack.Packet) {
 	l.RecvFrom[p.Origin]++
+	if len(l.Latencies) >= latencyCapLimit {
+		l.LatencyDropped++
+		return
+	}
 	l.Latencies = append(l.Latencies, l.env.Now()-p.Born)
 }
 

@@ -193,6 +193,26 @@ func TestOnDeliverCounts(t *testing.T) {
 	}
 }
 
+func TestLatencyCapCountsOverflow(t *testing.T) {
+	l, _, _ := newLayer(1, 3, Params{RatePPS: 10, Bytes: 100}, 1)
+	// Fill the record to its cap, then deliver past it: the sample set must
+	// stop growing while PDR accounting and the drop counter keep moving.
+	l.Latencies = append(l.Latencies, make([]float64, latencyCapLimit)...)
+	const extra = 3
+	for i := 0; i < extra; i++ {
+		l.OnDeliver(stack.Packet{Origin: 0, Dst: 1, Seq: uint32(i)})
+	}
+	if len(l.Latencies) != latencyCapLimit {
+		t.Errorf("Latencies grew past the cap: %d entries, cap %d", len(l.Latencies), latencyCapLimit)
+	}
+	if l.LatencyDropped != extra {
+		t.Errorf("LatencyDropped = %d, want %d", l.LatencyDropped, extra)
+	}
+	if l.RecvFrom[0] != extra {
+		t.Errorf("RecvFrom[0] = %d, want %d (capped deliveries still count toward PDR)", l.RecvFrom[0], extra)
+	}
+}
+
 func TestSingleNodeNetworkGeneratesNothing(t *testing.T) {
 	l, rt, sim := newLayer(0, 1, Params{RatePPS: 10, Bytes: 100}, 10)
 	l.Start()

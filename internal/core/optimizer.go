@@ -65,6 +65,11 @@ type Candidate struct {
 	// WorstScenario labels the minimizing scenario ("" when none).
 	WorstPDR      float64
 	WorstScenario string
+	// MeanLatency and P95Latency summarize the simulated end-to-end
+	// delivery delay in seconds (mean across deliveries averaged over
+	// runs; p95 is the pessimistic maximum across runs).
+	MeanLatency float64
+	P95Latency  float64
 }
 
 // Iteration records one RunMILP → RunSim round for reporting.
@@ -351,6 +356,15 @@ type Optimizer struct {
 	// simulation (via engine.Request.Pre); tests use it to inject
 	// failures and panics.
 	evalHook func(design.Point)
+
+	// fullGate, when non-nil, attaches a confidence gate to the stage-2
+	// full-fidelity evaluations: replications stop early once the PDR
+	// confidence interval settles decisively outside the gate's band.
+	// Only the ε-constraint sweep sets this (a single-bound run keeps
+	// the full budget so its reported metrics stay replication-exact);
+	// the gate band must cover every bound the sweep will enforce, so a
+	// gated stop can never flip a feasibility verdict.
+	fullGate *netsim.Gate
 }
 
 // NewOptimizer builds an optimizer with the given options.
@@ -423,7 +437,13 @@ const adaptiveScreenBlocks = 8
 // current best solution's power, keeping the line-5 termination bound
 // conservative.
 func (o *Optimizer) alpha(best design.Point) float64 {
-	pdr := o.Problem.PDRMin
+	return o.alphaAt(best, o.Problem.PDRMin)
+}
+
+// alphaAt is alpha against an explicit reliability bound — the ε-constraint
+// sweep terminates each bound's class walk with the bound being swept, not
+// the problem's pinned PDRMin.
+func (o *Optimizer) alphaAt(best design.Point, pdr float64) float64 {
 	if pdr <= 0 {
 		return 1
 	}
@@ -582,6 +602,8 @@ func (o *Optimizer) RunCtx(ctx context.Context) (*Outcome, error) {
 				NLTDays:       e.res.NLTDays,
 				WorstPDR:      e.res.PDR,
 				WorstScenario: e.worstScenario,
+				MeanLatency:   e.res.MeanLatency,
+				P95Latency:    e.res.P95Latency,
 			}
 			cand.Feasible = cand.PDR >= o.Problem.PDRMin-o.Options.FeasTol
 			if e.robust {
@@ -773,6 +795,9 @@ func (o *Optimizer) simulateAll(ctx context.Context, points []design.Point) ([]p
 		reqs[i] = engine.Request{
 			Cfg: o.Problem.Config(p), Runs: o.Problem.Runs, Seed: o.Problem.Seed,
 			Key: o.saltKey(engine.PointKey(p.Key())), Label: fmt.Sprintf("%v", p), Pre: pre(p),
+		}
+		if o.fullGate != nil {
+			reqs[i].Adaptive = o.fullGate
 		}
 	}
 	frs, err := o.eng.EvaluateBatchCtx(ctx, reqs, nil)

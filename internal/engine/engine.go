@@ -214,6 +214,18 @@ type Stats struct {
 // SimSeconds is the total fresh simulated time across both fidelities.
 func (s Stats) SimSeconds() float64 { return s.FullSeconds + s.ScreenSeconds }
 
+// FreshFrac is the fraction of submitted requests that were answered by a
+// fresh simulation rather than the cache, dedup, or disk tiers — the
+// figure of merit for workloads (ε-constraint sweeps, warm restarts) whose
+// adjacent steps are supposed to share evaluations. Zero submissions
+// yield 0.
+func (s Stats) FreshFrac() float64 {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return float64(s.Simulated) / float64(s.Submitted)
+}
+
 // Sub returns the counter deltas since an earlier snapshot.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{

@@ -41,8 +41,11 @@ import (
 )
 
 const (
-	snapMagic   = "HIENGSNP"
-	snapVersion = uint32(1)
+	snapMagic = "HIENGSNP"
+	// snapVersion 2 appended Result.LatencyDropped to the payload. A
+	// version-bumped header loads zero entries (older snapshots are simply
+	// re-simulated), per the robustness contract in DESIGN.md §15.
+	snapVersion = uint32(2)
 	// snapHeaderLen is magic (8) + version (4) + context sig (8).
 	snapHeaderLen = 20
 	// snapEntryFixed is the fixed prefix of one entry: point (4) +
@@ -149,6 +152,7 @@ func appendResult(buf []byte, r *netsim.Result) []byte {
 	f64(r.MeanLatency)
 	f64(r.P95Latency)
 	f64(r.MaxLatency)
+	u64(r.LatencyDropped)
 	f64(r.PDRStdDev)
 	u64(uint64(int64(r.Runs)))
 	return buf
@@ -232,6 +236,7 @@ func decodeResult(payload []byte) (*netsim.Result, bool) {
 	res.MeanLatency = rd.f64()
 	res.P95Latency = rd.f64()
 	res.MaxLatency = rd.f64()
+	res.LatencyDropped = rd.u64()
 	res.PDRStdDev = rd.f64()
 	res.Runs = int(int64(rd.u64()))
 	if rd.bad || rd.off != len(payload) {

@@ -372,3 +372,26 @@ func TestSaveCacheDeterministicBytes(t *testing.T) {
 		t.Fatal("two saves of identical caches produced different bytes")
 	}
 }
+
+// TestResultCodecRoundTripsLatencyDropped: the snapVersion-2 payload
+// field must survive the codec exactly; a synthetic nonzero value guards
+// against the encoder and decoder silently skipping it in lockstep.
+func TestResultCodecRoundTripsLatencyDropped(t *testing.T) {
+	r := &netsim.Result{
+		Locations:      []int{0, 3},
+		Duration:       2,
+		PDR:            0.5,
+		MeanLatency:    0.01,
+		P95Latency:     0.02,
+		MaxLatency:     0.03,
+		LatencyDropped: 7,
+		Runs:           1,
+	}
+	got, ok := decodeResult(appendResult(nil, r))
+	if !ok {
+		t.Fatal("round-trip payload rejected")
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round-trip diverged:\n got %+v\nwant %+v", got, r)
+	}
+}

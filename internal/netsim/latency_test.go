@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// --- latency metric pins and merge identity ---
+
+// fig3RefCfg is the Fig. 3 reference configuration the latency pins are
+// taken on: the paper's 4-node star (chest coordinator, locations
+// {0, 1, 3, 6}) under TDMA at Tx mode 2, quick fidelity (60 s horizon).
+func fig3RefCfg() Config {
+	return shortCfg([]int{0, 1, 3, 6}, TDMA, Star, 2, 60)
+}
+
+// TestLatencyPinnedFig3Reference pins the end-to-end latency summary of
+// the fig3 reference configuration exactly. The simulator is
+// deterministic per seed, so these are equality pins: any drift means
+// the latency accounting (per-delivery recording, merge order, the p95
+// index) changed, which would silently move every latency column the
+// sweep CSVs report.
+func TestLatencyPinnedFig3Reference(t *testing.T) {
+	cfg := fig3RefCfg()
+	res, err := Run(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := []struct {
+		name      string
+		got, want float64
+	}{
+		{"mean", res.MeanLatency, 0.002881892667010724},
+		{"p95", res.P95Latency, 0.0047042746528740409},
+		{"max", res.MaxLatency, 0.0077313222222663569},
+	}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("single-run %s latency = %.17g, want %.17g", p.name, p.got, p.want)
+		}
+	}
+	if res.LatencyDropped != 0 {
+		t.Errorf("LatencyDropped = %d on a 60 s run, want 0", res.LatencyDropped)
+	}
+
+	// The 3-run average: mean latency averages across replications, the
+	// tail percentiles take the pessimistic maximum.
+	avg, err := RunAveraged(cfg, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgPins := []struct {
+		name      string
+		got, want float64
+	}{
+		{"mean", avg.MeanLatency, 0.0028598080387992626},
+		{"p95", avg.P95Latency, 0.0047042746528740409},
+		{"max", avg.MaxLatency, 0.0092748728022371552},
+	}
+	for _, p := range avgPins {
+		if p.got != p.want {
+			t.Errorf("3-run %s latency = %.17g, want %.17g", p.name, p.got, p.want)
+		}
+	}
+}
+
+// TestLatencyMergeBitIdentical is the latency half of the merge API's
+// bit-identity contract: folding per-replication Results in replication
+// order (the engine's replication-parallel fan-out) must reproduce the
+// sequential RunAveraged latency fields bit-for-bit — same float64 bit
+// patterns, not just approximate equality — across protocols and seeds.
+func TestLatencyMergeBitIdentical(t *testing.T) {
+	const runs = 4
+	for _, m := range []MACKind{CSMA, TDMA} {
+		for _, rt := range []RoutingKind{Star, Mesh} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				cfg := shortCfg([]int{0, 1, 3, 6}, m, rt, 2, 20)
+				want, err := RunAveraged(cfg, runs, seed)
+				if err != nil {
+					t.Fatalf("%v/%v seed %d sequential: %v", m, rt, seed, err)
+				}
+				if want.MeanLatency <= 0 {
+					t.Fatalf("%v/%v seed %d: no deliveries, the identity check would be vacuous", m, rt, seed)
+				}
+				merged, err := Run(cfg, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pdrs := []float64{merged.PDR}
+				for r := 1; r < runs; r++ {
+					rep, err := Run(cfg, seed+uint64(r))
+					if err != nil {
+						t.Fatal(err)
+					}
+					merged.Accumulate(rep)
+					pdrs = append(pdrs, rep.PDR)
+				}
+				merged.Finalize(runs, cfg.BatteryJ, pdrs)
+				checks := []struct {
+					name      string
+					got, want float64
+				}{
+					{"mean", merged.MeanLatency, want.MeanLatency},
+					{"p95", merged.P95Latency, want.P95Latency},
+					{"max", merged.MaxLatency, want.MaxLatency},
+				}
+				for _, c := range checks {
+					if math.Float64bits(c.got) != math.Float64bits(c.want) {
+						t.Errorf("%v/%v seed %d: merged %s latency %.17g (bits %x) != sequential %.17g (bits %x)",
+							m, rt, seed, c.name, c.got, math.Float64bits(c.got), c.want, math.Float64bits(c.want))
+					}
+				}
+				if merged.LatencyDropped != want.LatencyDropped {
+					t.Errorf("%v/%v seed %d: merged LatencyDropped %d != sequential %d",
+						m, rt, seed, merged.LatencyDropped, want.LatencyDropped)
+				}
+			}
+		}
+	}
+}

@@ -43,6 +43,7 @@ func (r *Result) Accumulate(rep *Result) {
 	r.MeanLatency += rep.MeanLatency
 	r.P95Latency = math.Max(r.P95Latency, rep.P95Latency)
 	r.MaxLatency = math.Max(r.MaxLatency, rep.MaxLatency)
+	r.LatencyDropped += rep.LatencyDropped
 }
 
 // Finalize converts the accumulated sums of `runs` replications into

@@ -705,6 +705,7 @@ func (n *Network) collectInto(res *Result, lats []float64) []float64 {
 	lats = lats[:0]
 	for _, nd := range n.nodes {
 		lats = append(lats, nd.app.Latencies...)
+		res.LatencyDropped += nd.app.LatencyDropped
 	}
 	if len(lats) > 0 {
 		sort.Float64s(lats)
@@ -754,6 +755,10 @@ type Result struct {
 	MeanLatency float64
 	P95Latency  float64
 	MaxLatency  float64
+	// LatencyDropped counts deliveries whose latency sample was discarded
+	// because a node's per-run record hit its cap (2^16 samples). Nonzero
+	// means the latency summary above describes a truncated sample set.
+	LatencyDropped uint64
 	// PDRStdDev is the run-to-run standard deviation of the PDR estimate
 	// (populated by RunAveraged when runs > 1; 0 otherwise). It lets
 	// callers judge whether a configuration sits within noise of a
